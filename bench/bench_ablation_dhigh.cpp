@@ -1,0 +1,53 @@
+// Ablation A1: delegate threshold d_high. The paper fixes d_high = p; this
+// sweep shows the trade-off the choice controls — too high (no delegates)
+// degenerates to 1D imbalance, too low duplicates most of the graph and
+// inflates the delegate consensus traffic.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "partition/metrics.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dinfomap;
+  bench::banner("Ablation A1 — delegate threshold d_high sweep (p=8)",
+                "design choice behind §3.3 (paper: d_high = p)");
+  const perf::CostModel model;
+  const int p = 8;
+
+  for (const char* name : {"ndweb", "uk2005"}) {
+    const auto data = bench::load(name);
+    const double mean_degree = 2.0 * static_cast<double>(data.csr.num_edges()) /
+                               static_cast<double>(data.csr.num_vertices());
+    std::printf("\n--- %s (mean degree %.1f) ---\n",
+                data.spec.paper_name.c_str(), mean_degree);
+    std::printf("%-12s %-10s %-10s %-12s %-14s %-9s\n", "d_high", "hubs",
+                "arc imb", "ghost max", "modeled (ms)", "final L");
+
+    const graph::EdgeIndex thresholds[] = {
+        static_cast<graph::EdgeIndex>(p),
+        static_cast<graph::EdgeIndex>(2 * mean_degree),
+        static_cast<graph::EdgeIndex>(4 * mean_degree),
+        static_cast<graph::EdgeIndex>(16 * mean_degree),
+        1u << 30 /* effectively 1D */};
+    for (const auto d_high : thresholds) {
+      const auto part = partition::make_delegate(data.csr, p, d_high);
+      std::uint64_t hubs = 0;
+      for (auto f : part.is_delegate) hubs += f;
+      const auto arcs = util::summarize_counts(partition::arcs_per_rank(part));
+      const auto ghosts = util::summarize_counts(partition::ghosts_per_rank(part));
+
+      core::DistInfomapConfig cfg;
+      cfg.num_ranks = p;
+      cfg.degree_threshold = d_high;
+      const auto result = core::distributed_infomap(data.csr, part, cfg);
+      const double t = 1000.0 * (bench::modeled_stage_seconds(result, 0, model) +
+                                 bench::modeled_stage_seconds(result, 1, model));
+      std::printf("%-12llu %-10llu %-10.2f %-12.0f %-14.2f %-9.4f\n",
+                  static_cast<unsigned long long>(d_high),
+                  static_cast<unsigned long long>(hubs), arcs.imbalance,
+                  ghosts.max, t, result.codelength);
+    }
+  }
+  return 0;
+}

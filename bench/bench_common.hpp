@@ -1,0 +1,91 @@
+// Shared helpers for the table/figure benches: dataset loading, modeled-time
+// evaluation, fixed-width table printing, and CSV series output.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dist_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "io/datasets.hpp"
+#include "perf/cost_model.hpp"
+
+namespace dinfomap::bench {
+
+struct LoadedDataset {
+  io::DatasetSpec spec;
+  graph::Csr csr;
+  std::optional<graph::Partition> ground_truth;
+};
+
+inline LoadedDataset load(const std::string& name) {
+  LoadedDataset out{io::dataset_spec(name), {}, {}};
+  auto gen = io::load_dataset(name);
+  out.csr = graph::build_csr(gen.edges, gen.num_vertices);
+  out.ground_truth = std::move(gen.ground_truth);
+  return out;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Machine-readable mirror of a bench's table: writes
+/// bench_results/<name>.csv next to the working directory, one header plus
+/// one row() call per line. Benches keep stdout as the human channel.
+class CsvSink {
+ public:
+  CsvSink(const std::string& name, const std::vector<std::string>& columns) {
+    std::filesystem::create_directories("bench_results");
+    out_.open("bench_results/" + name + ".csv");
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << columns[i];
+    }
+    out_ << '\n';
+  }
+
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::ostringstream line;
+    bool first = true;
+    ((line << (first ? "" : ","), first = false, line << fields), ...);
+    out_ << line.str() << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Modeled BSP seconds of one phase of a distributed run: slowest rank gates.
+inline double modeled_phase_seconds(const std::vector<perf::WorkCounters>& per_rank,
+                                    const perf::CostModel& model = {}) {
+  return perf::bsp_seconds(per_rank, model);
+}
+
+/// Modeled total seconds of a distributed Infomap run (all phases).
+inline double modeled_total_seconds(const core::DistInfomapResult& result,
+                                    const perf::CostModel& model = {}) {
+  double total = 0;
+  for (int ph = 0; ph < core::kNumPhases; ++ph)
+    total += perf::bsp_seconds(result.work[ph], model);
+  return total;
+}
+
+/// Modeled seconds of one stage (0 = with delegates, 1 = merged levels).
+inline double modeled_stage_seconds(const core::DistInfomapResult& result,
+                                    int stage,
+                                    const perf::CostModel& model = {}) {
+  return perf::bsp_seconds(result.stage_work[stage], model);
+}
+
+}  // namespace dinfomap::bench

@@ -1,0 +1,37 @@
+// Figure 7: per-processor communication (ghost-vertex count) under 1D vs
+// delegate partitioning. Information swapping goes through boundary/ghost
+// vertices, so this is the communication-cost proxy the paper plots.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "partition/metrics.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace dinfomap;
+  bench::banner("Figure 7 — communication balance: ghost vertices per rank (p=16)",
+                "Zeng & Yu, ICPP'18, Fig. 7");
+  const int p = 16;
+
+  for (const char* name : {"uk2005", "webbase2001", "friendster", "uk2007"}) {
+    const auto data = bench::load(name);
+    const auto ghosts_1d = partition::ghosts_per_rank(partition::make_oned(data.csr, p));
+    const auto ghosts_dp =
+        partition::ghosts_per_rank(partition::make_delegate(data.csr, p));
+    const auto s1 = util::summarize_counts(ghosts_1d);
+    const auto s2 = util::summarize_counts(ghosts_dp);
+
+    std::printf("\n--- %s ---\n", data.spec.paper_name.c_str());
+    std::printf("%-6s %14s %16s\n", "rank", "1D ghosts", "delegate ghosts");
+    for (int r = 0; r < p; ++r)
+      std::printf("%-6d %14s %16s\n", r,
+                  util::with_commas(ghosts_1d[r]).c_str(),
+                  util::with_commas(ghosts_dp[r]).c_str());
+    std::printf("max/imb   1D: %s / %.2fx    delegate: %s / %.2fx\n",
+                util::with_commas(static_cast<std::uint64_t>(s1.max)).c_str(),
+                s1.imbalance,
+                util::with_commas(static_cast<std::uint64_t>(s2.max)).c_str(),
+                s2.imbalance);
+  }
+  return 0;
+}

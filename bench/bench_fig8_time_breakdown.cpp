@@ -1,0 +1,55 @@
+// Figure 8: per-iteration time breakdown of stage 1 into the paper's four
+// components (Find Best Module, Broadcast Delegates, Swap Boundary Info,
+// Other) as the rank count grows.
+//
+// Ranks here are threads on one machine, so the breakdown is reported in
+// *modeled* time (α-β model over exact per-rank work/traffic counters — see
+// DESIGN.md S9); measured wall seconds are printed alongside for reference.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dinfomap;
+  bench::banner(
+      "Figure 8 — stage-1 time breakdown per iteration vs rank count",
+      "Zeng & Yu, ICPP'18, Fig. 8");
+  const perf::CostModel model;
+  bench::CsvSink csv("fig8_time_breakdown",
+                     {"dataset", "ranks", "rounds", "find_best_ms", "bcast_ms",
+                      "swap_ms", "other_ms"});
+
+  for (const char* name : {"uk2005", "webbase2001", "friendster", "uk2007"}) {
+    const auto data = bench::load(name);
+    std::printf("\n--- %s ---\n", data.spec.paper_name.c_str());
+    std::printf("%-5s %-9s | %-12s %-12s %-12s %-12s (modeled ms/iter)\n", "p",
+                "rounds", "FindBest", "BcastDeleg", "SwapBoundary", "Other");
+    for (int p : {4, 8, 16}) {
+      core::DistInfomapConfig cfg;
+      cfg.num_ranks = p;
+      const auto result = core::distributed_infomap(data.csr, cfg);
+      const double iters = std::max(1, result.stage1_rounds);
+      std::printf("%-5d %-9d | ", p, result.stage1_rounds);
+      double per_phase_ms[core::kNumPhases] = {};
+      for (int ph = 0; ph < core::kNumPhases; ++ph) {
+        // Phase counters include stage 2; scale by the stage-1 share of total
+        // work so the per-iteration stage-1 number stays honest.
+        const double phase_ms =
+            1000.0 * bench::modeled_phase_seconds(result.work[ph], model);
+        const double stage1_share =
+            bench::modeled_stage_seconds(result, 0, model) /
+            std::max(1e-12, bench::modeled_stage_seconds(result, 0, model) +
+                                bench::modeled_stage_seconds(result, 1, model));
+        per_phase_ms[ph] = phase_ms * stage1_share / iters;
+        std::printf("%-12.3f ", per_phase_ms[ph]);
+      }
+      std::printf("\n");
+      csv.row(name, p, result.stage1_rounds, per_phase_ms[0], per_phase_ms[1],
+              per_phase_ms[2], per_phase_ms[3]);
+    }
+  }
+  std::printf(
+      "\nexpected shape: FindBest/BcastDelegates/Other fall with p; "
+      "SwapBoundary stays roughly flat (ghost volume is p-invariant).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark) of the hot kernels: plogp, ΔL
+// evaluation, the sequential move pass, coarsening, and the comm collectives.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "comm/runtime.hpp"
+#include "core/coarsen.hpp"
+#include "core/flowgraph.hpp"
+#include "core/mapequation.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+
+namespace {
+
+using namespace dinfomap;
+
+void BM_Plogp(benchmark::State& state) {
+  double x = 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::plogp(x));
+    x += 1e-9;
+  }
+}
+BENCHMARK(BM_Plogp);
+
+void BM_EvaluateMove(benchmark::State& state) {
+  core::MoveDelta d;
+  d.p_u = 0.01;
+  d.f_u = 0.008;
+  d.f_to_old = 0.001;
+  d.f_to_new = 0.004;
+  d.old_stats = {0.2, 0.05, 40};
+  d.new_stats = {0.3, 0.07, 55};
+  d.q_total = 0.4;
+  for (auto _ : state) benchmark::DoNotOptimize(core::evaluate_move(d));
+}
+BENCHMARK(BM_EvaluateMove);
+
+const core::FlowGraph& lfr_flow_graph() {
+  static const core::FlowGraph fg = [] {
+    const auto gg = graph::gen::lfr_lite({}, 7);
+    return core::make_flow_graph(graph::build_csr(gg.edges, gg.num_vertices));
+  }();
+  return fg;
+}
+
+void BM_SequentialInfomapLfr1k(benchmark::State& state) {
+  const auto gg = graph::gen::lfr_lite({}, 7);
+  const auto g = graph::build_csr(gg.edges, gg.num_vertices);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::sequential_infomap(g));
+}
+BENCHMARK(BM_SequentialInfomapLfr1k)->Unit(benchmark::kMillisecond);
+
+void BM_CoarsenLfr1k(benchmark::State& state) {
+  const auto& fg = lfr_flow_graph();
+  std::vector<graph::VertexId> mods(fg.num_vertices());
+  for (graph::VertexId v = 0; v < fg.num_vertices(); ++v) mods[v] = v / 20;
+  for (auto _ : state) benchmark::DoNotOptimize(core::coarsen(fg, mods));
+}
+BENCHMARK(BM_CoarsenLfr1k)->Unit(benchmark::kMicrosecond);
+
+void BM_CodelengthOfPartition(benchmark::State& state) {
+  const auto& fg = lfr_flow_graph();
+  std::vector<graph::VertexId> mods(fg.num_vertices());
+  for (graph::VertexId v = 0; v < fg.num_vertices(); ++v) mods[v] = v / 20;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::codelength_of_partition(fg, mods));
+}
+BENCHMARK(BM_CodelengthOfPartition)->Unit(benchmark::kMicrosecond);
+
+void BM_AllreduceDouble(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::Runtime::run(p, [](comm::Comm& comm) {
+      for (int i = 0; i < 50; ++i)
+        benchmark::DoNotOptimize(comm.allreduce(1.0, comm::ReduceOp::kSum));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_AllreduceDouble)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_AlltoallvInts(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    comm::Runtime::run(p, [p](comm::Comm& comm) {
+      std::vector<std::vector<int>> out(p, std::vector<int>(256, comm.rank()));
+      for (int i = 0; i < 20; ++i)
+        benchmark::DoNotOptimize(comm.alltoallv(out));
+    });
+  }
+}
+BENCHMARK(BM_AlltoallvInts)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SbmGenerate(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::gen::sbm(2000, 20, 0.05, 0.001, 3));
+}
+BENCHMARK(BM_SbmGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_BuildCsr(benchmark::State& state) {
+  const auto gg = graph::gen::lfr_lite({}, 7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::build_csr(gg.edges, gg.num_vertices));
+}
+BENCHMARK(BM_BuildCsr)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

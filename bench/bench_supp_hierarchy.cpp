@@ -1,0 +1,61 @@
+// Supplementary: the multilevel map equation (original Infomap) against the
+// paper's two-level formulation, on nested synthetic structure and on the
+// Table-1 stand-ins. Shows when hierarchy pays (many modules with locality)
+// and when it does not.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/hierarchy.hpp"
+#include "util/random.hpp"
+
+namespace {
+dinfomap::graph::Csr nested(std::uint64_t seed, dinfomap::graph::VertexId groups,
+                            dinfomap::graph::VertexId blocks,
+                            dinfomap::graph::VertexId bs) {
+  using namespace dinfomap;
+  util::Xoshiro256 rng(seed);
+  const graph::VertexId n = groups * blocks * bs;
+  graph::EdgeList edges;
+  auto block_of = [&](graph::VertexId v) { return v / bs; };
+  auto group_of = [&](graph::VertexId v) { return v / (blocks * bs); };
+  for (graph::VertexId u = 0; u < n; ++u)
+    for (graph::VertexId v = u + 1; v < n; ++v) {
+      double p = 0.002;
+      if (block_of(u) == block_of(v)) p = 0.9;
+      else if (group_of(u) == group_of(v)) p = 0.10;
+      if (rng.uniform() < p) edges.push_back({u, v, 1.0});
+    }
+  return graph::build_csr(edges, n);
+}
+}  // namespace
+
+int main() {
+  using namespace dinfomap;
+  bench::banner("Supplementary — two-level vs multilevel map equation",
+                "extension: Rosvall & Bergstrom 2011 hierarchy on top of Eq. 3");
+
+  std::printf("%-22s %-12s %-12s %-9s %-7s %-10s\n", "graph", "two-level L",
+              "multilevel L", "gain", "depth", "leaf mods");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  auto report = [&](const char* label, const graph::Csr& g) {
+    const auto r = core::hierarchical_infomap(g);
+    std::printf("%-22s %-12.4f %-12.4f %7.2f%% %-7d %-10d\n", label,
+                r.two_level_codelength, r.codelength,
+                100.0 * (r.two_level_codelength - r.codelength) /
+                    r.two_level_codelength,
+                r.hierarchy.depth(), r.hierarchy.num_leaf_modules());
+  };
+
+  report("nested 8x8x8", nested(5, 8, 8, 8));
+  report("nested 10x6x10", nested(7, 10, 6, 10));
+  for (const char* name : {"amazon", "dblp", "ndweb"}) {
+    const auto data = bench::load(name);
+    report(data.spec.paper_name.c_str(), data.csr);
+  }
+  std::printf(
+      "\nexpected: strong gains and depth >= 2 on nested structure; little "
+      "or no gain on the flat community stand-ins (hierarchy only pays when "
+      "many modules have locality).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Supplementary: distributed quality as parallelism grows. The paper's core
+// accuracy claim is that the distributed result stays close to the
+// sequential one; this sweep quantifies the gap across rank counts.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/seq_infomap.hpp"
+#include "quality/metrics.hpp"
+
+int main() {
+  using namespace dinfomap;
+  bench::banner("Supplementary — distributed quality vs rank count",
+                "accuracy claim of §3.4 / Fig. 4 quantified across p");
+  bench::CsvSink csv("supp_quality_vs_p",
+                     {"dataset", "ranks", "dist_L", "seq_L", "gap_percent",
+                      "nmi_vs_seq"});
+
+  for (const char* name : {"amazon", "youtube", "uk2005"}) {
+    const auto data = bench::load(name);
+    const auto seq = core::sequential_infomap(data.csr);
+    std::printf("\n--- %s (sequential L = %.4f) ---\n",
+                data.spec.paper_name.c_str(), seq.codelength);
+    std::printf("%-5s %-12s %-10s %-10s\n", "p", "dist L", "gap", "NMI(seq)");
+    for (int p : {2, 4, 8, 16, 32}) {
+      core::DistInfomapConfig cfg;
+      cfg.num_ranks = p;
+      const auto dist = core::distributed_infomap(data.csr, cfg);
+      const double gap =
+          100.0 * (dist.codelength - seq.codelength) / seq.codelength;
+      const double nmi = quality::nmi(dist.assignment, seq.assignment);
+      std::printf("%-5d %-12.4f %+8.2f%% %-10.2f\n", p, dist.codelength, gap,
+                  nmi);
+      csv.row(name, p, dist.codelength, seq.codelength, gap, nmi);
+    }
+  }
+  std::printf(
+      "\nexpected: the gap stays bounded (paper's Table 2 agreement is ~0.8 "
+      "NMI) rather than growing without bound in p.\n");
+  return 0;
+}

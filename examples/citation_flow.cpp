@@ -1,0 +1,106 @@
+// Directed-flow scenario: site sections in a web-traffic network.
+// Users navigate mostly within a section of a site (directed links circulate
+// inside it) and occasionally jump across sections. This example runs the
+// directed Infomap extension (PageRank flows, §2.2 of the paper) on such a
+// network, compares it with the undirected treatment, and shows what
+// happens on a citation-style DAG, where flow *drains* instead of
+// circulating — a classic pitfall of directed community detection.
+#include <cstdio>
+
+#include "core/directed_infomap.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/dicsr.hpp"
+#include "quality/metrics.hpp"
+#include "util/random.hpp"
+
+namespace {
+using namespace dinfomap;
+
+/// `sections` groups of `size` pages; each page links to `intra` random pages
+/// of its section (directed, circulating) and one page elsewhere.
+graph::EdgeList traffic_graph(graph::VertexId sections, graph::VertexId size,
+                              int intra, graph::Partition& truth,
+                              util::Xoshiro256& rng) {
+  const graph::VertexId n = sections * size;
+  truth.resize(n);
+  graph::EdgeList links;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const graph::VertexId s = v / size;
+    truth[v] = s;
+    for (int k = 0; k < intra; ++k) {
+      const auto t = static_cast<graph::VertexId>(s * size + rng.bounded(size));
+      if (t != v) links.push_back({v, t, 1.0});
+    }
+    const auto other = static_cast<graph::VertexId>(rng.bounded(n));
+    if (other != v) links.push_back({v, other, 0.5});
+  }
+  return links;
+}
+
+/// Citation-style DAG: every paper cites only earlier papers of its field.
+graph::EdgeList citation_dag(graph::VertexId fields, graph::VertexId size,
+                             graph::Partition& truth, util::Xoshiro256& rng) {
+  const graph::VertexId n = fields * size;
+  truth.resize(n);
+  graph::EdgeList cites;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const graph::VertexId f = v / size;
+    truth[v] = f;
+    const graph::VertexId pos = v % size;
+    for (int k = 0; k < 6 && pos > 0; ++k)
+      cites.push_back({v, static_cast<graph::VertexId>(
+                              f * size + rng.bounded(pos)),
+                       1.0});
+  }
+  return cites;
+}
+}  // namespace
+
+int main() {
+  using namespace dinfomap;
+  util::Xoshiro256 rng(7);
+
+  std::printf("=== web-traffic section detection (directed flows) ===\n");
+  graph::Partition truth;
+  const auto links = traffic_graph(6, 80, 10, truth, rng);
+  const auto dig = graph::DiCsr::from_edges(links, 480);
+  std::printf("traffic graph: %u pages, %llu links\n", dig.num_vertices(),
+              static_cast<unsigned long long>(dig.num_arcs()));
+
+  const auto directed = core::directed_infomap(dig);
+  std::printf("directed Infomap:   L = %.4f, %u sections, NMI vs truth = %.3f\n",
+              directed.codelength, directed.num_modules(),
+              quality::nmi(directed.assignment, truth));
+
+  const auto und = graph::build_csr(links, 480);
+  const auto undirected = core::sequential_infomap(und);
+  std::printf("undirected Infomap: L = %.4f, %u sections, NMI vs truth = %.3f\n",
+              undirected.codelength, undirected.num_modules(),
+              quality::nmi(undirected.assignment, truth));
+
+  const auto pr = core::pagerank(dig);
+  graph::VertexId top = 0;
+  for (graph::VertexId v = 1; v < dig.num_vertices(); ++v)
+    if (pr[v] > pr[top]) top = v;
+  std::printf("most-visited page: #%u (section %u, visit rate %.4f)\n\n", top,
+              truth[top], pr[top]);
+
+  std::printf("=== contrast: citation DAG (flow drains, does not circulate) ===\n");
+  graph::Partition dag_truth;
+  const auto cites = citation_dag(6, 80, dag_truth, rng);
+  const auto dag = graph::DiCsr::from_edges(cites, 480);
+  const auto dag_directed = core::directed_infomap(dag);
+  const auto dag_undirected =
+      core::sequential_infomap(graph::build_csr(cites, 480));
+  std::printf("directed Infomap:   %u modules, NMI vs fields = %.3f\n",
+              dag_directed.num_modules(),
+              quality::nmi(dag_directed.assignment, dag_truth));
+  std::printf("undirected Infomap: %u modules, NMI vs fields = %.3f\n",
+              dag_undirected.num_modules(),
+              quality::nmi(dag_undirected.assignment, dag_truth));
+  std::printf(
+      "on a DAG the random walk piles onto early papers and directed modules\n"
+      "fragment — symmetrize first when the network has no circulation.\n");
+  return 0;
+}

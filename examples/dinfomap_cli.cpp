@@ -1,0 +1,256 @@
+// dinfomap_cli — command-line front end to the library.
+//
+//   dinfomap_cli generate <family> <out.txt> [seed]
+//       family: lfr | ba | rmat | sbm | ring | er
+//   dinfomap_cli cluster <edges.txt> <out.clu>
+//                 [--algo seq|dist|louvain|dist-louvain|lpa|relaxmap|hier]
+//                 [--ranks N] [--seed S] [--tree out.tree]
+//   dinfomap_cli eval <edges.txt> <a.clu> <b.clu>
+//   dinfomap_cli inspect <edges.txt> <a.clu>
+//   dinfomap_cli partition-stats <edges.txt> <ranks>
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dist_infomap.hpp"
+#include "core/dist_louvain.hpp"
+#include "core/hierarchy.hpp"
+#include "core/labelflow.hpp"
+#include "core/louvain.hpp"
+#include "core/relaxmap.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/edgelist_io.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/stats.hpp"
+#include "io/clustering_io.hpp"
+#include "io/tree_io.hpp"
+#include "partition/metrics.hpp"
+#include "quality/community_stats.hpp"
+#include "quality/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace dinfomap;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dinfomap_cli generate <lfr|ba|rmat|sbm|ring|er> <out.txt> [seed]\n"
+               "  dinfomap_cli cluster <edges.txt> <out.clu> [--algo seq|dist|louvain|lpa|relaxmap]\n"
+               "                [--ranks N] [--seed S] [--tree out.tree]\n"
+               "  dinfomap_cli eval <edges.txt> <a.clu> <b.clu>\n"
+               "  dinfomap_cli partition-stats <edges.txt> <ranks>\n");
+  return 2;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string family = argv[2];
+  const std::string out = argv[3];
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+
+  graph::gen::GeneratedGraph g;
+  if (family == "lfr") {
+    graph::gen::LfrLiteParams p;
+    p.n = 5000;
+    g = graph::gen::lfr_lite(p, seed);
+  } else if (family == "ba") {
+    g = graph::gen::barabasi_albert(5000, 3, seed);
+  } else if (family == "rmat") {
+    g = graph::gen::rmat(13, 8, 0.57, 0.19, 0.19, seed);
+  } else if (family == "sbm") {
+    g = graph::gen::sbm(5000, 25, 0.05, 0.001, seed);
+  } else if (family == "ring") {
+    g = graph::gen::ring_of_cliques(100, 8, seed);
+  } else if (family == "er") {
+    g = graph::gen::erdos_renyi(5000, 25000, seed);
+  } else {
+    return usage();
+  }
+  graph::write_edge_list(out, g.edges);
+  std::printf("wrote %zu edges (%u vertices) to %s\n", g.edges.size(),
+              g.num_vertices, out.c_str());
+  if (g.ground_truth) {
+    io::write_clustering(out + ".truth", *g.ground_truth);
+    std::printf("wrote planted communities to %s.truth\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_cluster(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string in = argv[2];
+  const std::string out = argv[3];
+  std::string algo = "dist";
+  std::string tree_out;
+  int ranks = 4;
+  std::uint64_t seed = 42;
+  for (int i = 4; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--algo")) algo = argv[i + 1];
+    else if (!std::strcmp(argv[i], "--ranks")) ranks = std::atoi(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(argv[i + 1], nullptr, 10);
+    else if (!std::strcmp(argv[i], "--tree")) tree_out = argv[i + 1];
+    else return usage();
+  }
+
+  const auto g = graph::build_csr(graph::read_edge_list(in));
+  std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  graph::Partition assignment;
+  if (algo == "seq") {
+    core::InfomapConfig cfg;
+    cfg.seed = seed;
+    const auto r = core::sequential_infomap(g, cfg);
+    assignment = r.assignment;
+    std::printf("sequential Infomap: L = %.6f, %u modules\n", r.codelength,
+                r.num_modules());
+    if (!tree_out.empty()) {
+      io::write_tree(tree_out, r.level_assignments);
+      std::printf("hierarchy written to %s\n", tree_out.c_str());
+    }
+  } else if (algo == "dist") {
+    core::DistInfomapConfig cfg;
+    cfg.num_ranks = ranks;
+    cfg.seed = seed;
+    const auto r = core::distributed_infomap(g, cfg);
+    assignment = r.assignment;
+    std::printf("distributed Infomap (p=%d): L = %.6f, %u modules\n", ranks,
+                r.codelength, r.num_modules());
+  } else if (algo == "louvain") {
+    core::LouvainConfig cfg;
+    cfg.seed = seed;
+    const auto r = core::louvain(g, cfg);
+    assignment = r.assignment;
+    std::printf("Louvain: Q = %.6f\n", r.modularity);
+  } else if (algo == "lpa") {
+    core::LabelFlowConfig cfg;
+    cfg.seed = seed;
+    const auto r = core::distributed_labelflow(g, ranks, cfg);
+    assignment = r.assignment;
+    std::printf("label-flow (p=%d): L = %.6f\n", ranks, r.codelength);
+  } else if (algo == "relaxmap") {
+    core::RelaxMapConfig cfg;
+    cfg.num_threads = ranks;
+    cfg.seed = seed;
+    const auto r = core::relaxmap(g, cfg);
+    assignment = r.assignment;
+    std::printf("RelaxMap (%d threads): L = %.6f\n", ranks, r.codelength);
+  } else if (algo == "dist-louvain") {
+    core::DistLouvainConfig cfg;
+    cfg.num_ranks = ranks;
+    cfg.seed = seed;
+    const auto r = core::distributed_louvain(g, cfg);
+    assignment = r.assignment;
+    std::printf("distributed Louvain (p=%d): Q = %.6f\n", ranks, r.modularity);
+  } else if (algo == "hier") {
+    core::HierInfomapConfig cfg;
+    cfg.two_level.seed = seed;
+    const auto r = core::hierarchical_infomap(g, cfg);
+    assignment = r.leaf_assignment;
+    std::printf("hierarchical Infomap: L = %.6f (two-level %.6f, depth %d)\n",
+                r.codelength, r.two_level_codelength, r.hierarchy.depth());
+    if (!tree_out.empty()) {
+      const auto paths = r.hierarchy.vertex_paths(g.num_vertices());
+      std::ofstream tree_file(tree_out);
+      tree_file << "# path \"vertex\"\n";
+      for (graph::VertexId v = 0; v < g.num_vertices(); ++v)
+        tree_file << paths[v] << " \"" << v << "\"\n";
+      std::printf("hierarchy written to %s\n", tree_out.c_str());
+    }
+  } else {
+    return usage();
+  }
+  io::write_clustering(out, assignment);
+  std::printf("clustering written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto g = graph::build_csr(graph::read_edge_list(argv[2]));
+  const auto a = io::read_clustering(argv[3], g.num_vertices());
+  const auto b = io::read_clustering(argv[4], g.num_vertices());
+  std::printf("NMI        = %.4f\n", quality::nmi(a, b));
+  std::printf("F-measure  = %.4f\n", quality::f_measure(a, b));
+  std::printf("Jaccard    = %.4f\n", quality::jaccard_index(a, b));
+  std::printf("modularity = %.4f (a), %.4f (b)\n", quality::modularity(g, a),
+              quality::modularity(g, b));
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto g = graph::build_csr(graph::read_edge_list(argv[2]));
+  const auto clustering = io::read_clustering(argv[3], g.num_vertices());
+  const auto s = quality::summarize_partition(g, clustering);
+  std::printf("communities: %u (sizes %u..%u)\n", s.num_communities,
+              s.smallest, s.largest);
+  std::printf("coverage:    %.3f of edge weight is intra-community\n",
+              s.coverage);
+  std::printf("conductance: mean %.3f, worst %.3f\n", s.mean_conductance,
+              s.max_conductance);
+  std::printf("modularity:  %.4f\n", quality::modularity(g, clustering));
+  // Largest five communities in detail.
+  std::vector<std::size_t> order(s.communities.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return s.communities[a].size > s.communities[b].size;
+  });
+  std::printf("\n%-10s %-8s %-12s %-10s %-12s\n", "community", "size",
+              "internal w", "cut w", "conductance");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    const auto& cs = s.communities[order[i]];
+    std::printf("%-10zu %-8u %-12.1f %-10.1f %-12.3f\n", order[i], cs.size,
+                cs.internal_weight, cs.cut_weight, cs.conductance);
+  }
+  return 0;
+}
+
+int cmd_partition_stats(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto g = graph::build_csr(graph::read_edge_list(argv[2]));
+  const int p = std::atoi(argv[3]);
+  std::printf("%-14s %12s %12s %9s %12s\n", "strategy", "min arcs", "max arcs",
+              "imb", "max ghosts");
+  const struct {
+    const char* name;
+    partition::ArcPartition part;
+  } rows[] = {
+      {"1D", partition::make_oned(g, p)},
+      {"1D-balanced", partition::make_oned_balanced(g, p)},
+      {"hash", partition::make_hash(g, p)},
+      {"delegate", partition::make_delegate(g, p)},
+  };
+  for (const auto& row : rows) {
+    const auto arcs = util::summarize_counts(partition::arcs_per_rank(row.part));
+    const auto ghosts =
+        util::summarize_counts(partition::ghosts_per_rank(row.part));
+    std::printf("%-14s %12.0f %12.0f %8.2fx %12.0f\n", row.name, arcs.min,
+                arcs.max, arcs.imbalance, ghosts.max);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "cluster") return cmd_cluster(argc, argv);
+    if (cmd == "eval") return cmd_eval(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "partition-stats") return cmd_partition_stats(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

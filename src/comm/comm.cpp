@@ -1,0 +1,195 @@
+#include "comm/comm.hpp"
+
+#include <cstring>
+
+#include "comm/runtime.hpp"
+
+namespace dinfomap::comm {
+
+namespace {
+/// Collective tags cycle through a window above kCollectiveTagBase. Every
+/// transport message of a collective step is consumed within that step, so a
+/// window of 2^20 steps is unreachable by any stale message.
+constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
+}  // namespace
+
+void Comm::transport_send(int dest, int tag, std::span<const std::byte> data,
+                          bool collective) {
+  DINFOMAP_REQUIRE_MSG(dest >= 0 && dest < size_, "send: destination out of range");
+  if (dest != rank_) {
+    // Self-delivery is a local copy in any real transport; only remote
+    // traffic counts toward communication volume.
+    if (collective) {
+      counters_.collective_messages += 1;
+      counters_.collective_bytes += data.size();
+    } else {
+      counters_.p2p_messages += 1;
+      counters_.p2p_bytes += data.size();
+    }
+  }
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  runtime_->maybe_delay();
+  runtime_->mailbox(dest).deliver(std::move(m));
+}
+
+Message Comm::transport_recv(int source, int tag) {
+  return runtime_->mailbox(rank_).recv(source, tag);
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {
+  DINFOMAP_REQUIRE_MSG(tag >= 0 && tag < kCollectiveTagBase,
+                       "user tags must lie below kCollectiveTagBase");
+  transport_send(dest, tag, data, /*collective=*/false);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
+  DINFOMAP_REQUIRE_MSG(tag >= 0 && tag < kCollectiveTagBase,
+                       "user tags must lie below kCollectiveTagBase");
+  DINFOMAP_REQUIRE_MSG(source == kAnySource || (source >= 0 && source < size_),
+                       "recv: source out of range");
+  return transport_recv(source, tag).payload;
+}
+
+bool Comm::probe(int source, int tag) {
+  return runtime_->mailbox(rank_).probe(source, tag);
+}
+
+int Comm::next_collective_tag() {
+  const auto seq = collective_seq_++ % kCollectiveTagWindow;
+  counters_.collective_calls += 1;
+  return kCollectiveTagBase + static_cast<int>(seq);
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: ceil(log2 p) rounds; in round k, rank r signals
+  // (r + 2^k) mod p and waits for (r - 2^k) mod p. All 2^k are distinct and
+  // < p, so each round's partner is unique and one tag suffices.
+  const int tag = next_collective_tag();
+  if (size_ == 1) return;
+  for (int shift = 1; shift < size_; shift <<= 1) {
+    const int to = (rank_ + shift) % size_;
+    const int from = (rank_ - shift % size_ + size_) % size_;
+    transport_send(to, tag, {}, /*collective=*/true);
+    (void)transport_recv(from, tag);
+  }
+}
+
+void Comm::bcast_bytes(int root, std::vector<std::byte>& data) {
+  DINFOMAP_REQUIRE_MSG(root >= 0 && root < size_, "bcast: root out of range");
+  const int tag = next_collective_tag();
+  if (size_ == 1) return;
+  const int vrank = (rank_ - root + size_) % size_;
+  // Receive from parent (all non-root ranks).
+  int mask = 1;
+  while (mask < size_) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % size_;
+      data = transport_recv(parent, tag).payload;
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children in decreasing subtree order.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & (mask - 1)) == 0 && (vrank & mask) == 0 && vrank + mask < size_) {
+      const int child = (vrank + mask + root) % size_;
+      transport_send(child, tag, data, /*collective=*/true);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gatherv_bytes(
+    int root, std::span<const std::byte> mine) {
+  DINFOMAP_REQUIRE_MSG(root >= 0 && root < size_, "gatherv: root out of range");
+  const int tag = next_collective_tag();
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(size_);
+    out[root].assign(mine.begin(), mine.end());
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      out[r] = transport_recv(r, tag).payload;
+    }
+  } else {
+    transport_send(root, tag, mine, /*collective=*/true);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgatherv_bytes(
+    std::span<const std::byte> mine) {
+  // gather to rank 0, then broadcast a framed concatenation.
+  auto gathered = gatherv_bytes(0, mine);
+  std::vector<std::byte> frame;
+  if (rank_ == 0) {
+    std::vector<std::uint64_t> sizes(size_);
+    std::size_t total = 0;
+    for (int r = 0; r < size_; ++r) {
+      sizes[r] = gathered[r].size();
+      total += gathered[r].size();
+    }
+    frame.resize(sizeof(std::uint64_t) * size_ + total);
+    std::memcpy(frame.data(), sizes.data(), sizeof(std::uint64_t) * size_);
+    std::size_t off = sizeof(std::uint64_t) * size_;
+    for (int r = 0; r < size_; ++r) {
+      if (!gathered[r].empty())
+        std::memcpy(frame.data() + off, gathered[r].data(), gathered[r].size());
+      off += gathered[r].size();
+    }
+  }
+  bcast_bytes(0, frame);
+  // Unpack.
+  std::vector<std::vector<std::byte>> out(size_);
+  DINFOMAP_REQUIRE(frame.size() >= sizeof(std::uint64_t) * size_);
+  std::vector<std::uint64_t> sizes(size_);
+  std::memcpy(sizes.data(), frame.data(), sizeof(std::uint64_t) * size_);
+  std::size_t off = sizeof(std::uint64_t) * size_;
+  for (int r = 0; r < size_; ++r) {
+    DINFOMAP_REQUIRE(off + sizes[r] <= frame.size());
+    out[r].assign(frame.begin() + static_cast<std::ptrdiff_t>(off),
+                  frame.begin() + static_cast<std::ptrdiff_t>(off + sizes[r]));
+    off += sizes[r];
+  }
+  return out;
+}
+
+std::vector<std::byte> Comm::scatterv_bytes(
+    int root, const std::vector<std::vector<std::byte>>& slices) {
+  DINFOMAP_REQUIRE_MSG(root >= 0 && root < size_, "scatterv: root out of range");
+  const int tag = next_collective_tag();
+  if (rank_ == root) {
+    DINFOMAP_REQUIRE_MSG(static_cast<int>(slices.size()) == size_,
+                         "scatterv: need one slice per rank");
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      transport_send(r, tag, slices[r], /*collective=*/true);
+    }
+    return slices[root];
+  }
+  return transport_recv(root, tag).payload;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
+    const std::vector<std::vector<std::byte>>& out) {
+  DINFOMAP_REQUIRE_MSG(static_cast<int>(out.size()) == size_,
+                       "alltoallv: need one outbox per rank");
+  const int tag = next_collective_tag();
+  std::vector<std::vector<std::byte>> in(size_);
+  in[rank_] = out[rank_];
+  for (int off = 1; off < size_; ++off) {
+    const int dest = (rank_ + off) % size_;
+    transport_send(dest, tag, out[dest], /*collective=*/true);
+  }
+  for (int off = 1; off < size_; ++off) {
+    const int src = (rank_ - off + size_) % size_;
+    in[src] = transport_recv(src, tag).payload;
+  }
+  return in;
+}
+
+}  // namespace dinfomap::comm

@@ -1,0 +1,297 @@
+// MPI-like communicator.
+//
+// This is the paper's communication substrate: the original implementation is
+// plain MPI on Titan; no MPI library exists in this environment, so we provide
+// a communicator with the same two-sided + collective semantics over threads
+// (one rank per thread, disjoint logical address spaces — all sharing happens
+// through messages). Porting back to real MPI is a mechanical swap of this
+// class for MPI_Comm calls.
+//
+// Collectives are implemented *on top of* point-to-point with classic
+// algorithms (dissemination barrier, binomial-tree broadcast, gather+bcast
+// allgather), so CommCounters reflect realistic message/byte volumes.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "comm/counters.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/message.hpp"
+#include "util/check.hpp"
+
+namespace dinfomap::comm {
+
+class Runtime;
+
+/// Built-in reduction operators for allreduce.
+enum class ReduceOp { kSum, kMin, kMax, kLogicalAnd, kLogicalOr };
+
+class Comm {
+ public:
+  Comm(Runtime& runtime, int rank, int size)
+      : runtime_(&runtime), rank_(rank), size_(size) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  // ---- point-to-point (byte level) -------------------------------------
+  void send_bytes(int dest, int tag, std::span<const std::byte> data);
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int source, int tag);
+  [[nodiscard]] bool probe(int source, int tag);
+
+  /// Nonblocking receive handle (MPI_Irecv-style). Sends are already
+  /// asynchronous (delivery never blocks), so only the receive side needs a
+  /// request object.
+  class PendingRecv {
+   public:
+    PendingRecv(Comm& comm, int source, int tag)
+        : comm_(&comm), source_(source), tag_(tag) {}
+    /// True once a matching message is queued (does not consume it).
+    [[nodiscard]] bool ready() const { return comm_->probe(source_, tag_); }
+    /// Block until the message arrives and return its payload.
+    [[nodiscard]] std::vector<std::byte> wait() {
+      DINFOMAP_REQUIRE_MSG(!consumed_, "PendingRecv::wait called twice");
+      consumed_ = true;
+      return comm_->recv_bytes(source_, tag_);
+    }
+    template <typename T>
+    [[nodiscard]] std::vector<T> wait_as() {
+      return from_bytes<T>(wait());
+    }
+
+   private:
+    Comm* comm_;
+    int source_;
+    int tag_;
+    bool consumed_ = false;
+  };
+
+  [[nodiscard]] PendingRecv irecv(int source, int tag) {
+    return PendingRecv(*this, source, tag);
+  }
+
+  // ---- point-to-point (typed, trivially copyable) ----------------------
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, as_bytes(data));
+  }
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    send(dest, tag, std::span<const T>(data));
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int source, int tag) {
+    return from_bytes<T>(recv_bytes(source, tag));
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(int source, int tag) {
+    auto v = recv<T>(source, tag);
+    DINFOMAP_REQUIRE_MSG(v.size() == 1, "recv_value: expected exactly one element");
+    return v.front();
+  }
+
+  // ---- collectives ------------------------------------------------------
+  // Every rank of the runtime must call each collective in the same order.
+  void barrier();
+
+  /// Binomial-tree broadcast; on non-root ranks `data` is replaced.
+  void bcast_bytes(int root, std::vector<std::byte>& data);
+
+  template <typename T>
+  void bcast(int root, std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes;
+    if (rank_ == root) bytes = to_byte_vector(std::span<const T>(data));
+    bcast_bytes(root, bytes);
+    if (rank_ != root) data = from_bytes<T>(bytes);
+  }
+  template <typename T>
+  [[nodiscard]] T bcast_value(int root, T value) {
+    std::vector<T> v{value};
+    bcast(root, v);
+    return v.front();
+  }
+
+  /// Gather variable-size byte buffers on `root` (empty elsewhere).
+  [[nodiscard]] std::vector<std::vector<std::byte>> gatherv_bytes(
+      int root, std::span<const std::byte> mine);
+
+  /// All ranks obtain every rank's buffer, indexed by rank.
+  [[nodiscard]] std::vector<std::vector<std::byte>> allgatherv_bytes(
+      std::span<const std::byte> mine);
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> allgatherv(const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = allgatherv_bytes(as_bytes(std::span<const T>(mine)));
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) out[r] = from_bytes<T>(raw[r]);
+    return out;
+  }
+
+  /// Fixed-size-per-rank allgather of single values.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather_value(const T& value) {
+    auto nested = allgatherv(std::vector<T>{value});
+    std::vector<T> flat;
+    flat.reserve(nested.size());
+    for (auto& v : nested) {
+      DINFOMAP_REQUIRE(v.size() == 1);
+      flat.push_back(v.front());
+    }
+    return flat;
+  }
+
+  /// Scatter per-rank buffers from `root`; returns this rank's slice.
+  /// `slices` is read on the root only.
+  [[nodiscard]] std::vector<std::byte> scatterv_bytes(
+      int root, const std::vector<std::vector<std::byte>>& slices);
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> scatterv(int root,
+                                        const std::vector<std::vector<T>>& slices) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<std::byte>> raw;
+    if (rank_ == root) {
+      raw.resize(slices.size());
+      for (std::size_t r = 0; r < slices.size(); ++r)
+        raw[r] = to_byte_vector(std::span<const T>(slices[r]));
+    }
+    return from_bytes<T>(scatterv_bytes(root, raw));
+  }
+
+  /// Typed gather of variable-size vectors on `root` (empty elsewhere).
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gatherv(int root,
+                                                    const std::vector<T>& mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = gatherv_bytes(root, as_bytes(std::span<const T>(mine)));
+    std::vector<std::vector<T>> out(raw.size());
+    for (std::size_t r = 0; r < raw.size(); ++r) out[r] = from_bytes<T>(raw[r]);
+    return out;
+  }
+
+  /// Reduce single values to `root` (rank-ordered, deterministic); other
+  /// ranks receive T{}.
+  template <typename T>
+  [[nodiscard]] T reduce_value(int root, const T& value, ReduceOp op) {
+    auto gathered = gatherv(root, std::vector<T>{value});
+    if (rank_ != root) return T{};
+    T acc = gathered.front().front();
+    for (std::size_t r = 1; r < gathered.size(); ++r)
+      acc = apply(acc, gathered[r].front(), op);
+    return acc;
+  }
+
+  /// Personalized all-to-all: `out[r]` goes to rank r; returns what each rank
+  /// sent to us, indexed by source rank.
+  [[nodiscard]] std::vector<std::vector<std::byte>> alltoallv_bytes(
+      const std::vector<std::vector<std::byte>>& out);
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DINFOMAP_REQUIRE_MSG(static_cast<int>(out.size()) == size_,
+                         "alltoallv: need one outbox per rank");
+    std::vector<std::vector<std::byte>> raw(out.size());
+    for (std::size_t r = 0; r < out.size(); ++r)
+      raw[r] = to_byte_vector(std::span<const T>(out[r]));
+    auto in = alltoallv_bytes(raw);
+    std::vector<std::vector<T>> typed(in.size());
+    for (std::size_t r = 0; r < in.size(); ++r) typed[r] = from_bytes<T>(in[r]);
+    return typed;
+  }
+
+  /// Allreduce of a single value with a built-in op. Reduction order is
+  /// rank order on every rank, so floating-point results are deterministic
+  /// and identical everywhere.
+  template <typename T>
+  [[nodiscard]] T allreduce(T value, ReduceOp op) {
+    auto all = allgather_value(value);
+    T acc = all.front();
+    for (std::size_t i = 1; i < all.size(); ++i) acc = apply(acc, all[i], op);
+    return acc;
+  }
+
+  /// Allreduce over per-element vectors (all ranks contribute equal length).
+  template <typename T>
+  [[nodiscard]] std::vector<T> allreduce(const std::vector<T>& values, ReduceOp op) {
+    auto all = allgatherv(values);
+    std::vector<T> acc = all.front();
+    for (std::size_t r = 1; r < all.size(); ++r) {
+      DINFOMAP_REQUIRE_MSG(all[r].size() == acc.size(),
+                           "vector allreduce: length mismatch across ranks");
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = apply(acc[i], all[r][i], op);
+    }
+    return acc;
+  }
+
+  // ---- counters ----------------------------------------------------------
+  [[nodiscard]] const CommCounters& counters() const { return counters_; }
+  CommCounters& counters() { return counters_; }
+
+ private:
+  template <typename T>
+  static std::span<const std::byte> as_bytes(std::span<const T> data) {
+    return {reinterpret_cast<const std::byte*>(data.data()), data.size_bytes()};
+  }
+  template <typename T>
+  static std::vector<std::byte> to_byte_vector(std::span<const T> data) {
+    auto b = as_bytes(data);
+    return {b.begin(), b.end()};
+  }
+  template <typename T>
+  static std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DINFOMAP_REQUIRE_MSG(bytes.size() % sizeof(T) == 0,
+                         "payload size not a multiple of element size");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  static T apply(T a, T b, ReduceOp op) {
+    switch (op) {
+      case ReduceOp::kSum: return a + b;
+      case ReduceOp::kMin: return b < a ? b : a;
+      case ReduceOp::kMax: return a < b ? b : a;
+      case ReduceOp::kLogicalAnd: return static_cast<T>(a && b);
+      case ReduceOp::kLogicalOr: return static_cast<T>(a || b);
+    }
+    DINFOMAP_REQUIRE_MSG(false, "unknown ReduceOp");
+    return a;
+  }
+
+  /// Transport-level send used by both user sends and collectives.
+  void transport_send(int dest, int tag, std::span<const std::byte> data,
+                      bool collective);
+  [[nodiscard]] Message transport_recv(int source, int tag);
+
+  /// Next reserved tag for a collective step (same sequence on all ranks).
+  int next_collective_tag();
+
+  Runtime* runtime_;
+  int rank_;
+  int size_;
+  std::uint64_t collective_seq_ = 0;
+  CommCounters counters_;
+};
+
+}  // namespace dinfomap::comm

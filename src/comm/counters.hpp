@@ -1,0 +1,36 @@
+// Per-rank communication counters. Exact regardless of transport, so the
+// perf model (src/perf) can reason about communication volume the way the
+// paper reasons about ghost-vertex counts.
+#pragma once
+
+#include <cstdint>
+
+namespace dinfomap::comm {
+
+struct CommCounters {
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t collective_messages = 0;  ///< transport messages inside collectives
+  std::uint64_t collective_bytes = 0;
+  std::uint64_t collective_calls = 0;     ///< user-level collective invocations
+
+  void reset() { *this = CommCounters{}; }
+
+  CommCounters& operator+=(const CommCounters& other) {
+    p2p_messages += other.p2p_messages;
+    p2p_bytes += other.p2p_bytes;
+    collective_messages += other.collective_messages;
+    collective_bytes += other.collective_bytes;
+    collective_calls += other.collective_calls;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return p2p_messages + collective_messages;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return p2p_bytes + collective_bytes;
+  }
+};
+
+}  // namespace dinfomap::comm

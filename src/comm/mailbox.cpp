@@ -1,0 +1,56 @@
+#include "comm/mailbox.hpp"
+
+#include <algorithm>
+
+namespace dinfomap::comm {
+
+namespace {
+bool matches(const Message& m, int source, int tag) {
+  return (source == kAnySource || m.source == source) && m.tag == tag;
+}
+}  // namespace
+
+void Mailbox::deliver(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (poisoned_) throw CommAborted("deliver to poisoned mailbox");
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::recv(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Message& m) { return matches(m, source, tag); });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [&](const Message& m) { return matches(m, source, tag); });
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dinfomap::comm

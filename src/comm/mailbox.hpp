@@ -1,0 +1,48 @@
+// Per-rank inbox with (source, tag) matching — the delivery substrate under
+// the MPI-like Comm API.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "comm/message.hpp"
+
+namespace dinfomap::comm {
+
+/// Thrown out of blocked receives when the runtime aborts (a peer rank threw).
+class CommAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// MPSC queue of messages addressed to one rank. Receives match on
+/// (source, tag) like MPI two-sided semantics; non-matching messages stay
+/// queued in arrival order.
+class Mailbox {
+ public:
+  /// Enqueue (called by the sender's thread). Throws CommAborted if poisoned.
+  void deliver(Message message);
+
+  /// Block until a message matching (source|kAnySource, tag) arrives; remove
+  /// and return it. Throws CommAborted if the runtime is shutting down.
+  Message recv(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int source, int tag);
+
+  /// Wake all blocked receivers with CommAborted; subsequent deliver/recv throw.
+  void poison();
+
+  /// Number of queued (undelivered) messages — used by shutdown diagnostics.
+  std::size_t pending() ;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace dinfomap::comm

@@ -1,0 +1,24 @@
+// Wire-level message representation for the comm substrate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dinfomap::comm {
+
+/// Matches MPI_ANY_SOURCE semantics in Mailbox::recv.
+inline constexpr int kAnySource = -1;
+
+/// Tags at or above this value are reserved for collectives; user code must
+/// stay below (checked in Comm::send/recv).
+inline constexpr int kCollectiveTagBase = 1 << 30;
+
+/// One in-flight message: source rank, tag, and an opaque payload.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace dinfomap::comm

@@ -1,0 +1,82 @@
+#include "comm/runtime.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::comm {
+
+Runtime::Runtime(int nranks, const Options& options)
+    : options_(options), chaos_state_(options.chaos_seed) {
+  mailboxes_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Runtime::maybe_delay() {
+  if (options_.chaos_max_delay_us == 0) return;
+  // SplitMix64 step on a shared atomic: races only shuffle the schedule,
+  // which is the point.
+  std::uint64_t z = chaos_state_.fetch_add(0x9E3779B97F4A7C15ULL,
+                                           std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  const auto delay = (z ^ (z >> 31)) % (options_.chaos_max_delay_us + 1);
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
+}
+
+Mailbox& Runtime::mailbox(int rank) {
+  DINFOMAP_REQUIRE(rank >= 0 && rank < static_cast<int>(mailboxes_.size()));
+  return *mailboxes_[rank];
+}
+
+void Runtime::abort() {
+  bool expected = false;
+  if (!aborted_.compare_exchange_strong(expected, true)) return;
+  for (auto& mb : mailboxes_) mb->poison();
+}
+
+Runtime::JobReport Runtime::run(int nranks, const RankFn& fn) {
+  return run(nranks, fn, Options{});
+}
+
+Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
+                                const Options& options) {
+  DINFOMAP_REQUIRE_MSG(nranks >= 1, "need at least one rank");
+  Runtime runtime(nranks, options);
+  JobReport report;
+  report.counters.resize(nranks);
+
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(runtime, r, nranks);
+      try {
+        fn(comm);
+      } catch (const CommAborted&) {
+        // Secondary casualty of another rank's failure — not the root cause.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!first_failure) first_failure = std::current_exception();
+        }
+        LOG_WARN << "rank " << r << " failed; aborting job";
+        runtime.abort();
+      }
+      report.counters[r] = comm.counters();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_failure) std::rethrow_exception(first_failure);
+  return report;
+}
+
+}  // namespace dinfomap::comm

@@ -1,0 +1,57 @@
+// Thread-backed job runtime: spawns N ranks, each running the same function
+// with its own Comm — the moral equivalent of `mpirun -np N`.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/counters.hpp"
+#include "comm/mailbox.hpp"
+
+namespace dinfomap::comm {
+
+class Runtime {
+ public:
+  /// Per-rank results a job can leave behind (counters survive the ranks).
+  struct JobReport {
+    std::vector<CommCounters> counters;  ///< indexed by rank
+  };
+
+  using RankFn = std::function<void(Comm&)>;
+
+  struct Options {
+    /// Chaos testing: delay each message delivery by a random 0..N µs
+    /// (seeded, per-message). A correct bulk-synchronous algorithm must
+    /// produce bit-identical results under any delivery timing; tests run
+    /// the full pipeline with chaos on and compare.
+    unsigned chaos_max_delay_us = 0;
+    std::uint64_t chaos_seed = 1;
+  };
+
+  /// Run `fn` on `nranks` ranks; blocks until all complete. If any rank
+  /// throws, the runtime poisons every mailbox (unblocking peers), joins, and
+  /// rethrows the first exception. Returns per-rank comm counters.
+  static JobReport run(int nranks, const RankFn& fn);
+  static JobReport run(int nranks, const RankFn& fn, const Options& options);
+
+  // ---- used by Comm ------------------------------------------------------
+  Mailbox& mailbox(int rank);
+  void abort();
+  [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  /// Chaos hook: sleeps a seeded-random interval when chaos is enabled.
+  void maybe_delay();
+
+ private:
+  Runtime(int nranks, const Options& options);
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  Options options_;
+  std::atomic<std::uint64_t> chaos_state_;
+};
+
+}  // namespace dinfomap::comm

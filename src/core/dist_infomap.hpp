@@ -1,0 +1,127 @@
+// Distributed Infomap (Algorithm 2 of the paper).
+//
+// Stage 1 — parallel clustering *with delegates* on the delegate-partitioned
+// input graph: local greedy moves, a broadcast that applies each hub's
+// globally-best move everywhere, and whole-module boundary information
+// swapping (Algorithm 3). Stage 2 — the merged graph is redistributed with
+// plain 1D partitioning and clustered the same way without delegates, level
+// by level, until the MDL stops improving.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/counters.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "partition/arc_partition.hpp"
+#include "perf/work_counters.hpp"
+
+namespace dinfomap::core {
+
+/// The paper's four profiled components (Fig. 8).
+enum class Phase : int {
+  kFindBestModule = 0,
+  kBroadcastDelegates = 1,
+  kSwapBoundaryInfo = 2,
+  kOther = 3,
+};
+inline constexpr int kNumPhases = 4;
+inline constexpr std::array<const char*, kNumPhases> kPhaseNames = {
+    "FindBestModule", "BroadcastDelegates", "SwapBoundaryInfo", "Other"};
+
+struct DistInfomapConfig {
+  int num_ranks = 4;
+  /// Hub threshold d_high; 0 → the paper's default d_high = num_ranks.
+  graph::EdgeIndex degree_threshold = 0;
+  /// Outer improvement threshold θ.
+  double theta = 1e-10;
+  int max_levels = 16;           ///< stage-2 merge levels
+  int max_rounds = 64;           ///< synchronous rounds per level
+  /// A level's rounds also stop once a full round improves L by less than
+  /// this (after min_rounds) — synchronous rounds can otherwise trade
+  /// vanishing gains forever without reaching exactly zero moves.
+  double round_theta = 1e-7;
+  int min_rounds = 4;
+  double move_epsilon = 1e-14;
+  std::uint64_t seed = 42;
+  /// Minimum-label anti-bouncing strategy for boundary moves (§3.4);
+  /// switchable for the A2 ablation.
+  bool min_label = true;
+  /// Whole-module information swapping per Alg. 3; false degrades to the
+  /// naive boundary-id-only swap the paper argues against (A3 ablation):
+  /// each rank's module table then drifts from the true statistics and move
+  /// decisions degrade, as §3.4 predicts.
+  bool whole_module_swap = true;
+  /// Validate the arc partition against the graph before running (every arc
+  /// assigned exactly once, sources with their owners). O(E log E); enabled
+  /// by default at the scales this build targets.
+  bool validate_inputs = true;
+  /// Extension beyond the paper: decide each hub's move from its *exact*
+  /// global flow-to-module map, reduced at the hub's owner, instead of the
+  /// paper's per-rank local proposals + global argmin. Costs one extra
+  /// alltoallv of (hub, module, flow) records per round; improves quality on
+  /// hub-dominated graphs (see bench_ablation_hubmoves).
+  bool exact_hub_moves = false;
+  /// Chaos testing: random per-message delivery delay (µs). The synchronous
+  /// protocol must produce identical results under any delivery timing —
+  /// asserted by tests. 0 disables.
+  unsigned chaos_delay_us = 0;
+};
+
+struct DistInfomapResult {
+  /// Level-0 vertex → final module (dense ids).
+  graph::Partition assignment;
+  double codelength = 0;
+  double singleton_codelength = 0;
+
+  /// Per-level convergence rows (same shape as the sequential trace) — the
+  /// distributed curves of Figs. 4 and 5.
+  std::vector<OuterIterationInfo> trace;
+  /// Exact global MDL after every stage-1 round (finer-grained than the
+  /// per-level trace; the distributed series of Fig. 4).
+  std::vector<double> stage1_round_codelengths;
+
+  int stage1_rounds = 0;
+  int stage2_levels = 0;
+  double stage1_wall_seconds = 0;
+  double stage2_wall_seconds = 0;
+
+  /// work[phase][rank]: exact counters feeding the cost model (Figs. 8–10).
+  std::array<std::vector<perf::WorkCounters>, kNumPhases> work;
+  /// Per-rank totals split by stage (stage_work[0] = with delegates,
+  /// stage_work[1] = merged-graph levels) — the two series of Fig. 9.
+  std::array<std::vector<perf::WorkCounters>, 2> stage_work;
+  /// Wall seconds per phase per rank (thread time; indicative only on one
+  /// machine — the modeled time uses `work`).
+  std::array<std::vector<double>, kNumPhases> phase_seconds;
+  std::vector<comm::CommCounters> comm_counters;  ///< per rank
+
+  [[nodiscard]] graph::VertexId num_modules() const {
+    graph::VertexId k = 0;
+    for (auto m : assignment) k = std::max(k, m + 1);
+    return k;
+  }
+};
+
+/// Run the full distributed pipeline on `graph` with `config.num_ranks`
+/// ranks. Deterministic for a fixed (graph, config) pair.
+DistInfomapResult distributed_infomap(const graph::Csr& graph,
+                                      const DistInfomapConfig& config);
+
+/// Same, but over an already-built stage-1 partition (lets benchmarks reuse
+/// one partitioning across runs and ablate the partitioner).
+DistInfomapResult distributed_infomap(const graph::Csr& graph,
+                                      const partition::ArcPartition& part,
+                                      const DistInfomapConfig& config);
+
+/// The d_high actually used when `config.degree_threshold == 0`: the paper's
+/// d_high = p, floored at several times the mean degree so scaled-down runs
+/// do not delegate the whole graph (see DESIGN.md).
+graph::EdgeIndex resolve_degree_threshold(const graph::Csr& graph,
+                                          const DistInfomapConfig& config);
+
+}  // namespace dinfomap::core

@@ -1,0 +1,211 @@
+// Internal per-rank state of the distributed Infomap. Not part of the public
+// API; included by dist_setup.cpp / dist_infomap.cpp and by whitebox tests.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/dist_infomap.hpp"
+#include "core/mapequation.hpp"
+#include "core/module_info.hpp"
+#include "partition/arc_partition.hpp"
+#include "perf/work_counters.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace dinfomap::core::detail {
+
+using graph::VertexId;
+
+/// Role of a vertex in this rank's local view.
+enum class Kind : std::uint8_t {
+  kOwned,     ///< low-degree vertex owned here (full adjacency local)
+  kDelegate,  ///< hub duplicated on all ranks (partial adjacency local)
+  kGhost,     ///< remote low-degree vertex seen as an arc target
+};
+
+/// One rank of the distributed algorithm. The driver runs `execute()` on
+/// every rank inside a comm::Runtime job; shared read-only inputs are the
+/// partition (stage 1's "file on the parallel filesystem"); everything
+/// mutable is rank-local and exchanged via messages.
+class DistRank {
+ public:
+  DistRank(comm::Comm& comm, const partition::ArcPartition& part,
+           const DistInfomapConfig& cfg);
+
+  /// Runs preprocessing, stage 1, merging, and stage 2. After return, the
+  /// sinks below carry this rank's outputs.
+  void execute();
+
+  // ---- outputs (read by the driver after the job joins) -----------------
+  double codelength() const { return codelength_; }
+  double singleton_codelength() const { return singleton_codelength_; }
+  const std::vector<OuterIterationInfo>& trace() const { return trace_; }
+  int stage1_rounds() const { return stage1_rounds_; }
+  const std::vector<double>& stage1_round_codelengths() const {
+    return round_mdl_;
+  }
+  int stage2_levels() const { return stage2_levels_; }
+  double stage1_seconds() const { return stage1_seconds_; }
+  double stage2_seconds() const { return stage2_seconds_; }
+  const perf::WorkCounters& work(Phase ph) const {
+    return work_[static_cast<int>(ph)];
+  }
+  /// Total work during stage 1 (all phases) and during stage 2.
+  perf::WorkCounters stage_work(int stage) const;
+  double phase_seconds(Phase ph) const {
+    return phase_sec_[static_cast<int>(ph)];
+  }
+  /// (level-0 vertex, final module) pairs for vertices owned by this rank.
+  const std::vector<std::pair<VertexId, VertexId>>& final_assignment() const {
+    return final_assignment_;
+  }
+
+ private:
+  struct LocalVertex {
+    VertexId global = 0;
+    Kind kind = Kind::kGhost;
+    double node_flow = 0;  ///< exact for owned/delegate; unused for ghosts
+    double out_flow = 0;   ///< total flow on non-self arcs (exact when known)
+    double self_flow = 0;  ///< coarse-level intra flow
+    ModuleId module = 0;
+  };
+  struct LocalArc {
+    std::uint32_t target = 0;  ///< local index
+    double flow = 0;
+  };
+
+  // ---- setup -------------------------------------------------------------
+  void setup_stage1(const partition::ArcPartition& part);
+  /// Build verts_/arcs_ from (source,target,flow) triples; callers must then
+  /// fill kinds/flows. Sources must all be local-movable.
+  void build_local_graph(std::vector<CoarseArc>& triples, int num_ranks_mod,
+                         VertexId level_n);
+  void setup_subscriptions();
+  void init_singleton_modules();
+
+  // ---- one synchronous round (either stage) ------------------------------
+  struct RoundResult {
+    std::uint64_t local_moves = 0;
+    std::uint64_t hub_moves = 0;
+    std::uint64_t global_moves = 0;
+  };
+  RoundResult round(bool with_delegates, util::Xoshiro256& rng);
+
+  /// Phase 1: greedy pass; immediate moves for owned, proposals for hubs.
+  std::uint64_t find_best_modules(bool with_delegates, util::Xoshiro256& rng,
+                                  std::vector<HubProposal>& proposals);
+  /// Phase 2: allgather hub proposals, apply global argmin moves everywhere.
+  std::uint64_t broadcast_delegates(std::vector<HubProposal>& proposals);
+  /// Phase 2 variant (exact_hub_moves): reduce per-hub flow maps at hub
+  /// owners, who compute the move from exact global flows; decisions are
+  /// then allgathered and applied like broadcast_delegates.
+  std::uint64_t broadcast_delegates_exact();
+  /// Apply globally-agreed hub decisions to the local tables.
+  std::uint64_t apply_hub_winners(const std::vector<HubProposal>& winners);
+  /// Phase 3: Alg. 3 boundary swap + exact home-based stat aggregation.
+  void swap_boundary_info();
+  /// Phase 4: adopt authoritative stats, allreduce L and movement counts.
+  std::uint64_t other_update(std::uint64_t local_moves, std::uint64_t hub_moves);
+
+  // ---- merging ------------------------------------------------------------
+  /// Contract modules into the next-level graph, redistribute 1D, advance
+  /// the level-0 projection. Returns the new global vertex count.
+  VertexId merge_level();
+
+  /// Evaluate the best move for local vertex `li`; returns true if a strictly
+  /// improving candidate exists.
+  struct BestMove {
+    ModuleId target = 0;
+    double delta_l = 0;
+    MoveOutcome outcome;
+  };
+  bool best_move_for(std::uint32_t li, BestMove& best);
+
+  void apply_local_move(std::uint32_t li, const BestMove& mv);
+
+  [[nodiscard]] int home_of(ModuleId m) const {
+    return static_cast<int>(m % static_cast<ModuleId>(comm_.size()));
+  }
+  [[nodiscard]] int owner_of(VertexId v) const {
+    return static_cast<int>(v % static_cast<VertexId>(comm_.size()));
+  }
+
+  perf::WorkCounters& wk(Phase ph) { return work_[static_cast<int>(ph)]; }
+
+  /// RAII phase attribution: wall time plus the comm traffic that happened
+  /// while alive is charged to one Phase.
+  class PhaseScope {
+   public:
+    PhaseScope(DistRank& rank, Phase ph)
+        : rank_(rank),
+          ph_(static_cast<int>(ph)),
+          messages0_(rank.comm_.counters().total_messages()),
+          bytes0_(rank.comm_.counters().total_bytes()) {}
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+    ~PhaseScope() {
+      rank_.work_[ph_].messages +=
+          rank_.comm_.counters().total_messages() - messages0_;
+      rank_.work_[ph_].bytes += rank_.comm_.counters().total_bytes() - bytes0_;
+      rank_.phase_sec_[ph_] += timer_.seconds();
+    }
+
+   private:
+    DistRank& rank_;
+    int ph_;
+    std::uint64_t messages0_;
+    std::uint64_t bytes0_;
+    util::Timer timer_;
+  };
+
+  comm::Comm& comm_;
+  const DistInfomapConfig& cfg_;
+  VertexId n0_ = 0;        ///< level-0 global vertex count
+  VertexId level_n_ = 0;   ///< current-level global vertex count
+  double node_term_ = 0;   ///< Σ plogp(p_α), level 0 (global)
+
+  std::vector<LocalVertex> verts_;
+  std::unordered_map<VertexId, std::uint32_t> index_;  // global -> local
+  std::vector<std::uint32_t> arc_off_;                 // size verts_+1
+  std::vector<LocalArc> arcs_;
+  std::vector<std::uint32_t> movable_;   // local indices, owned first
+  std::vector<std::uint32_t> hubs_;      // local indices of delegates
+
+  std::unordered_map<ModuleId, ModuleStats> modules_;
+  double q_total_ = 0;
+  double codelength_ = 0;
+  double singleton_codelength_ = 0;
+  std::uint64_t alive_modules_ = 0;  ///< global module count (post-sync)
+  int round_index_ = 0;  ///< round counter (drives min-label alternation)
+
+  /// Owned vertices that changed module since the last swap.
+  std::vector<std::uint32_t> dirty_owned_;
+  /// subscribers_[li] = ranks reading vertex li (owned vertices only).
+  std::unordered_map<std::uint32_t, std::vector<int>> subscribers_;
+
+  /// Exact stats of modules homed here (refreshed each swap) — the merge and
+  /// codelength inputs.
+  std::unordered_map<ModuleId, ModuleStats> homed_;
+  /// Ranks interested in each homed module (senders of partials).
+  std::unordered_map<ModuleId, std::vector<int>> homed_interest_;
+
+  /// Level-0 vertices owned by this rank and their current coarse vertex.
+  std::vector<VertexId> owned0_;
+  std::vector<VertexId> proj_;
+
+  std::vector<OuterIterationInfo> trace_;
+  std::vector<double> round_mdl_;
+  std::vector<std::pair<VertexId, VertexId>> final_assignment_;
+  int stage1_rounds_ = 0;
+  int stage2_levels_ = 0;
+  double stage1_seconds_ = 0;
+  double stage2_seconds_ = 0;
+  perf::WorkCounters work_[kNumPhases];
+  perf::WorkCounters stage1_work_snapshot_[kNumPhases];
+  double phase_sec_[kNumPhases] = {0, 0, 0, 0};
+};
+
+}  // namespace dinfomap::core::detail

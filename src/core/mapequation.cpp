@@ -1,0 +1,40 @@
+#include "core/mapequation.hpp"
+
+namespace dinfomap::core {
+
+MoveOutcome evaluate_move(const MoveDelta& d) {
+  MoveOutcome out;
+
+  out.old_after.sum_pr = d.old_stats.sum_pr - d.p_u;
+  out.old_after.exit_pr = d.old_stats.exit_pr - d.f_u + 2.0 * d.f_to_old;
+  out.old_after.num_members = d.old_stats.num_members - 1;
+
+  out.new_after.sum_pr = d.new_stats.sum_pr + d.p_u;
+  out.new_after.exit_pr = d.new_stats.exit_pr + d.f_u - 2.0 * d.f_to_new;
+  out.new_after.num_members = d.new_stats.num_members + 1;
+
+  // Clamp tiny negative drift from floating-point cancellation.
+  if (out.old_after.exit_pr < 0 && out.old_after.exit_pr > -1e-12)
+    out.old_after.exit_pr = 0;
+  if (out.new_after.exit_pr < 0 && out.new_after.exit_pr > -1e-12)
+    out.new_after.exit_pr = 0;
+
+  out.delta_q_total = (out.old_after.exit_pr - d.old_stats.exit_pr) +
+                      (out.new_after.exit_pr - d.new_stats.exit_pr);
+
+  const double q_before = d.q_total;
+  const double q_after = d.q_total + out.delta_q_total;
+
+  double delta = plogp(q_after) - plogp(q_before);
+  delta -= 2.0 * (plogp(out.old_after.exit_pr) - plogp(d.old_stats.exit_pr) +
+                  plogp(out.new_after.exit_pr) - plogp(d.new_stats.exit_pr));
+  delta += plogp(out.old_after.exit_pr + out.old_after.sum_pr) -
+           plogp(d.old_stats.exit_pr + d.old_stats.sum_pr);
+  delta += plogp(out.new_after.exit_pr + out.new_after.sum_pr) -
+           plogp(d.new_stats.exit_pr + d.new_stats.sum_pr);
+
+  out.delta_codelength = delta;
+  return out;
+}
+
+}  // namespace dinfomap::core

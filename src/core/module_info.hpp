@@ -1,0 +1,101 @@
+// Wire records of the distributed protocol. All types are trivially
+// copyable PODs, sent through comm::Comm's typed channels.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace dinfomap::core {
+
+/// Global module identifier: the (current-level) vertex id anchoring the
+/// module, widened per the paper's interface (List 1: uint64_t modID).
+using ModuleId = std::uint64_t;
+
+/// List 1 of the paper, verbatim fields: the message interface for swapping
+/// whole-module information of boundary vertices.
+struct ModuleInfo {
+  ModuleId mod_id = 0;           ///< module ID
+  double sum_pr = 0;             ///< sum of visit probability of the module
+  double exit_pr = 0;            ///< sum of exit probability of the module
+  std::int32_t num_members = 0;  ///< vertex number in this module
+  /// Whether this module's statistics were already shipped to the same
+  /// destination in this round (Alg. 3: receiver skips stat merging when
+  /// set, avoiding double counting when several boundary vertices share a
+  /// module).
+  std::uint8_t is_sent = 0;
+  std::uint8_t pad_[3] = {0, 0, 0};
+};
+static_assert(sizeof(ModuleInfo) == 32);
+
+/// Boundary-vertex swap record: "vertex v is now in the module described by
+/// info" (Alg. 3 lines 2–19 prepare these; lines 22–32 consume them).
+struct BoundaryRecord {
+  graph::VertexId vertex = 0;
+  std::uint32_t pad_ = 0;
+  ModuleInfo info;
+};
+
+/// A rank's local best move for a delegate (hub), broadcast so all ranks
+/// apply the move with the globally minimal ΔL (Alg. 2 line 4).
+struct HubProposal {
+  graph::VertexId hub = 0;
+  std::int32_t rank = 0;
+  ModuleId target = 0;
+  double delta_l = 0;
+};
+
+/// One rank's partial flow from a hub to one neighbor module, shipped to the
+/// hub's owner for the exact-hub-moves extension. Carries the sender's
+/// (post-sync, hence globally consistent) statistics of that module so the
+/// owner can evaluate ΔL for modules it does not track itself.
+struct HubFlowRecord {
+  graph::VertexId hub = 0;
+  std::uint32_t pad_ = 0;
+  ModuleId module = 0;
+  double flow = 0;
+  double sum_pr = 0;
+  double exit_pr = 0;
+  std::int64_t num_members = 0;
+};
+
+/// Partial module statistics flowing to the module's home rank for exact
+/// aggregation; a zero partial doubles as an "I need this module's info"
+/// subscription.
+struct ModulePartial {
+  ModuleId mod_id = 0;
+  double sum_pr = 0;
+  double exit_pr = 0;
+  std::int32_t num_members = 0;
+  std::uint32_t pad_ = 0;
+};
+
+/// Ghost-subscription request: "rank R reads vertex v; push its module
+/// changes to R" (set up once per level).
+struct SubscribeRequest {
+  graph::VertexId vertex = 0;
+};
+
+/// Coarse arc shipped during distributed merging (§3.5).
+struct CoarseArc {
+  graph::VertexId source = 0;
+  graph::VertexId target = 0;  ///< == source encodes self-flow (already halved)
+  double flow = 0;
+};
+
+/// Coarse vertex metadata from a module's home to the new 1D owner.
+struct CoarseVertexInfo {
+  graph::VertexId vertex = 0;
+  std::uint32_t pad_ = 0;
+  double node_flow = 0;
+};
+
+/// Projection query/answer for tracking level-0 assignments through merges.
+struct ProjectionQuery {
+  graph::VertexId current = 0;  ///< current coarse vertex of some level-0 vertex
+};
+struct ProjectionAnswer {
+  graph::VertexId next = 0;  ///< its coarse vertex at the next level
+};
+
+}  // namespace dinfomap::core

@@ -1,0 +1,180 @@
+#include "core/relaxmap.hpp"
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+
+#include "core/coarsen.hpp"
+#include "core/flowgraph.hpp"
+#include "core/mapequation.hpp"
+#include "core/seq_infomap.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace dinfomap::core {
+
+using graph::VertexId;
+
+namespace {
+
+/// Test-and-set spinlock; one per module. Move application locks the two
+/// affected modules in id order (no deadlock) while decisions run lock-free
+/// on possibly stale values — the RelaxMap consistency model.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+struct SharedLevel {
+  std::vector<VertexId> module_of;
+  std::vector<ModuleStats> modules;
+  std::unique_ptr<SpinLock[]> locks;
+  double q_total_snapshot = 0;  // refreshed between passes
+
+  void init(const FlowGraph& fg) {
+    const VertexId n = fg.num_vertices();
+    module_of.resize(n);
+    std::iota(module_of.begin(), module_of.end(), 0);
+    modules.assign(n, ModuleStats{});
+    locks = std::make_unique<SpinLock[]>(n);
+    for (VertexId u = 0; u < n; ++u) {
+      modules[u] = {fg.node_flow[u], fg.out_flow(u), 1};
+    }
+    refresh_q_total();
+  }
+
+  void refresh_q_total() {
+    double q = 0;
+    for (const auto& m : modules)
+      if (m.num_members > 0) q += m.exit_pr;
+    q_total_snapshot = q;
+  }
+};
+
+/// One thread's pass over its vertex stripe; returns its move count.
+std::uint64_t stripe_pass(const FlowGraph& fg, SharedLevel& shared,
+                          int thread_id, int num_threads, double eps) {
+  std::uint64_t moves = 0;
+  std::unordered_map<VertexId, double> flow_to;
+  const VertexId n = fg.num_vertices();
+  for (VertexId u = static_cast<VertexId>(thread_id); u < n;
+       u += static_cast<VertexId>(num_threads)) {
+    const VertexId cur = shared.module_of[u];
+    flow_to.clear();
+    double f_u = 0;
+    for (const auto& nb : fg.csr.neighbors(u)) {
+      flow_to[shared.module_of[nb.target]] += nb.weight;  // relaxed read
+      f_u += nb.weight;
+    }
+    if (flow_to.empty()) continue;
+    const double f_to_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
+
+    double best_delta = -eps;
+    VertexId best = cur;
+    for (const auto& [mod, flow] : flow_to) {
+      if (mod == cur) continue;
+      MoveDelta d;
+      d.p_u = fg.node_flow[u];
+      d.f_u = f_u;
+      d.f_to_old = f_to_old;
+      d.f_to_new = flow;
+      d.old_stats = shared.modules[cur];  // relaxed read
+      d.new_stats = shared.modules[mod];
+      d.q_total = shared.q_total_snapshot;
+      const auto out = evaluate_move(d);
+      if (out.delta_codelength < best_delta - 1e-15 ||
+          (out.delta_codelength < best_delta + 1e-15 && mod < best)) {
+        best_delta = out.delta_codelength;
+        best = mod;
+      }
+    }
+    if (best == cur) continue;
+
+    // Serialize the application on the two modules (id order).
+    const VertexId lo = std::min(cur, best), hi = std::max(cur, best);
+    shared.locks[lo].lock();
+    if (lo != hi) shared.locks[hi].lock();
+    // Re-derive the stat updates under the locks from current values.
+    ModuleStats& old_m = shared.modules[cur];
+    ModuleStats& new_m = shared.modules[best];
+    old_m.sum_pr -= fg.node_flow[u];
+    old_m.exit_pr += -f_u + 2.0 * f_to_old;
+    old_m.num_members = old_m.num_members > 0 ? old_m.num_members - 1 : 0;
+    new_m.sum_pr += fg.node_flow[u];
+    new_m.exit_pr += f_u - 2.0 * flow_to.at(best);
+    new_m.num_members += 1;
+    shared.module_of[u] = best;
+    if (lo != hi) shared.locks[hi].unlock();
+    shared.locks[lo].unlock();
+    ++moves;
+  }
+  return moves;
+}
+
+}  // namespace
+
+RelaxMapResult relaxmap(const graph::Csr& graph, const RelaxMapConfig& config) {
+  DINFOMAP_REQUIRE_MSG(graph.num_vertices() > 0, "empty graph");
+  DINFOMAP_REQUIRE_MSG(config.num_threads >= 1, "need at least one thread");
+  util::Timer wall;
+
+  FlowGraph fg = make_flow_graph(graph);
+  const FlowGraph level0 = fg;
+
+  RelaxMapResult result;
+  result.assignment.resize(graph.num_vertices());
+  std::iota(result.assignment.begin(), result.assignment.end(), 0);
+  result.singleton_codelength =
+      codelength_of_partition(level0, result.assignment);
+
+  double prev = result.singleton_codelength;
+  for (int level = 0; level < config.max_outer_iterations; ++level) {
+    SharedLevel shared;
+    shared.init(fg);
+
+    for (int pass = 0; pass < config.max_inner_passes; ++pass) {
+      std::atomic<std::uint64_t> moves{0};
+      const int t_count =
+          std::min<int>(config.num_threads, static_cast<int>(fg.num_vertices()));
+      std::vector<std::thread> threads;
+      threads.reserve(t_count);
+      for (int t = 0; t < t_count; ++t) {
+        threads.emplace_back([&, t] {
+          moves.fetch_add(
+              stripe_pass(fg, shared, t, t_count, config.move_epsilon));
+        });
+      }
+      for (auto& th : threads) th.join();
+      shared.refresh_q_total();
+      if (moves.load() == 0) break;
+    }
+
+    CoarsenResult coarse = coarsen(fg, shared.module_of);
+    for (auto& a : result.assignment) a = coarse.fine_to_coarse[a];
+    const bool merged = coarse.graph.num_vertices() < fg.num_vertices();
+    fg = std::move(coarse.graph);
+    ++result.levels;
+
+    result.codelength = codelength_of_partition(level0, result.assignment);
+    const double improvement = prev - result.codelength;
+    prev = result.codelength;
+    if (!merged) break;
+    if (level > 0 && improvement < config.theta) break;
+  }
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace dinfomap::core

@@ -1,0 +1,156 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace dinfomap::graph {
+
+std::vector<VertexId> core_numbers(const Csr& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> degree(n), core(n);
+  VertexId max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<VertexId>(graph.degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort by degree (Batagelj–Zaversnik).
+  std::vector<VertexId> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v]];
+  VertexId start = 0;
+  for (VertexId d = 0; d <= max_degree; ++d) {
+    const VertexId count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> order(n), pos(n);
+  for (VertexId v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]];
+    order[pos[v]] = v;
+    ++bin[degree[v]];
+  }
+  for (VertexId d = max_degree + 1; d-- > 1;) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = degree[v];
+    for (const auto& nb : graph.neighbors(v)) {
+      const VertexId u = nb.target;
+      if (degree[u] <= degree[v]) continue;
+      // Move u one bucket down: swap with the first vertex of its bucket.
+      const VertexId du = degree[u];
+      const VertexId pu = pos[u];
+      const VertexId pw = bin[du];
+      const VertexId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+std::vector<double> local_clustering(const Csr& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> cc(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbs = graph.neighbors(v);
+    if (nbs.size() < 2) continue;
+    // Neighbors are sorted; count pairs (a,b) with edge a–b via sorted merge.
+    std::uint64_t triangles = 0;
+    for (const auto& a : nbs) {
+      const auto a_nbs = graph.neighbors(a.target);
+      // Intersect nbs and a_nbs, counting only b > a.target to count each
+      // triangle corner once.
+      auto it1 = nbs.begin();
+      auto it2 = a_nbs.begin();
+      while (it1 != nbs.end() && it2 != a_nbs.end()) {
+        if (it1->target < it2->target) ++it1;
+        else if (it2->target < it1->target) ++it2;
+        else {
+          if (it1->target > a.target) ++triangles;
+          ++it1;
+          ++it2;
+        }
+      }
+    }
+    const double pairs =
+        static_cast<double>(nbs.size()) * (static_cast<double>(nbs.size()) - 1) / 2;
+    cc[v] = static_cast<double>(triangles) / pairs;
+  }
+  return cc;
+}
+
+double global_clustering(const Csr& graph) {
+  // 3·triangles / triples; count each triangle once via ordered corners.
+  std::uint64_t triangles = 0, triples = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto nbs = graph.neighbors(v);
+    if (nbs.size() >= 2)
+      triples += nbs.size() * (nbs.size() - 1) / 2;
+    for (const auto& a : nbs) {
+      if (a.target <= v) continue;
+      const auto a_nbs = graph.neighbors(a.target);
+      auto it1 = nbs.begin();
+      auto it2 = a_nbs.begin();
+      while (it1 != nbs.end() && it2 != a_nbs.end()) {
+        if (it1->target < it2->target) ++it1;
+        else if (it2->target < it1->target) ++it2;
+        else {
+          if (it1->target > a.target) ++triangles;
+          ++it1;
+          ++it2;
+        }
+      }
+    }
+  }
+  return triples == 0 ? 0.0
+                      : 3.0 * static_cast<double>(triangles) /
+                            static_cast<double>(triples);
+}
+
+std::vector<VertexId> bfs_distances(const Csr& graph, VertexId source) {
+  DINFOMAP_REQUIRE_MSG(source < graph.num_vertices(), "bfs: source out of range");
+  std::vector<VertexId> dist(graph.num_vertices(), kInvalidVertex);
+  std::deque<VertexId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& nb : graph.neighbors(u)) {
+      if (dist[nb.target] != kInvalidVertex) continue;
+      dist[nb.target] = dist[u] + 1;
+      frontier.push_back(nb.target);
+    }
+  }
+  return dist;
+}
+
+VertexId pseudo_diameter(const Csr& graph, VertexId seed) {
+  auto farthest = [&](VertexId from, VertexId& distance) {
+    const auto dist = bfs_distances(graph, from);
+    VertexId best = from;
+    distance = 0;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (dist[v] == kInvalidVertex) continue;
+      if (dist[v] > distance) {
+        distance = dist[v];
+        best = v;
+      }
+    }
+    return best;
+  };
+  VertexId d1 = 0, d2 = 0;
+  const VertexId far1 = farthest(seed, d1);
+  (void)farthest(far1, d2);
+  return std::max(d1, d2);
+}
+
+}  // namespace dinfomap::graph

@@ -1,0 +1,32 @@
+// Classic graph analysis routines: k-core decomposition, clustering
+// coefficients, BFS distances — the structural measurements one runs on
+// scale-free graphs before and after community detection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace dinfomap::graph {
+
+/// Core number of every vertex (Batagelj–Zaversnik peeling, O(E)).
+/// core[v] = largest k such that v belongs to a subgraph of min degree k.
+std::vector<VertexId> core_numbers(const Csr& graph);
+
+/// Local clustering coefficient per vertex: triangles(v) / C(deg v, 2)
+/// (0 for degree < 2). Unweighted; self-loops ignored.
+std::vector<double> local_clustering(const Csr& graph);
+
+/// Global clustering coefficient: 3·triangles / open-and-closed triples.
+double global_clustering(const Csr& graph);
+
+/// BFS hop distances from `source` (kInvalidVertex marks unreachable).
+std::vector<VertexId> bfs_distances(const Csr& graph, VertexId source);
+
+/// Double-sweep pseudo-diameter lower bound (exact on trees, excellent on
+/// small-world graphs): BFS from `seed`, then BFS from the farthest vertex.
+VertexId pseudo_diameter(const Csr& graph, VertexId seed = 0);
+
+}  // namespace dinfomap::graph

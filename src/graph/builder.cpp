@@ -1,0 +1,70 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dinfomap::graph {
+
+Csr build_csr(const EdgeList& edges, VertexId num_vertices,
+              const BuildOptions& options) {
+  VertexId n = num_vertices;
+  if (n == 0) {
+    for (const Edge& e : edges) n = std::max({n, e.u + 1, e.v + 1});
+  }
+  for (const Edge& e : edges) {
+    DINFOMAP_REQUIRE_MSG(e.u < n && e.v < n, "edge endpoint out of range");
+    DINFOMAP_REQUIRE_MSG(e.w > 0, "edge weights must be positive");
+  }
+
+  // Canonicalize to u <= v and sort, so duplicates (either orientation) are
+  // adjacent and output adjacency ends up sorted.
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  std::vector<Weight> self_weight(n, 0.0);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) {
+      if (!options.drop_self_loops) self_weight[e.u] += e.w;
+      continue;
+    }
+    canon.push_back(e.u <= e.v ? e : Edge{e.v, e.u, e.w});
+  }
+  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  // Combine duplicates in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    if (out > 0 && canon[out - 1].u == canon[i].u && canon[out - 1].v == canon[i].v) {
+      if (options.combine_duplicates) canon[out - 1].w += canon[i].w;
+    } else {
+      canon[out++] = canon[i];
+    }
+  }
+  canon.resize(out);
+
+  // Counting pass for symmetric adjacency.
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : canon) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Neighbor> adjacency(offsets.back());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : canon) {
+    adjacency[cursor[e.u]++] = Neighbor{e.v, e.w};
+    adjacency[cursor[e.v]++] = Neighbor{e.u, e.w};
+  }
+  // Per-vertex lists: entries were appended in canonical edge order, which is
+  // sorted by the *other* endpoint only for the u-side. Sort each list.
+  for (VertexId u = 0; u < n; ++u) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[u]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]),
+              [](const Neighbor& a, const Neighbor& b) { return a.target < b.target; });
+  }
+  return Csr(std::move(offsets), std::move(adjacency), std::move(self_weight));
+}
+
+}  // namespace dinfomap::graph

@@ -1,0 +1,23 @@
+// Build CSR graphs from edge lists.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace dinfomap::graph {
+
+struct BuildOptions {
+  /// Sum weights of parallel (duplicate) edges into one (default) — otherwise
+  /// keep only the first occurrence.
+  bool combine_duplicates = true;
+  /// Drop self-loops entirely instead of storing them in self_weight.
+  bool drop_self_loops = false;
+};
+
+/// Build an undirected CSR from an arbitrary edge list. `num_vertices` of 0
+/// means "infer as max endpoint + 1". Duplicate {u,v} pairs (in either
+/// orientation) are combined; adjacency lists come out sorted by target.
+Csr build_csr(const EdgeList& edges, VertexId num_vertices = 0,
+              const BuildOptions& options = {});
+
+}  // namespace dinfomap::graph

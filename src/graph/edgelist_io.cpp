@@ -1,0 +1,94 @@
+#include "graph/edgelist_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dinfomap::graph {
+
+EdgeList read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  EdgeList edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' || line[first] == '%')
+      continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": expected 'u v [w]'");
+    }
+    ls >> w;  // optional weight
+    if (w <= 0) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": non-positive weight");
+    }
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
+  }
+  return edges;
+}
+
+std::size_t write_edge_list(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "# dinfomap edge list: u v w\n";
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+  return edges.size();
+}
+
+namespace {
+constexpr char kBinaryMagic[4] = {'D', 'N', 'F', 'M'};
+struct PackedEdge {
+  std::uint32_t u;
+  std::uint32_t v;
+  double w;
+};
+static_assert(sizeof(PackedEdge) == 16);
+}  // namespace
+
+void write_edge_list_binary(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.write(kBinaryMagic, 4);
+  const std::uint64_t count = edges.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Edge& e : edges) {
+    const PackedEdge packed{e.u, e.v, e.w};
+    out.write(reinterpret_cast<const char*>(&packed), sizeof(packed));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+EdgeList read_edge_list_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kBinaryMagic, 4) != 0)
+    throw std::runtime_error(path + ": not a dinfomap binary edge list");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  EdgeList edges;
+  edges.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedEdge packed;
+    in.read(reinterpret_cast<char*>(&packed), sizeof(packed));
+    if (!in) throw std::runtime_error(path + ": truncated edge records");
+    if (packed.w <= 0)
+      throw std::runtime_error(path + ": non-positive weight in record " +
+                               std::to_string(i));
+    edges.push_back({packed.u, packed.v, packed.w});
+  }
+  return edges;
+}
+
+}  // namespace dinfomap::graph

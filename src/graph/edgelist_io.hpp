@@ -1,0 +1,24 @@
+// Plain-text edge-list I/O ("u v [w]" per line, '#' comments), the common
+// interchange format of the SNAP datasets the paper uses.
+#pragma once
+
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace dinfomap::graph {
+
+/// Parse an edge list from a file. Throws std::runtime_error on I/O or
+/// parse errors (with line number).
+EdgeList read_edge_list(const std::string& path);
+
+/// Write "u v w" lines; returns the number of edges written.
+std::size_t write_edge_list(const std::string& path, const EdgeList& edges);
+
+/// Binary edge list: magic "DNFM", u64 edge count, then packed
+/// (u32 u, u32 v, f64 w) records — ~4× smaller and ~20× faster to parse
+/// than the text form for large graphs.
+void write_edge_list_binary(const std::string& path, const EdgeList& edges);
+EdgeList read_edge_list_binary(const std::string& path);
+
+}  // namespace dinfomap::graph

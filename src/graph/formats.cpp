@@ -1,0 +1,152 @@
+#include "graph/formats.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace dinfomap::graph {
+
+namespace {
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what);
+}
+
+bool next_content_line(std::ifstream& in, std::string& line, std::size_t& lineno,
+                       char comment) {
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == comment) continue;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+Csr read_metis(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open METIS file: " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  if (!next_content_line(in, line, lineno, '%'))
+    throw std::runtime_error(path + ": missing METIS header");
+
+  std::istringstream header(line);
+  std::uint64_t n = 0, m = 0;
+  std::string fmt = "0";
+  if (!(header >> n >> m)) fail(path, lineno, "bad METIS header");
+  header >> fmt;
+  const bool edge_weights = fmt == "1" || fmt == "01" || fmt == "011";
+  if (fmt != "0" && fmt != "00" && !edge_weights)
+    fail(path, lineno, "unsupported METIS fmt '" + fmt + "' (vertex weights)");
+
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    if (!next_content_line(in, line, lineno, '%'))
+      fail(path, lineno, "fewer adjacency lines than vertices");
+    std::istringstream ls(line);
+    std::uint64_t v = 0;
+    while (ls >> v) {
+      if (v < 1 || v > n) fail(path, lineno, "neighbor id out of range");
+      double w = 1.0;
+      if (edge_weights && !(ls >> w)) fail(path, lineno, "missing edge weight");
+      if (v - 1 >= u) continue;  // each undirected edge appears twice; keep one
+      edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v - 1), w});
+    }
+  }
+  const auto g = build_csr(edges, static_cast<VertexId>(n));
+  if (g.num_edges() != m) {
+    throw std::runtime_error(path + ": header claims " + std::to_string(m) +
+                             " edges, file contains " +
+                             std::to_string(g.num_edges()));
+  }
+  return g;
+}
+
+void write_metis(const std::string& path, const Csr& graph) {
+  for (VertexId u = 0; u < graph.num_vertices(); ++u)
+    DINFOMAP_REQUIRE_MSG(graph.self_weight(u) == 0,
+                         "METIS cannot represent self-loops");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  // Detect whether any weight differs from 1 to pick the fmt flag.
+  bool weighted = false;
+  for (const auto& nb : graph.adjacency()) weighted = weighted || nb.weight != 1.0;
+  out << graph.num_vertices() << ' ' << graph.num_edges();
+  if (weighted) out << " 1";
+  out << '\n';
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    bool first = true;
+    for (const auto& nb : graph.neighbors(u)) {
+      if (!first) out << ' ';
+      first = false;
+      out << (nb.target + 1);
+      if (weighted) out << ' ' << nb.weight;
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Csr read_pajek(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open Pajek file: " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  std::uint64_t n = 0;
+  if (!next_content_line(in, line, lineno, '%') ||
+      line.rfind("*Vertices", 0) != 0)
+    throw std::runtime_error(path + ": expected '*Vertices n'");
+  {
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> n) || n == 0) fail(path, lineno, "bad *Vertices header");
+  }
+  // Skip vertex label lines until an *Edges / *Arcs section.
+  bool edges_section = false;
+  EdgeList edges;
+  while (next_content_line(in, line, lineno, '%')) {
+    if (line[0] == '*') {
+      if (line.rfind("*Edges", 0) == 0 || line.rfind("*Arcs", 0) == 0) {
+        edges_section = true;
+        continue;
+      }
+      fail(path, lineno, "unsupported Pajek section: " + line);
+    }
+    if (!edges_section) continue;  // vertex label line
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) fail(path, lineno, "expected 'u v [w]'");
+    ls >> w;
+    if (u < 1 || u > n || v < 1 || v > n) fail(path, lineno, "vertex id out of range");
+    edges.push_back({static_cast<VertexId>(u - 1), static_cast<VertexId>(v - 1), w});
+  }
+  if (!edges_section)
+    throw std::runtime_error(path + ": no *Edges section found");
+  return build_csr(edges, static_cast<VertexId>(n));
+}
+
+void write_pajek(const std::string& path, const Csr& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "*Vertices " << graph.num_vertices() << '\n';
+  for (VertexId v = 0; v < graph.num_vertices(); ++v)
+    out << (v + 1) << " \"" << v << "\"\n";
+  out << "*Edges\n";
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    if (graph.self_weight(u) > 0)
+      out << (u + 1) << ' ' << (u + 1) << ' ' << graph.self_weight(u) << '\n';
+    for (const auto& nb : graph.neighbors(u))
+      if (u <= nb.target)
+        out << (u + 1) << ' ' << (nb.target + 1) << ' ' << nb.weight << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace dinfomap::graph

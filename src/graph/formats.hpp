@@ -1,0 +1,24 @@
+// Interchange formats beyond plain edge lists: METIS and Pajek, the two
+// formats graph-partitioning and network-science tools expect.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace dinfomap::graph {
+
+/// METIS graph format: header "n m [fmt]"; line i+1 lists the (1-based)
+/// neighbors of vertex i, with "fmt" 1 adding an edge weight after each
+/// neighbor. Comment lines start with '%'. Self-loops are not representable
+/// and are rejected on write.
+Csr read_metis(const std::string& path);
+void write_metis(const std::string& path, const Csr& graph);
+
+/// Pajek .net format: "*Vertices n" (ids with optional quoted labels),
+/// then "*Edges" with "u v [w]" lines (1-based).
+Csr read_pajek(const std::string& path);
+void write_pajek(const std::string& path, const Csr& graph);
+
+}  // namespace dinfomap::graph

@@ -1,0 +1,50 @@
+#include <vector>
+
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+GeneratedGraph barabasi_albert(VertexId n, VertexId attach, std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(attach >= 1, "barabasi_albert: attach >= 1");
+  DINFOMAP_REQUIRE_MSG(n > attach, "barabasi_albert: n must exceed attach count");
+
+  util::Xoshiro256 rng(seed);
+  GeneratedGraph g;
+  g.num_vertices = n;
+  g.edges.reserve(static_cast<std::size_t>(n) * attach);
+
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling ∝ degree (the standard repeated-nodes implementation).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * attach);
+
+  // Seed clique over the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      g.edges.push_back({u, v, 1.0});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId u = attach + 1; u < n; ++u) {
+    chosen.clear();
+    while (chosen.size() < attach) {
+      const VertexId cand = endpoints[rng.bounded(endpoints.size())];
+      bool dup = false;
+      for (VertexId c : chosen) dup = dup || (c == cand);
+      if (!dup) chosen.push_back(cand);
+    }
+    for (VertexId v : chosen) {
+      g.edges.push_back({u, v, 1.0});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

@@ -1,0 +1,31 @@
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+GeneratedGraph configuration_model(const std::vector<VertexId>& degrees,
+                                   std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(!degrees.empty(), "configuration_model: empty sequence");
+  std::uint64_t total = 0;
+  for (VertexId d : degrees) total += d;
+  DINFOMAP_REQUIRE_MSG(total % 2 == 0,
+                       "configuration_model: degree sum must be even");
+
+  util::Xoshiro256 rng(seed);
+  GeneratedGraph g;
+  g.num_vertices = static_cast<VertexId>(degrees.size());
+
+  std::vector<VertexId> stubs;
+  stubs.reserve(total);
+  for (VertexId v = 0; v < degrees.size(); ++v)
+    for (VertexId k = 0; k < degrees[v]; ++k) stubs.push_back(v);
+  util::deterministic_shuffle(stubs, rng);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1]) continue;  // drop self-pairs
+    g.edges.push_back({stubs[i], stubs[i + 1], 1.0});
+  }
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

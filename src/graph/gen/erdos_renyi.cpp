@@ -1,0 +1,33 @@
+#include <unordered_set>
+
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+GeneratedGraph erdos_renyi(VertexId n, EdgeIndex m, std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(n >= 2, "erdos_renyi: need at least 2 vertices");
+  const auto max_edges =
+      static_cast<EdgeIndex>(n) * (static_cast<EdgeIndex>(n) - 1) / 2;
+  DINFOMAP_REQUIRE_MSG(m <= max_edges, "erdos_renyi: more edges than pairs");
+
+  util::Xoshiro256 rng(seed);
+  GeneratedGraph g;
+  g.num_vertices = n;
+  g.edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (g.edges.size() < m) {
+    auto u = static_cast<VertexId>(rng.bounded(n));
+    auto v = static_cast<VertexId>(rng.bounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (!seen.insert(key).second) continue;
+    g.edges.push_back({u, v, 1.0});
+  }
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

@@ -1,0 +1,101 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+namespace {
+/// Sample an integer from a truncated power law p(k) ∝ k^(−exponent)
+/// on [lo, hi] by inverse transform on the continuous approximation.
+VertexId power_law_sample(double exponent, VertexId lo, VertexId hi,
+                          util::Xoshiro256& rng) {
+  const double e = 1.0 - exponent;
+  const double a = std::pow(static_cast<double>(lo), e);
+  const double b = std::pow(static_cast<double>(hi) + 1.0, e);
+  const double x = std::pow(a + (b - a) * rng.uniform(), 1.0 / e);
+  const auto k = static_cast<VertexId>(x);
+  return std::clamp(k, lo, hi);
+}
+
+/// Configuration-model wiring of `stubs` (vertex ids, one per half-edge):
+/// shuffle, pair consecutive entries, drop self-pairs. Duplicate edges are
+/// tolerated (the CSR builder combines them).
+void wire_stubs(std::vector<VertexId>& stubs, util::Xoshiro256& rng,
+                EdgeList& out) {
+  util::deterministic_shuffle(stubs, rng);
+  if (stubs.size() % 2 == 1) stubs.pop_back();
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] == stubs[i + 1]) continue;
+    out.push_back({stubs[i], stubs[i + 1], 1.0});
+  }
+}
+}  // namespace
+
+GeneratedGraph lfr_lite(const LfrLiteParams& p, std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(p.n >= 10, "lfr_lite: n too small");
+  DINFOMAP_REQUIRE_MSG(p.min_degree >= 1 && p.max_degree >= p.min_degree,
+                       "lfr_lite: bad degree bounds");
+  DINFOMAP_REQUIRE_MSG(p.min_community >= 2 && p.max_community >= p.min_community,
+                       "lfr_lite: bad community bounds");
+  DINFOMAP_REQUIRE_MSG(p.mixing >= 0 && p.mixing <= 1, "lfr_lite: μ in [0,1]");
+
+  util::Xoshiro256 rng(seed);
+  GeneratedGraph g;
+  g.num_vertices = p.n;
+
+  // 1. Power-law degree sequence.
+  std::vector<VertexId> degree(p.n);
+  for (auto& d : degree)
+    d = power_law_sample(p.degree_exponent, p.min_degree,
+                         std::min<VertexId>(p.max_degree, p.n - 1), rng);
+
+  // 2. Power-law community sizes covering all n vertices.
+  std::vector<VertexId> comm_size;
+  VertexId assigned = 0;
+  while (assigned < p.n) {
+    VertexId s = power_law_sample(p.community_exponent, p.min_community,
+                                  p.max_community, rng);
+    s = std::min<VertexId>(s, p.n - assigned);
+    if (p.n - assigned - s != 0 && p.n - assigned - s < p.min_community)
+      s = p.n - assigned;  // absorb a too-small tail into the last community
+    comm_size.push_back(s);
+    assigned += s;
+  }
+
+  // 3. Assign vertices to communities contiguously, then shuffle labels so
+  //    community membership is independent of vertex id.
+  Partition truth(p.n);
+  std::vector<VertexId> order(p.n);
+  std::iota(order.begin(), order.end(), 0);
+  util::deterministic_shuffle(order, rng);
+  {
+    std::size_t pos = 0;
+    for (VertexId c = 0; c < comm_size.size(); ++c)
+      for (VertexId i = 0; i < comm_size[c]; ++i) truth[order[pos++]] = c;
+  }
+
+  // 4. Split each vertex's stubs: (1−μ) intra, μ inter.
+  std::vector<std::vector<VertexId>> intra(comm_size.size());
+  std::vector<VertexId> inter;
+  for (VertexId u = 0; u < p.n; ++u) {
+    const auto d = degree[u];
+    auto d_in = static_cast<VertexId>(std::lround((1.0 - p.mixing) * d));
+    // A community of size s supports at most s-1 intra neighbors.
+    d_in = std::min<VertexId>(d_in, comm_size[truth[u]] - 1);
+    for (VertexId k = 0; k < d_in; ++k) intra[truth[u]].push_back(u);
+    for (VertexId k = d_in; k < d; ++k) inter.push_back(u);
+  }
+
+  // 5. Wire intra stubs per community and inter stubs globally.
+  for (auto& stubs : intra) wire_stubs(stubs, rng, g.edges);
+  wire_stubs(inter, rng, g.edges);
+
+  g.ground_truth = std::move(truth);
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

@@ -1,0 +1,31 @@
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+
+namespace dinfomap::graph::gen {
+
+GeneratedGraph ring_of_cliques(VertexId num_cliques, VertexId clique_size,
+                               std::uint64_t seed) {
+  (void)seed;  // deterministic by construction; parameter kept for API symmetry
+  DINFOMAP_REQUIRE_MSG(num_cliques >= 2, "ring_of_cliques: need >= 2 cliques");
+  DINFOMAP_REQUIRE_MSG(clique_size >= 2, "ring_of_cliques: clique size >= 2");
+
+  GeneratedGraph g;
+  g.num_vertices = num_cliques * clique_size;
+  Partition truth(g.num_vertices);
+
+  for (VertexId c = 0; c < num_cliques; ++c) {
+    const VertexId base = c * clique_size;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      truth[base + i] = c;
+      for (VertexId j = i + 1; j < clique_size; ++j)
+        g.edges.push_back({base + i, base + j, 1.0});
+    }
+    // One bridge edge to the next clique (vertex 0 of each).
+    const VertexId next_base = ((c + 1) % num_cliques) * clique_size;
+    g.edges.push_back({base, next_base, 1.0});
+  }
+  g.ground_truth = std::move(truth);
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

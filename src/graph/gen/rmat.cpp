@@ -1,0 +1,43 @@
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+GeneratedGraph rmat(int scale, int edge_factor, double a, double b, double c,
+                    std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(scale >= 1 && scale <= 30, "rmat: scale in [1,30]");
+  DINFOMAP_REQUIRE_MSG(edge_factor >= 1, "rmat: edge_factor >= 1");
+  const double d = 1.0 - a - b - c;
+  DINFOMAP_REQUIRE_MSG(a > 0 && b > 0 && c > 0 && d > 0,
+                       "rmat: corner probabilities must be positive and sum < 1");
+
+  util::Xoshiro256 rng(seed);
+  const VertexId n = VertexId{1} << scale;
+  const auto m = static_cast<EdgeIndex>(edge_factor) * n;
+
+  GeneratedGraph g;
+  g.num_vertices = n;
+  g.edges.reserve(m);
+  for (EdgeIndex i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = rng.uniform();
+      if (r < a) {
+        // top-left: neither bit set
+      } else if (r < a + b) {
+        v |= VertexId{1} << bit;
+      } else if (r < a + b + c) {
+        u |= VertexId{1} << bit;
+      } else {
+        u |= VertexId{1} << bit;
+        v |= VertexId{1} << bit;
+      }
+    }
+    if (u == v) continue;  // drop self-loops; builder would stash them anyway
+    g.edges.push_back({u, v, 1.0});
+  }
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

@@ -1,0 +1,79 @@
+#include <cmath>
+
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+namespace {
+/// Sample edges of a G(n, p)-style block efficiently by skipping geometric
+/// gaps between successes (works for small p without n^2 coin flips).
+template <typename Emit>
+void sample_pairs(std::uint64_t num_pairs, double p, util::Xoshiro256& rng,
+                  Emit&& emit) {
+  if (p <= 0 || num_pairs == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < num_pairs; ++i) emit(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double i = -1;
+  for (;;) {
+    const double r = rng.uniform();
+    i += 1 + std::floor(std::log1p(-r) / log1mp);
+    if (i >= static_cast<double>(num_pairs)) return;
+    emit(static_cast<std::uint64_t>(i));
+  }
+}
+}  // namespace
+
+GeneratedGraph sbm(VertexId n, VertexId num_blocks, double p_in, double p_out,
+                   std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(num_blocks >= 1 && n >= num_blocks, "sbm: bad block count");
+  DINFOMAP_REQUIRE_MSG(p_in >= 0 && p_in <= 1 && p_out >= 0 && p_out <= 1,
+                       "sbm: probabilities in [0,1]");
+
+  util::Xoshiro256 rng(seed);
+  GeneratedGraph g;
+  g.num_vertices = n;
+  Partition truth(n);
+  // Block b covers [start_b, start_{b+1}); sizes differ by at most one.
+  std::vector<VertexId> start(num_blocks + 1);
+  for (VertexId b = 0; b <= num_blocks; ++b)
+    start[b] = static_cast<VertexId>((static_cast<std::uint64_t>(n) * b) / num_blocks);
+  for (VertexId b = 0; b < num_blocks; ++b)
+    for (VertexId u = start[b]; u < start[b + 1]; ++u) truth[u] = b;
+
+  // Intra-block edges.
+  for (VertexId b = 0; b < num_blocks; ++b) {
+    const std::uint64_t size = start[b + 1] - start[b];
+    const std::uint64_t pairs = size * (size - 1) / 2;
+    sample_pairs(pairs, p_in, rng, [&](std::uint64_t k) {
+      // Invert the triangular index: k = row*(row-1)/2 + col, col < row.
+      const auto row = static_cast<std::uint64_t>(
+          (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(k))) / 2.0);
+      std::uint64_t r = row;
+      while (r * (r - 1) / 2 > k) --r;
+      while ((r + 1) * r / 2 <= k) ++r;
+      const std::uint64_t col = k - r * (r - 1) / 2;
+      g.edges.push_back({start[b] + static_cast<VertexId>(col),
+                         start[b] + static_cast<VertexId>(r), 1.0});
+    });
+  }
+  // Inter-block edges.
+  for (VertexId b1 = 0; b1 < num_blocks; ++b1) {
+    for (VertexId b2 = b1 + 1; b2 < num_blocks; ++b2) {
+      const std::uint64_t rows = start[b1 + 1] - start[b1];
+      const std::uint64_t cols = start[b2 + 1] - start[b2];
+      sample_pairs(rows * cols, p_out, rng, [&](std::uint64_t k) {
+        g.edges.push_back({start[b1] + static_cast<VertexId>(k / cols),
+                           start[b2] + static_cast<VertexId>(k % cols), 1.0});
+      });
+    }
+  }
+  g.ground_truth = std::move(truth);
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

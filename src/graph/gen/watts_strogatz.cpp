@@ -1,0 +1,46 @@
+#include <unordered_set>
+
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dinfomap::graph::gen {
+
+GeneratedGraph watts_strogatz(VertexId n, VertexId k, double beta,
+                              std::uint64_t seed) {
+  DINFOMAP_REQUIRE_MSG(k >= 2 && k % 2 == 0, "watts_strogatz: k even and >= 2");
+  DINFOMAP_REQUIRE_MSG(n > k, "watts_strogatz: n must exceed k");
+  DINFOMAP_REQUIRE_MSG(beta >= 0 && beta <= 1, "watts_strogatz: beta in [0,1]");
+
+  util::Xoshiro256 rng(seed);
+  GeneratedGraph g;
+  g.num_vertices = n;
+
+  // Ring lattice: each vertex linked to its k/2 clockwise neighbors; rewire
+  // each lattice edge's far endpoint with probability beta.
+  std::unordered_set<std::uint64_t> present;
+  auto key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k / 2; ++j) {
+      VertexId v = (u + j) % n;
+      if (rng.uniform() < beta) {
+        // Rewire to a uniform non-self, non-duplicate target.
+        for (int attempts = 0; attempts < 32; ++attempts) {
+          const auto cand = static_cast<VertexId>(rng.bounded(n));
+          if (cand == u || present.count(key(u, cand))) continue;
+          v = cand;
+          break;
+        }
+      }
+      if (v == u || present.count(key(u, v))) continue;
+      present.insert(key(u, v));
+      g.edges.push_back({u, v, 1.0});
+    }
+  }
+  return g;
+}
+
+}  // namespace dinfomap::graph::gen

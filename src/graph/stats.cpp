@@ -1,0 +1,37 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace dinfomap::graph {
+
+DegreeStats degree_stats(const Csr& graph, EdgeIndex hub_threshold) {
+  DegreeStats s;
+  s.threshold = hub_threshold;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return s;
+  EdgeIndex total = 0;
+  EdgeIndex hub_arcs = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeIndex d = graph.degree(u);
+    total += d;
+    s.max_degree = std::max(s.max_degree, d);
+    if (d > hub_threshold) {
+      ++s.hubs_above;
+      hub_arcs += d;
+    }
+  }
+  s.mean_degree = static_cast<double>(total) / static_cast<double>(n);
+  s.hub_arc_fraction = total > 0 ? static_cast<double>(hub_arcs) / static_cast<double>(total) : 0.0;
+  return s;
+}
+
+std::vector<VertexId> degree_histogram(const Csr& graph, EdgeIndex max_bucket) {
+  std::vector<VertexId> hist(max_bucket + 1, 0);
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const EdgeIndex d = std::min<EdgeIndex>(graph.degree(u), max_bucket);
+    ++hist[d];
+  }
+  return hist;
+}
+
+}  // namespace dinfomap::graph

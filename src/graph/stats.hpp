@@ -1,0 +1,27 @@
+// Degree statistics used by Table 1 and the delegate threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace dinfomap::graph {
+
+struct DegreeStats {
+  EdgeIndex max_degree = 0;
+  double mean_degree = 0;
+  /// Number of vertices with degree > threshold (the paper's hubs).
+  VertexId hubs_above = 0;
+  EdgeIndex threshold = 0;
+  /// Fraction of all arcs incident to those hubs.
+  double hub_arc_fraction = 0;
+};
+
+DegreeStats degree_stats(const Csr& graph, EdgeIndex hub_threshold);
+
+/// Degree histogram: result[d] = number of vertices of degree d (capped at
+/// `max_bucket`, larger degrees accumulate in the last bucket).
+std::vector<VertexId> degree_histogram(const Csr& graph, EdgeIndex max_bucket);
+
+}  // namespace dinfomap::graph

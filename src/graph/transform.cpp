@@ -1,0 +1,107 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace dinfomap::graph {
+
+std::vector<VertexId> connected_components(const Csr& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> component(n, kInvalidVertex);
+  VertexId next_id = 0;
+  std::deque<VertexId> frontier;
+  for (VertexId start = 0; start < n; ++start) {
+    if (component[start] != kInvalidVertex) continue;
+    component[start] = next_id;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& nb : graph.neighbors(u)) {
+        if (component[nb.target] != kInvalidVertex) continue;
+        component[nb.target] = next_id;
+        frontier.push_back(nb.target);
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+Subgraph induced_subgraph(const Csr& graph, std::span<const VertexId> keep) {
+  std::unordered_map<VertexId, VertexId> new_id;
+  new_id.reserve(keep.size());
+  for (VertexId v : keep) {
+    DINFOMAP_REQUIRE_MSG(v < graph.num_vertices(), "induced_subgraph: id range");
+    const bool inserted =
+        new_id.emplace(v, static_cast<VertexId>(new_id.size())).second;
+    DINFOMAP_REQUIRE_MSG(inserted, "induced_subgraph: duplicate vertex in keep");
+  }
+
+  EdgeList edges;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    const VertexId u = keep[i];
+    // Self-loops travel as explicit edges; build_csr re-separates them.
+    if (graph.self_weight(u) > 0)
+      edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(i),
+                       graph.self_weight(u)});
+    for (const auto& nb : graph.neighbors(u)) {
+      if (u > nb.target) continue;  // each undirected edge emitted once
+      auto it = new_id.find(nb.target);
+      if (it == new_id.end()) continue;
+      edges.push_back({static_cast<VertexId>(i), it->second, nb.weight});
+    }
+  }
+  Subgraph out;
+  out.old_ids.assign(keep.begin(), keep.end());
+  out.graph = build_csr(edges, static_cast<VertexId>(keep.size()));
+  return out;
+}
+
+Subgraph largest_component(const Csr& graph) {
+  const auto component = connected_components(graph);
+  std::unordered_map<VertexId, VertexId> sizes;
+  for (VertexId c : component) ++sizes[c];
+  VertexId best = 0;
+  VertexId best_size = 0;
+  for (const auto& [c, s] : sizes) {
+    if (s > best_size || (s == best_size && c < best)) {
+      best = c;
+      best_size = s;
+    }
+  }
+  std::vector<VertexId> keep;
+  keep.reserve(best_size);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v)
+    if (component[v] == best) keep.push_back(v);
+  return induced_subgraph(graph, keep);
+}
+
+Partition relabel_dense(const Partition& labels, VertexId* num_labels) {
+  std::vector<VertexId> sorted(labels);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(sorted.size());
+  for (VertexId i = 0; i < sorted.size(); ++i) remap.emplace(sorted[i], i);
+  Partition out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) out[i] = remap.at(labels[i]);
+  if (num_labels) *num_labels = static_cast<VertexId>(sorted.size());
+  return out;
+}
+
+std::vector<VertexId> community_sizes(const Partition& labels) {
+  VertexId k = 0;
+  const Partition dense = relabel_dense(labels, &k);
+  std::vector<VertexId> sizes(k, 0);
+  for (VertexId c : dense) ++sizes[c];
+  return sizes;
+}
+
+}  // namespace dinfomap::graph

@@ -1,0 +1,37 @@
+// Structural transforms: connected components, induced subgraphs, and
+// partition label utilities.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace dinfomap::graph {
+
+/// Component id per vertex (dense ids in discovery order of the smallest
+/// vertex in each component).
+std::vector<VertexId> connected_components(const Csr& graph);
+
+struct Subgraph {
+  Csr graph;
+  /// new vertex id → original vertex id.
+  std::vector<VertexId> old_ids;
+};
+
+/// Induced subgraph on `keep` (need not be sorted; duplicates rejected).
+Subgraph induced_subgraph(const Csr& graph, std::span<const VertexId> keep);
+
+/// The largest connected component (ties → the one with the smallest
+/// leading vertex id).
+Subgraph largest_component(const Csr& graph);
+
+/// Compact arbitrary community labels to dense 0..k-1 (ascending label
+/// order). Returns the number of distinct labels via `num_labels` if given.
+Partition relabel_dense(const Partition& labels, VertexId* num_labels = nullptr);
+
+/// Community sizes indexed by dense label (input labels need not be dense).
+std::vector<VertexId> community_sizes(const Partition& labels);
+
+}  // namespace dinfomap::graph

@@ -1,0 +1,29 @@
+// Fundamental graph value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dinfomap::graph {
+
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+using Weight = double;
+
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// One undirected edge (endpoints unordered; builders canonicalize).
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// A vertex→community assignment (dense, indexed by vertex id).
+using Partition = std::vector<VertexId>;
+
+}  // namespace dinfomap::graph

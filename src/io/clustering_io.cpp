@@ -1,0 +1,56 @@
+#include "io/clustering_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dinfomap::io {
+
+void write_clustering(const std::string& path, const graph::Partition& partition) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "# vertex community\n";
+  for (graph::VertexId v = 0; v < partition.size(); ++v)
+    out << v << ' ' << partition[v] << '\n';
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+graph::Partition read_clustering(const std::string& path,
+                                 graph::VertexId num_vertices) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open clustering: " + path);
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  graph::VertexId max_v = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t v = 0, c = 0;
+    if (!(ls >> v >> c)) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": expected 'vertex community'");
+    }
+    entries.emplace_back(static_cast<graph::VertexId>(v),
+                         static_cast<graph::VertexId>(c));
+    max_v = std::max(max_v, static_cast<graph::VertexId>(v));
+  }
+  if (num_vertices == 0) num_vertices = entries.empty() ? 0 : max_v + 1;
+  graph::Partition partition(num_vertices, graph::kInvalidVertex);
+  for (const auto& [v, c] : entries) {
+    if (v >= num_vertices)
+      throw std::runtime_error(path + ": vertex id out of range");
+    partition[v] = c;
+  }
+  for (graph::VertexId v = 0; v < num_vertices; ++v) {
+    if (partition[v] == graph::kInvalidVertex)
+      throw std::runtime_error(path + ": missing assignment for vertex " +
+                               std::to_string(v));
+  }
+  return partition;
+}
+
+}  // namespace dinfomap::io

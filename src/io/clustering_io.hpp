@@ -1,0 +1,17 @@
+// Read/write vertex→community assignments ("v community" per line).
+#pragma once
+
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace dinfomap::io {
+
+void write_clustering(const std::string& path, const graph::Partition& partition);
+
+/// Reads a clustering for `num_vertices` vertices (0 = infer from max id).
+/// Throws std::runtime_error on malformed input or missing vertices.
+graph::Partition read_clustering(const std::string& path,
+                                 graph::VertexId num_vertices = 0);
+
+}  // namespace dinfomap::io

@@ -1,0 +1,73 @@
+#include "io/datasets.hpp"
+
+#include <stdexcept>
+
+namespace dinfomap::io {
+
+using graph::gen::GeneratedGraph;
+using graph::gen::LfrLiteParams;
+
+namespace {
+LfrLiteParams lfr_params(graph::VertexId n, double mixing,
+                         graph::VertexId max_degree,
+                         graph::VertexId max_community) {
+  LfrLiteParams p;
+  p.n = n;
+  p.mixing = mixing;
+  p.min_degree = 4;
+  p.max_degree = max_degree;
+  p.min_community = 16;
+  p.max_community = max_community;
+  return p;
+}
+}  // namespace
+
+const std::vector<DatasetSpec>& dataset_registry() {
+  using Size = DatasetSpec::Size;
+  static const std::vector<DatasetSpec> registry = {
+      {"friendster", "Friendster", "An on-line gaming network (LFR-lite stand-in)",
+       "65.61M", "1.81B", Size::kLarge, true, 1101},
+      {"uk2007", "UK-2007", "Web crawl of the .uk domain in 2007 (R-MAT stand-in)",
+       "105.9M", "3.78B", Size::kLarge, false, 1102},
+      {"uk2005", "UK-2005", "Web crawl of the .uk domain in 2005 (R-MAT stand-in)",
+       "39.46M", "936.4M", Size::kLarge, false, 1103},
+      {"webbase2001", "WebBase-2001", "A crawl graph by WebBase (R-MAT stand-in)",
+       "118.14M", "1.01B", Size::kLarge, false, 1104},
+      {"ndweb", "ND-Web", "A web network of University of Notre Dame (BA stand-in)",
+       "0.33M", "1.50M", Size::kSmall, false, 1105},
+      {"livejournal", "LiveJournal", "A virtual-community social site (LFR-lite stand-in)",
+       "5.20M", "76.94M", Size::kMedium, true, 1106},
+      {"youtube", "YouTube", "YouTube friendship network (LFR-lite stand-in)",
+       "11.34M", "29.87M", Size::kMedium, true, 1107},
+      {"dblp", "DBLP", "A co-authorship network from DBLP (LFR-lite stand-in)",
+       "0.31M", "1.04M", Size::kSmall, true, 1108},
+      {"amazon", "Amazon", "Frequently co-purchased products from Amazon (LFR-lite stand-in)",
+       "0.33M", "0.92M", Size::kSmall, true, 1109},
+  };
+  return registry;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& spec : dataset_registry())
+    if (spec.name == name) return spec;
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+GeneratedGraph load_dataset(const std::string& name) {
+  const DatasetSpec& spec = dataset_spec(name);
+  // Scales are chosen so the whole experiment suite runs in minutes on one
+  // core; the web-crawl stand-ins use skewed R-MAT corners (heavier hub
+  // tail) and the social ones planted LFR-lite communities.
+  if (name == "amazon") return graph::gen::lfr_lite(lfr_params(6000, 0.15, 80, 120), spec.seed);
+  if (name == "dblp") return graph::gen::lfr_lite(lfr_params(6000, 0.20, 90, 150), spec.seed);
+  if (name == "ndweb") return graph::gen::barabasi_albert(8000, 2, spec.seed);
+  if (name == "youtube") return graph::gen::lfr_lite(lfr_params(20000, 0.30, 400, 400), spec.seed);
+  if (name == "livejournal") return graph::gen::lfr_lite(lfr_params(24000, 0.25, 500, 400), spec.seed);
+  if (name == "uk2005") return graph::gen::rmat(15, 12, 0.57, 0.19, 0.19, spec.seed);
+  if (name == "webbase2001") return graph::gen::rmat(16, 6, 0.55, 0.20, 0.20, spec.seed);
+  if (name == "friendster") return graph::gen::lfr_lite(lfr_params(40000, 0.35, 800, 600), spec.seed);
+  if (name == "uk2007") return graph::gen::rmat(16, 12, 0.57, 0.19, 0.19, spec.seed);
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+}  // namespace dinfomap::io

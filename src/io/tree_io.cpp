@@ -1,0 +1,97 @@
+#include "io/tree_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace dinfomap::io {
+
+using graph::Partition;
+using graph::VertexId;
+
+std::vector<std::vector<VertexId>> tree_paths(const std::vector<Partition>& levels) {
+  DINFOMAP_REQUIRE_MSG(!levels.empty(), "tree_paths: need at least one level");
+  const std::size_t n = levels.front().size();
+  for (const auto& level : levels)
+    DINFOMAP_REQUIRE_MSG(level.size() == n, "tree_paths: level size mismatch");
+
+  // Work from coarsest (last) down to finest. At each step, number each
+  // distinct child (group at the finer level) within its parent context,
+  // 1-based, larger groups first (ties → smaller module id).
+  std::vector<std::vector<VertexId>> paths(n);
+
+  // parent_key[v] identifies the path prefix assigned so far; start with a
+  // single root context.
+  std::vector<std::size_t> parent_key(n, 0);
+  std::size_t num_contexts = 1;
+
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    const Partition& level = levels[li];
+    // Group vertices by (parent context, module at this level).
+    struct Group {
+      std::size_t parent;
+      VertexId module;
+      std::size_t size = 0;
+      VertexId assigned = 0;
+    };
+    std::map<std::pair<std::size_t, VertexId>, Group> groups;
+    for (std::size_t v = 0; v < n; ++v) {
+      auto& g = groups[{parent_key[v], level[v]}];
+      g.parent = parent_key[v];
+      g.module = level[v];
+      ++g.size;
+    }
+    // Number children within each parent: larger first.
+    std::map<std::size_t, std::vector<Group*>> by_parent;
+    for (auto& [key, g] : groups) by_parent[g.parent].push_back(&g);
+    for (auto& [parent, children] : by_parent) {
+      std::sort(children.begin(), children.end(), [](const Group* a, const Group* b) {
+        return a->size != b->size ? a->size > b->size : a->module < b->module;
+      });
+      for (std::size_t i = 0; i < children.size(); ++i)
+        children[i]->assigned = static_cast<VertexId>(i + 1);
+    }
+    // Extend paths and derive the next (finer) parent contexts.
+    std::map<std::pair<std::size_t, VertexId>, std::size_t> next_context;
+    for (std::size_t v = 0; v < n; ++v) {
+      const auto key = std::make_pair(parent_key[v], level[v]);
+      paths[v].push_back(groups.at(key).assigned);
+      auto [it, inserted] = next_context.emplace(key, next_context.size());
+      parent_key[v] = it->second;
+    }
+    num_contexts = next_context.size();
+  }
+  (void)num_contexts;
+
+  // Leaf position: number vertices within their finest group, larger flow
+  // handling is left to the writer — here order by vertex id.
+  std::map<std::size_t, VertexId> leaf_counter;
+  for (std::size_t v = 0; v < n; ++v)
+    paths[v].push_back(++leaf_counter[parent_key[v]]);
+  return paths;
+}
+
+void write_tree(const std::string& path, const std::vector<Partition>& levels,
+                const std::vector<double>& flow) {
+  const auto paths = tree_paths(levels);
+  const std::size_t n = paths.size();
+  DINFOMAP_REQUIRE_MSG(flow.empty() || flow.size() == n,
+                       "write_tree: flow size mismatch");
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "# path flow name (dinfomap .tree output)\n";
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < paths[v].size(); ++i) {
+      if (i) out << ':';
+      out << paths[v][i];
+    }
+    const double f = flow.empty() ? 1.0 / static_cast<double>(n) : flow[v];
+    out << ' ' << f << " \"" << v << "\"\n";
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace dinfomap::io

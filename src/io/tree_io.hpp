@@ -1,0 +1,31 @@
+// Hierarchical clustering output in Infomap's ".tree" interchange format:
+// one line per vertex, "path flow name", where path is the colon-separated
+// module path from the coarsest level down to the vertex's position, e.g.
+//
+//   1:2:3 0.00421 "17"
+//
+// Paths are 1-based, children ordered by size (larger first) for stable,
+// human-scannable output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dinfomap::io {
+
+/// Nested assignment levels from finest to coarsest, each mapping level-0
+/// vertex → module at that level (e.g. InfomapResult::level_assignments).
+/// `flow[v]` is the visit probability printed per vertex (pass empty for
+/// uniform 1/n).
+void write_tree(const std::string& path,
+                const std::vector<graph::Partition>& levels,
+                const std::vector<double>& flow = {});
+
+/// Compute the colon paths without writing: result[v] = {top, ..., leaf},
+/// all 1-based. Exposed for tests and custom sinks.
+std::vector<std::vector<graph::VertexId>> tree_paths(
+    const std::vector<graph::Partition>& levels);
+
+}  // namespace dinfomap::io

@@ -1,0 +1,59 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dinfomap::partition {
+
+std::vector<std::uint64_t> arcs_per_rank(const ArcPartition& part) {
+  std::vector<std::uint64_t> counts(part.num_ranks);
+  for (int r = 0; r < part.num_ranks; ++r) counts[r] = part.rank_arcs[r].size();
+  return counts;
+}
+
+std::vector<std::uint64_t> ghosts_per_rank(const ArcPartition& part) {
+  std::vector<std::uint64_t> counts(part.num_ranks, 0);
+  for (int r = 0; r < part.num_ranks; ++r) {
+    std::unordered_set<VertexId> ghosts;
+    for (const Arc& a : part.rank_arcs[r]) {
+      if (!part.local_on(a.source, r)) ghosts.insert(a.source);
+      if (!part.local_on(a.target, r)) ghosts.insert(a.target);
+    }
+    counts[r] = ghosts.size();
+  }
+  return counts;
+}
+
+bool validate_partition(const ArcPartition& part, const Csr& graph) {
+  // Multiset of all assigned arcs must equal the CSR's arc multiset.
+  std::vector<Arc> assigned;
+  assigned.reserve(graph.num_arcs());
+  for (const auto& arcs : part.rank_arcs)
+    assigned.insert(assigned.end(), arcs.begin(), arcs.end());
+  if (assigned.size() != graph.num_arcs()) return false;
+
+  std::vector<Arc> expected;
+  expected.reserve(graph.num_arcs());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u)
+    for (const auto& nb : graph.neighbors(u))
+      expected.push_back({u, nb.target, nb.weight});
+
+  auto arc_less = [](const Arc& a, const Arc& b) {
+    if (a.source != b.source) return a.source < b.source;
+    if (a.target != b.target) return a.target < b.target;
+    return a.weight < b.weight;
+  };
+  std::sort(assigned.begin(), assigned.end(), arc_less);
+  std::sort(expected.begin(), expected.end(), arc_less);
+  if (!(assigned == expected)) return false;
+
+  // Low-degree sources must sit with their owner (both strategies keep this).
+  for (int r = 0; r < part.num_ranks; ++r) {
+    for (const Arc& a : part.rank_arcs[r]) {
+      if (!part.delegate(a.source) && part.owner(a.source) != r) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dinfomap::partition

@@ -1,0 +1,12 @@
+#include "perf/cost_model.hpp"
+
+namespace dinfomap::perf {
+
+double bsp_seconds(const std::vector<WorkCounters>& per_rank,
+                   const CostModel& model) {
+  double worst = 0;
+  for (const auto& w : per_rank) worst = std::max(worst, model.seconds(w));
+  return worst;
+}
+
+}  // namespace dinfomap::perf

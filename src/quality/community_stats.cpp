@@ -1,0 +1,55 @@
+#include "quality/community_stats.hpp"
+
+#include <algorithm>
+
+#include "graph/transform.hpp"
+#include "util/check.hpp"
+
+namespace dinfomap::quality {
+
+PartitionSummary summarize_partition(const graph::Csr& graph,
+                                     const Partition& partition) {
+  DINFOMAP_REQUIRE_MSG(partition.size() == graph.num_vertices(),
+                       "summarize_partition: size mismatch");
+  graph::VertexId k = 0;
+  const Partition dense = graph::relabel_dense(partition, &k);
+
+  PartitionSummary s;
+  s.num_communities = k;
+  s.communities.assign(k, {});
+  std::vector<double> volume(k, 0.0);
+
+  for (graph::VertexId u = 0; u < graph.num_vertices(); ++u) {
+    const graph::VertexId c = dense[u];
+    CommunityStats& cs = s.communities[c];
+    ++cs.size;
+    cs.internal_weight += graph.self_weight(u);
+    volume[c] += graph.weighted_degree(u) + 2.0 * graph.self_weight(u);
+    for (const auto& nb : graph.neighbors(u)) {
+      if (dense[nb.target] == c) {
+        if (nb.target > u) cs.internal_weight += nb.weight;  // count once
+      } else {
+        cs.cut_weight += nb.weight;
+      }
+    }
+  }
+
+  const double two_w = 2.0 * graph.total_weight();
+  double total_internal = 0;
+  s.smallest = graph.num_vertices();
+  for (graph::VertexId c = 0; c < k; ++c) {
+    CommunityStats& cs = s.communities[c];
+    const double denom = std::min(volume[c], two_w - volume[c]);
+    cs.conductance = denom > 0 ? cs.cut_weight / denom : 0.0;
+    total_internal += cs.internal_weight;
+    s.largest = std::max(s.largest, cs.size);
+    s.smallest = std::min(s.smallest, cs.size);
+    s.max_conductance = std::max(s.max_conductance, cs.conductance);
+    s.mean_conductance += cs.conductance;
+  }
+  if (k > 0) s.mean_conductance /= static_cast<double>(k);
+  s.coverage = graph.total_weight() > 0 ? total_internal / graph.total_weight() : 0.0;
+  return s;
+}
+
+}  // namespace dinfomap::quality

@@ -1,0 +1,35 @@
+// Per-community structural statistics: sizes, internal/external weight,
+// conductance, coverage — the descriptive companion to the agreement metrics.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "quality/contingency.hpp"
+
+namespace dinfomap::quality {
+
+struct CommunityStats {
+  graph::VertexId size = 0;
+  double internal_weight = 0;  ///< Σ weight of edges inside (self-loops incl.)
+  double cut_weight = 0;       ///< Σ weight of edges leaving
+  /// cut / min(vol, 2W − vol); 0 for whole-graph communities.
+  double conductance = 0;
+};
+
+struct PartitionSummary {
+  std::vector<CommunityStats> communities;  ///< indexed by dense label
+  graph::VertexId num_communities = 0;
+  graph::VertexId largest = 0;
+  graph::VertexId smallest = 0;
+  /// Fraction of total edge weight that is intra-community.
+  double coverage = 0;
+  double max_conductance = 0;
+  double mean_conductance = 0;
+};
+
+/// Compute the summary (labels need not be dense).
+PartitionSummary summarize_partition(const graph::Csr& graph,
+                                     const Partition& partition);
+
+}  // namespace dinfomap::quality

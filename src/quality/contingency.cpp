@@ -1,0 +1,40 @@
+#include "quality/contingency.hpp"
+
+#include "util/check.hpp"
+
+namespace dinfomap::quality {
+
+namespace {
+/// Map arbitrary labels to dense [0, k) ids.
+std::vector<std::uint32_t> compact_labels(const Partition& labels,
+                                          std::size_t& num_out) {
+  std::unordered_map<VertexId, std::uint32_t> remap;
+  std::vector<std::uint32_t> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] =
+        remap.try_emplace(labels[i], static_cast<std::uint32_t>(remap.size()));
+    out[i] = it->second;
+  }
+  num_out = remap.size();
+  return out;
+}
+}  // namespace
+
+Contingency::Contingency(const Partition& a, const Partition& b) {
+  DINFOMAP_REQUIRE_MSG(a.size() == b.size(),
+                       "contingency: partitions must cover the same vertices");
+  DINFOMAP_REQUIRE_MSG(!a.empty(), "contingency: empty partitions");
+  n_ = a.size();
+  std::size_t ka = 0, kb = 0;
+  const auto ca = compact_labels(a, ka);
+  const auto cb = compact_labels(b, kb);
+  row_.assign(ka, 0);
+  col_.assign(kb, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    ++row_[ca[i]];
+    ++col_[cb[i]];
+    ++cells_[cell_key(ca[i], cb[i])];
+  }
+}
+
+}  // namespace dinfomap::quality

@@ -1,0 +1,41 @@
+// Contingency table between two partitions of the same vertex set — the
+// shared substrate of NMI / F-measure / Jaccard (Table 2 metrics).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dinfomap::quality {
+
+using graph::Partition;
+using graph::VertexId;
+
+/// Sparse n_ij table plus marginals. Labels are compacted internally, so
+/// partitions may use arbitrary (non-contiguous) community ids.
+class Contingency {
+ public:
+  Contingency(const Partition& a, const Partition& b);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& row_sizes() const { return row_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& col_sizes() const { return col_; }
+  /// Nonzero cells as ((row, col) → count).
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::uint64_t>& cells() const {
+    return cells_;
+  }
+
+  static std::uint64_t cell_key(std::uint32_t row, std::uint32_t col) {
+    return (static_cast<std::uint64_t>(row) << 32) | col;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> row_;
+  std::vector<std::uint64_t> col_;
+  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+};
+
+}  // namespace dinfomap::quality

@@ -1,0 +1,53 @@
+// Runtime checking macros (P.6/P.7 of the C++ Core Guidelines: what cannot be
+// checked at compile time should be checkable — and caught early — at run time).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dinfomap {
+
+/// Thrown by DINFOMAP_REQUIRE on contract violation. Tests catch this to
+/// exercise failure paths without aborting the process.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void require_fail(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace dinfomap
+
+/// Precondition / invariant check that is always on (cheap checks only).
+#define DINFOMAP_REQUIRE(expr)                                                \
+  do {                                                                        \
+    if (!(expr)) ::dinfomap::detail::require_fail(#expr, __FILE__, __LINE__, {}); \
+  } while (0)
+
+/// Variant carrying a human-readable explanation.
+#define DINFOMAP_REQUIRE_MSG(expr, msg)                                       \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::ostringstream os_;                                                 \
+      os_ << msg;                                                             \
+      ::dinfomap::detail::require_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                         \
+  } while (0)
+
+/// Heavier consistency checks, compiled out in release unless requested.
+#ifndef NDEBUG
+#define DINFOMAP_ASSERT(expr) DINFOMAP_REQUIRE(expr)
+#else
+#define DINFOMAP_ASSERT(expr) ((void)0)
+#endif

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output; intended for
+// coarse progress reporting, not per-edge tracing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dinfomap::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users opt in to chatter.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (with level tag and monotonic timestamp) to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dinfomap::util
+
+#define DINFOMAP_LOG(level)                                        \
+  if (static_cast<int>(level) < static_cast<int>(::dinfomap::util::log_level())) \
+    ;                                                              \
+  else                                                             \
+    ::dinfomap::util::detail::LogStream(level)
+
+#define LOG_DEBUG DINFOMAP_LOG(::dinfomap::util::LogLevel::kDebug)
+#define LOG_INFO DINFOMAP_LOG(::dinfomap::util::LogLevel::kInfo)
+#define LOG_WARN DINFOMAP_LOG(::dinfomap::util::LogLevel::kWarn)
+#define LOG_ERROR DINFOMAP_LOG(::dinfomap::util::LogLevel::kError)

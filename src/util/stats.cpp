@@ -1,0 +1,71 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace dinfomap::util {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double ss = 0;
+  for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(n));
+  s.imbalance = s.mean > 0 ? s.max / s.mean : 0.0;
+  return s;
+}
+
+Summary summarize_counts(const std::vector<std::uint64_t>& values) {
+  std::vector<double> d(values.size());
+  std::transform(values.begin(), values.end(), d.begin(),
+                 [](std::uint64_t v) { return static_cast<double>(v); });
+  return summarize(d);
+}
+
+void LogHistogram::add(double value) {
+  DINFOMAP_REQUIRE(value >= 0);
+  if (value < 1.0) {
+    ++zeros_;
+    return;
+  }
+  const auto bucket = static_cast<std::size_t>(std::floor(std::log10(value))) + 1;
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  if (zeros_ > 0) os << "[0,1)        : " << zeros_ << '\n';
+  for (std::size_t i = 1; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "[1e" << (i - 1) << ",1e" << i << ")  : " << buckets_[i] << '\n';
+  }
+  return os.str();
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace dinfomap::util

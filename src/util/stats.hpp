@@ -1,0 +1,42 @@
+// Small statistics helpers used by the balance / breakdown experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dinfomap::util {
+
+/// Five-number-style summary of a sample (plus mean and imbalance ratio).
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  /// max/mean — the "load imbalance factor" used to compare partitioners.
+  double imbalance = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& values);
+Summary summarize_counts(const std::vector<std::uint64_t>& values);
+
+/// Log10-bucketed histogram, mirroring the log-scale per-processor plots of
+/// Figs. 6–7 (buckets: [10^k, 10^(k+1))).
+class LogHistogram {
+ public:
+  void add(double value);
+  /// Lines like "1e+03..1e+04 : 12".
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // bucket i counts values in [10^(i-1), 10^i)
+  std::uint64_t zeros_ = 0;
+};
+
+/// Format a count with thousands separators for table output ("1,810,000").
+std::string with_commas(std::uint64_t value);
+
+}  // namespace dinfomap::util

@@ -1,0 +1,64 @@
+// Wall-clock timers over std::chrono::steady_clock.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+namespace dinfomap::util {
+
+/// Simple stopwatch: start() .. seconds().
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations; used for the Fig. 8 time breakdown.
+class PhaseTimer {
+ public:
+  /// Add `seconds` to phase `name`.
+  void add(const std::string& name, double seconds) { acc_[name] += seconds; }
+
+  /// Total accumulated for `name` (0 if never recorded).
+  [[nodiscard]] double total(const std::string& name) const {
+    auto it = acc_.find(name);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+
+  void clear() { acc_.clear(); }
+
+  [[nodiscard]] const std::unordered_map<std::string, double>& phases() const {
+    return acc_;
+  }
+
+ private:
+  std::unordered_map<std::string, double> acc_;
+};
+
+/// RAII helper: measures its own lifetime into a PhaseTimer entry.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { sink_.add(name_, timer_.seconds()); }
+
+ private:
+  PhaseTimer& sink_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace dinfomap::util

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/coarsen.hpp"
+#include "core/flowgraph.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+
+namespace dc = dinfomap::core;
+namespace dg = dinfomap::graph;
+
+namespace {
+dc::FlowGraph two_triangles() {
+  return dc::make_flow_graph(dg::build_csr(
+      {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}}));
+}
+}  // namespace
+
+TEST(Coarsen, TwoTrianglesToTwoVertices) {
+  const auto fg = two_triangles();
+  const auto result = dc::coarsen(fg, {0, 0, 0, 1, 1, 1});
+  EXPECT_EQ(result.graph.num_vertices(), 2u);
+  // Bridge edge: flow 1/14 each direction.
+  EXPECT_NEAR(result.graph.out_flow(0), 1.0 / 14.0, 1e-12);
+  // Intra flow becomes self flow: 3 edges × 1/14.
+  EXPECT_NEAR(result.graph.self_flow(0), 3.0 / 14.0, 1e-12);
+  // Node flow = half each (symmetric structure).
+  EXPECT_NEAR(result.graph.node_flow[0], 0.5, 1e-12);
+  EXPECT_TRUE(dc::validate_flow_graph(result.graph, /*level0=*/false));
+}
+
+TEST(Coarsen, FineToCoarseConsistent) {
+  const auto fg = two_triangles();
+  const auto result = dc::coarsen(fg, {9, 9, 9, 4, 4, 4});
+  // Dense relabel ascending: module 4 → 0, module 9 → 1.
+  EXPECT_EQ(result.fine_to_coarse[0], 1u);
+  EXPECT_EQ(result.fine_to_coarse[3], 0u);
+}
+
+TEST(Coarsen, IdentityPartitionPreservesGraph) {
+  const auto fg = two_triangles();
+  std::vector<dg::VertexId> identity(fg.num_vertices());
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto result = dc::coarsen(fg, identity);
+  EXPECT_EQ(result.graph.num_vertices(), fg.num_vertices());
+  for (dg::VertexId u = 0; u < fg.num_vertices(); ++u) {
+    EXPECT_NEAR(result.graph.node_flow[u], fg.node_flow[u], 1e-12);
+    EXPECT_NEAR(result.graph.out_flow(u), fg.out_flow(u), 1e-12);
+  }
+}
+
+TEST(Coarsen, TotalFlowConserved) {
+  const auto gg = dinfomap::graph::gen::lfr_lite({}, 5);
+  const auto fg = dc::make_flow_graph(dg::build_csr(gg.edges, gg.num_vertices));
+  const auto result = dc::coarsen(fg, *gg.ground_truth);
+  double total = 0;
+  for (auto f : result.graph.node_flow) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(dc::validate_flow_graph(result.graph, false));
+}
+
+TEST(Coarsen, CodelengthInvariantUnderContraction) {
+  // L(partition on fine graph) == L(singletons on coarse graph): the merge
+  // must not change the objective (Alg. 1's levels rely on this).
+  const auto gg = dinfomap::graph::gen::sbm(120, 6, 0.3, 0.02, 8);
+  const auto fg = dc::make_flow_graph(dg::build_csr(gg.edges, gg.num_vertices));
+  const auto& truth = *gg.ground_truth;
+  const double l_fine = dc::codelength_of_partition(fg, truth);
+
+  const auto coarse = dc::coarsen(fg, truth);
+  std::vector<dg::VertexId> singles(coarse.graph.num_vertices());
+  std::iota(singles.begin(), singles.end(), 0);
+  const double l_coarse = dc::codelength_of_partition(coarse.graph, singles);
+  EXPECT_NEAR(l_fine, l_coarse, 1e-10);
+}
+
+TEST(Coarsen, RepeatedCoarseningStable) {
+  const auto gg = dinfomap::graph::gen::ring_of_cliques(8, 4, 0);
+  auto fg = dc::make_flow_graph(dg::build_csr(gg.edges, gg.num_vertices));
+  // Contract cliques, then everything into one.
+  auto r1 = dc::coarsen(fg, *gg.ground_truth);
+  EXPECT_EQ(r1.graph.num_vertices(), 8u);
+  std::vector<dg::VertexId> all_one(8, 0);
+  auto r2 = dc::coarsen(r1.graph, all_one);
+  EXPECT_EQ(r2.graph.num_vertices(), 1u);
+  EXPECT_NEAR(r2.graph.node_flow[0], 1.0, 1e-12);
+  EXPECT_NEAR(r2.graph.out_flow(0), 0.0, 1e-12);
+}
+
+TEST(Coarsen, RejectsSizeMismatch) {
+  const auto fg = two_triangles();
+  EXPECT_THROW(dc::coarsen(fg, {0, 0}), dinfomap::ContractViolation);
+}

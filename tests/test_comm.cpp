@@ -1,0 +1,377 @@
+// Tests of the MPI-like runtime: point-to-point semantics, every collective,
+// counters, and failure behaviour — parameterized across rank counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "comm/runtime.hpp"
+
+namespace dc = dinfomap::comm;
+
+namespace {
+class CollectivesAtP : public ::testing::TestWithParam<int> {};
+}  // namespace
+
+TEST(Runtime, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  dc::Runtime::run(1, [&](dc::Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Runtime, EveryRankSeesDistinctRank) {
+  std::atomic<std::uint64_t> mask{0};
+  dc::Runtime::run(8, [&](dc::Comm& comm) {
+    mask.fetch_or(std::uint64_t{1} << comm.rank());
+  });
+  EXPECT_EQ(mask.load(), 0xffu);
+}
+
+TEST(Runtime, ZeroRanksRejected) {
+  EXPECT_THROW(dc::Runtime::run(0, [](dc::Comm&) {}),
+               dinfomap::ContractViolation);
+}
+
+TEST(Runtime, ExceptionPropagatesAndUnblocksPeers) {
+  EXPECT_THROW(dc::Runtime::run(4,
+                                [&](dc::Comm& comm) {
+                                  if (comm.rank() == 2)
+                                    throw std::runtime_error("rank 2 died");
+                                  // Peers block on a message that never comes;
+                                  // the abort must wake them.
+                                  (void)comm.recv_bytes(2, 7);
+                                }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, RoundTripTypedVector) {
+  dc::Runtime::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<int> payload{1, 2, 3, 4};
+      comm.send(1, 5, payload);
+    } else {
+      const auto got = comm.recv<int>(0, 5);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(PointToPoint, TagMatchingReordersDelivery) {
+  dc::Runtime::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, /*tag=*/10, 100);
+      comm.send_value<int>(1, /*tag=*/20, 200);
+    } else {
+      // Receive in reverse tag order: matching must skip the queued tag-10
+      // message.
+      EXPECT_EQ(comm.recv_value<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(PointToPoint, AnySourceMatches) {
+  dc::Runtime::run(3, [](dc::Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value<int>(0, 1, comm.rank());
+    } else {
+      int sum = 0;
+      sum += comm.recv_value<int>(dc::kAnySource, 1);
+      sum += comm.recv_value<int>(dc::kAnySource, 1);
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendWorksAndIsFree) {
+  dc::Runtime::run(1, [](dc::Comm& comm) {
+    comm.send_value<double>(0, 3, 2.5);
+    EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 3), 2.5);
+    EXPECT_EQ(comm.counters().p2p_messages, 0u);  // local copy, not traffic
+    EXPECT_EQ(comm.counters().p2p_bytes, 0u);
+  });
+}
+
+TEST(PointToPoint, EmptyPayload) {
+  dc::Runtime::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0)
+      comm.send_bytes(1, 9, {});
+    else
+      EXPECT_TRUE(comm.recv_bytes(0, 9).empty());
+  });
+}
+
+TEST(PointToPoint, ReservedTagRejected) {
+  dc::Runtime::run(1, [](dc::Comm& comm) {
+    EXPECT_THROW(comm.send_value<int>(0, dc::kCollectiveTagBase, 1),
+                 dinfomap::ContractViolation);
+  });
+}
+
+TEST(PointToPoint, CountersTrackTraffic) {
+  dc::Runtime::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>(10, 1.0));
+      EXPECT_EQ(comm.counters().p2p_messages, 1u);
+      EXPECT_EQ(comm.counters().p2p_bytes, 80u);
+    } else {
+      (void)comm.recv<double>(0, 1);
+      EXPECT_EQ(comm.counters().p2p_messages, 0u);  // receiving is free
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, CollectivesAtP,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST_P(CollectivesAtP, BarrierCompletes) {
+  dc::Runtime::run(GetParam(), [](dc::Comm& comm) {
+    for (int i = 0; i < 5; ++i) comm.barrier();
+  });
+}
+
+TEST_P(CollectivesAtP, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data;
+      if (comm.rank() == root) data = {root, root + 1, root + 2};
+      comm.bcast(root, data);
+      EXPECT_EQ(data, (std::vector<int>{root, root + 1, root + 2}));
+    }
+  });
+}
+
+TEST_P(CollectivesAtP, BcastValue) {
+  dc::Runtime::run(GetParam(), [](dc::Comm& comm) {
+    const double got = comm.bcast_value(0, comm.rank() == 0 ? 3.25 : -1.0);
+    EXPECT_DOUBLE_EQ(got, 3.25);
+  });
+}
+
+TEST_P(CollectivesAtP, AllgatherValueOrdersByRank) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    const auto all = comm.allgather_value(10 * comm.rank());
+    ASSERT_EQ(static_cast<int>(all.size()), p);
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[r], 10 * r);
+  });
+}
+
+TEST_P(CollectivesAtP, AllgathervVariableSizes) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    std::vector<int> mine(comm.rank(), comm.rank());  // rank r sends r copies
+    const auto all = comm.allgatherv(mine);
+    ASSERT_EQ(static_cast<int>(all.size()), p);
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(static_cast<int>(all[r].size()), r);
+      for (int x : all[r]) EXPECT_EQ(x, r);
+    }
+  });
+}
+
+TEST_P(CollectivesAtP, AllreduceSumMinMax) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    EXPECT_EQ(comm.allreduce(comm.rank() + 1, dc::ReduceOp::kSum),
+              p * (p + 1) / 2);
+    EXPECT_EQ(comm.allreduce(comm.rank(), dc::ReduceOp::kMin), 0);
+    EXPECT_EQ(comm.allreduce(comm.rank(), dc::ReduceOp::kMax), p - 1);
+  });
+}
+
+TEST_P(CollectivesAtP, AllreduceLogicalOps) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    const int mine_and = comm.rank() == 0 ? 0 : 1;
+    EXPECT_EQ(comm.allreduce(mine_and, dc::ReduceOp::kLogicalAnd), p == 1 ? 0 : 0);
+    const int mine_or = comm.rank() == p - 1 ? 1 : 0;
+    EXPECT_EQ(comm.allreduce(mine_or, dc::ReduceOp::kLogicalOr), 1);
+  });
+}
+
+TEST_P(CollectivesAtP, AllreduceVectorElementwise) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    const std::vector<double> mine = {1.0, static_cast<double>(comm.rank())};
+    const auto total = comm.allreduce(mine, dc::ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(total[0], p);
+    EXPECT_DOUBLE_EQ(total[1], p * (p - 1) / 2.0);
+  });
+}
+
+TEST_P(CollectivesAtP, AllreduceFloatIsIdenticalOnAllRanks) {
+  const int p = GetParam();
+  std::vector<double> results(p);
+  dc::Runtime::run(p, [&](dc::Comm& comm) {
+    // Awkward magnitudes to expose order-dependent rounding.
+    const double mine = comm.rank() % 2 == 0 ? 1e16 : 1.0;
+    results[comm.rank()] = comm.allreduce(mine, dc::ReduceOp::kSum);
+  });
+  for (int r = 1; r < p; ++r) EXPECT_EQ(results[0], results[r]);
+}
+
+TEST_P(CollectivesAtP, AlltoallvPersonalizedExchange) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    std::vector<std::vector<int>> out(p);
+    for (int dest = 0; dest < p; ++dest)
+      out[dest] = {comm.rank() * 100 + dest};
+    const auto in = comm.alltoallv(out);
+    ASSERT_EQ(static_cast<int>(in.size()), p);
+    for (int src = 0; src < p; ++src) {
+      ASSERT_EQ(in[src].size(), 1u);
+      EXPECT_EQ(in[src][0], src * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectivesAtP, AlltoallvEmptyLanes) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    std::vector<std::vector<int>> out(p);  // everything empty
+    const auto in = comm.alltoallv(out);
+    for (const auto& lane : in) EXPECT_TRUE(lane.empty());
+  });
+}
+
+TEST_P(CollectivesAtP, GathervCollectsAtRoot) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    const std::vector<std::byte> mine(static_cast<std::size_t>(comm.rank()),
+                                      std::byte{0xAB});
+    const auto got = comm.gatherv_bytes(0, mine);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(got.size()), p);
+      for (int r = 0; r < p; ++r)
+        EXPECT_EQ(static_cast<int>(got[r].size()), r);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesAtP, MixedSequenceStaysConsistent) {
+  // Interleave collectives and p2p to exercise tag sequencing.
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    for (int iter = 0; iter < 10; ++iter) {
+      const int sum = comm.allreduce(1, dc::ReduceOp::kSum);
+      EXPECT_EQ(sum, p);
+      if (p > 1) {
+        const int partner = (comm.rank() + 1) % p;
+        comm.send_value<int>(partner, 3, iter);
+        const int got = comm.recv_value<int>((comm.rank() + p - 1) % p, 3);
+        EXPECT_EQ(got, iter);
+      }
+      comm.barrier();
+    }
+  });
+}
+
+TEST_P(CollectivesAtP, ScattervDeliversSlices) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    std::vector<std::vector<int>> slices;
+    if (comm.rank() == 0) {
+      slices.resize(p);
+      for (int r = 0; r < p; ++r) slices[r].assign(r + 1, r * 7);
+    }
+    const auto mine = comm.scatterv(0, slices);
+    ASSERT_EQ(static_cast<int>(mine.size()), comm.rank() + 1);
+    for (int x : mine) EXPECT_EQ(x, comm.rank() * 7);
+  });
+}
+
+TEST_P(CollectivesAtP, TypedGathervAtRoot) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    const std::vector<double> mine(comm.rank(), 0.5);
+    const auto got = comm.gatherv(0, mine);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(got.size()), p);
+      for (int r = 0; r < p; ++r)
+        EXPECT_EQ(static_cast<int>(got[r].size()), r);
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesAtP, ReduceValueAtRoot) {
+  const int p = GetParam();
+  dc::Runtime::run(p, [p](dc::Comm& comm) {
+    const int total = comm.reduce_value(0, comm.rank() + 1, dc::ReduceOp::kSum);
+    if (comm.rank() == 0)
+      EXPECT_EQ(total, p * (p + 1) / 2);
+    else
+      EXPECT_EQ(total, 0);  // non-roots get T{}
+  });
+}
+
+TEST(PendingRecv, ReadyAndWait) {
+  dc::Runtime::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 5);
+      // Signal readiness through another tag, then the payload arrives.
+      comm.send_value<int>(1, 1, 0);
+      const auto data = req.wait_as<int>();
+      EXPECT_EQ(data, (std::vector<int>{42}));
+    } else {
+      (void)comm.recv_value<int>(0, 1);
+      comm.send_value<int>(0, 5, 42);
+    }
+  });
+}
+
+TEST(PendingRecv, ReadyReflectsQueueState) {
+  dc::Runtime::run(2, [](dc::Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 9);
+      EXPECT_FALSE(req.ready());  // nothing sent yet
+      comm.barrier();             // rank 1 sends before this completes
+      comm.barrier();
+      EXPECT_TRUE(req.ready());
+      EXPECT_EQ(req.wait_as<double>().front(), 2.5);
+    } else {
+      comm.barrier();
+      comm.send_value<double>(0, 9, 2.5);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(PendingRecv, DoubleWaitRejected) {
+  dc::Runtime::run(1, [](dc::Comm& comm) {
+    comm.send_value<int>(0, 3, 1);
+    auto req = comm.irecv(0, 3);
+    (void)req.wait();
+    EXPECT_THROW((void)req.wait(), dinfomap::ContractViolation);
+  });
+}
+
+TEST(Counters, CollectiveTrafficCounted) {
+  dc::Runtime::run(4, [](dc::Comm& comm) {
+    comm.barrier();
+    EXPECT_GT(comm.counters().collective_messages, 0u);
+    EXPECT_EQ(comm.counters().collective_calls, 1u);
+  });
+}
+
+TEST(Counters, JobReportAggregates) {
+  const auto report = dc::Runtime::run(3, [](dc::Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 1, std::vector<int>{1, 2, 3});
+    if (comm.rank() == 1) (void)comm.recv<int>(0, 1);
+    comm.barrier();
+  });
+  ASSERT_EQ(report.counters.size(), 3u);
+  EXPECT_EQ(report.counters[0].p2p_messages, 1u);
+  EXPECT_EQ(report.counters[0].p2p_bytes, 12u);
+  EXPECT_EQ(report.counters[1].p2p_messages, 0u);
+}

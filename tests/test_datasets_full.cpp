@@ -1,0 +1,58 @@
+// Full registry validation, including the medium/large stand-ins the light
+// io tests skip: every dataset builds a valid CSR with the degree profile
+// its family promises.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "io/datasets.hpp"
+
+namespace dg = dinfomap::graph;
+namespace dio = dinfomap::io;
+
+namespace {
+class EveryDataset : public ::testing::TestWithParam<const char*> {};
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Registry, EveryDataset,
+                         ::testing::Values("friendster", "uk2007", "uk2005",
+                                           "webbase2001", "ndweb",
+                                           "livejournal", "youtube", "dblp",
+                                           "amazon"));
+
+TEST_P(EveryDataset, BuildsValidGraphWithExpectedProfile) {
+  const auto& spec = dio::dataset_spec(GetParam());
+  const auto gen = dio::load_dataset(GetParam());
+  EXPECT_EQ(gen.ground_truth.has_value(), spec.has_ground_truth);
+
+  const auto g = dg::build_csr(gen.edges, gen.num_vertices);
+  EXPECT_GT(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_vertices(), gen.num_vertices);
+
+  const auto stats = dg::degree_stats(g, 0);
+  // All stand-ins are connected-ish community/web graphs, not near-empty.
+  EXPECT_GT(stats.mean_degree, 2.0) << spec.paper_name;
+
+  // The web-crawl stand-ins must carry a strong hub tail (the property the
+  // delegate partitioning targets); the LFR stand-ins a bounded one.
+  const bool web_family = spec.name == "uk2007" || spec.name == "uk2005" ||
+                          spec.name == "webbase2001" || spec.name == "ndweb";
+  if (web_family) {
+    EXPECT_GT(static_cast<double>(stats.max_degree), 20.0 * stats.mean_degree)
+        << spec.paper_name;
+  }
+  // Cheap structural audit on the smaller graphs only (validate is O(E log E)).
+  if (g.num_edges() < 100000) {
+    EXPECT_TRUE(g.validate());
+  }
+}
+
+TEST(DatasetsFull, SizesAreTractableAndOrdered) {
+  // Guard the experiment runtime budget: small < medium < large stand-ins.
+  const auto small = dg::build_csr(dio::load_dataset("amazon").edges);
+  const auto medium = dg::build_csr(dio::load_dataset("youtube").edges);
+  const auto large = dg::build_csr(dio::load_dataset("uk2007").edges);
+  EXPECT_LT(small.num_edges(), medium.num_edges());
+  EXPECT_LT(medium.num_edges(), large.num_edges());
+  EXPECT_LT(large.num_edges(), 2'000'000u);  // one-core budget ceiling
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/dist_louvain.hpp"
+#include "core/louvain.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "quality/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dc = dinfomap::core;
+namespace dg = dinfomap::graph;
+namespace gen = dinfomap::graph::gen;
+
+TEST(DistLouvain, RecoversRingOfCliques) {
+  const auto gg = gen::ring_of_cliques(8, 5, 0);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  for (int p : {1, 2, 4}) {
+    const auto result = dc::distributed_louvain(g, p);
+    EXPECT_GT(dinfomap::quality::nmi(result.assignment, *gg.ground_truth), 0.95)
+        << "p=" << p;
+  }
+}
+
+TEST(DistLouvain, ReportedModularityMatchesAssignment) {
+  const auto gg = gen::sbm(240, 6, 0.25, 0.01, 3);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto result = dc::distributed_louvain(g, 3);
+  EXPECT_NEAR(result.modularity,
+              dinfomap::quality::modularity(g, result.assignment), 1e-12);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(DistLouvain, CloseToSequentialLouvain) {
+  const auto gg = gen::lfr_lite({}, 17);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto seq = dc::louvain(g);
+  const auto dist = dc::distributed_louvain(g, 4);
+  EXPECT_GT(dist.modularity, seq.modularity * 0.9);
+}
+
+TEST(DistLouvain, DeterministicRepeat) {
+  const auto gg = gen::lfr_lite({}, 23);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto a = dc::distributed_louvain(g, 3);
+  const auto b = dc::distributed_louvain(g, 3);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(DistLouvain, WorkAndCommTracked) {
+  const auto gg = gen::lfr_lite({}, 29);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto result = dc::distributed_louvain(g, 4);
+  ASSERT_EQ(result.work_per_rank.size(), 4u);
+  std::uint64_t arcs = 0, bytes = 0;
+  for (const auto& w : result.work_per_rank) {
+    arcs += w.arcs_scanned;
+    bytes += w.bytes;
+  }
+  EXPECT_GT(arcs, 0u);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_GT(result.total_rounds, 0);
+  EXPECT_GE(result.levels, 1);
+}
+
+TEST(DistLouvain, RejectsZeroRanks) {
+  const auto g = dg::build_csr({{0, 1}});
+  EXPECT_THROW(dc::distributed_louvain(g, 0), dinfomap::ContractViolation);
+}

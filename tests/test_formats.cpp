@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/formats.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+
+namespace dg = dinfomap::graph;
+
+namespace {
+class FormatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dinfomap_fmt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+void expect_same_graph(const dg::Csr& a, const dg::Csr& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (dg::VertexId u = 0; u < a.num_vertices(); ++u) {
+    ASSERT_EQ(a.degree(u), b.degree(u)) << "u=" << u;
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i].target, nb[i].target);
+      EXPECT_DOUBLE_EQ(na[i].weight, nb[i].weight);
+    }
+    EXPECT_DOUBLE_EQ(a.self_weight(u), b.self_weight(u));
+  }
+}
+}  // namespace
+
+TEST_F(FormatsTest, MetisRoundTripUnweighted) {
+  const auto gg = dg::gen::ring_of_cliques(4, 4, 0);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  dg::write_metis(path("g.metis"), g);
+  expect_same_graph(g, dg::read_metis(path("g.metis")));
+}
+
+TEST_F(FormatsTest, MetisRoundTripWeighted) {
+  const auto g = dg::build_csr({{0, 1, 2.5}, {1, 2, 1.0}, {0, 2, 0.75}});
+  dg::write_metis(path("w.metis"), g);
+  expect_same_graph(g, dg::read_metis(path("w.metis")));
+}
+
+TEST_F(FormatsTest, MetisRejectsSelfLoops) {
+  const auto g = dg::build_csr({{0, 0, 1.0}, {0, 1, 1.0}});
+  EXPECT_THROW(dg::write_metis(path("x.metis"), g),
+               dinfomap::ContractViolation);
+}
+
+TEST_F(FormatsTest, MetisCommentsAndCountMismatch) {
+  {
+    std::ofstream out(path("c.metis"));
+    out << "% comment\n3 2\n2 3\n1\n1\n";
+  }
+  const auto g = dg::read_metis(path("c.metis"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  {
+    std::ofstream out(path("bad.metis"));
+    out << "3 5\n2 3\n1\n1\n";  // claims 5 edges, has 2
+  }
+  EXPECT_THROW((void)dg::read_metis(path("bad.metis")), std::runtime_error);
+}
+
+TEST_F(FormatsTest, MetisRejectsVertexWeights) {
+  std::ofstream out(path("vw.metis"));
+  out << "2 1 10\n5 2\n5 1\n";
+  out.close();
+  EXPECT_THROW((void)dg::read_metis(path("vw.metis")), std::runtime_error);
+}
+
+TEST_F(FormatsTest, PajekRoundTripWithSelfLoops) {
+  const auto g = dg::build_csr({{0, 0, 2.0}, {0, 1, 1.5}, {1, 2, 1.0}});
+  dg::write_pajek(path("g.net"), g);
+  expect_same_graph(g, dg::read_pajek(path("g.net")));
+}
+
+TEST_F(FormatsTest, PajekSkipsVertexLabels) {
+  std::ofstream out(path("l.net"));
+  out << "*Vertices 3\n1 \"alpha\"\n2 \"beta\"\n3 \"gamma\"\n*Edges\n1 2\n2 3 2.0\n";
+  out.close();
+  const auto g = dg::read_pajek(path("l.net"));
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.neighbors(1)[1].weight, 2.0);
+}
+
+TEST_F(FormatsTest, PajekRejectsMalformed) {
+  {
+    std::ofstream out(path("noheader.net"));
+    out << "1 2\n";
+  }
+  EXPECT_THROW((void)dg::read_pajek(path("noheader.net")), std::runtime_error);
+  {
+    std::ofstream out(path("range.net"));
+    out << "*Vertices 2\n*Edges\n1 5\n";
+  }
+  EXPECT_THROW((void)dg::read_pajek(path("range.net")), std::runtime_error);
+  {
+    std::ofstream out(path("noedges.net"));
+    out << "*Vertices 2\n1 \"a\"\n2 \"b\"\n";
+  }
+  EXPECT_THROW((void)dg::read_pajek(path("noedges.net")), std::runtime_error);
+}
+
+TEST(WattsStrogatz, LatticeAtBetaZero) {
+  const auto g = dg::gen::watts_strogatz(20, 4, 0.0, 1);
+  EXPECT_EQ(g.edges.size(), 40u);  // n·k/2
+  const auto csr = dg::build_csr(g.edges, g.num_vertices);
+  for (dg::VertexId v = 0; v < 20; ++v) EXPECT_EQ(csr.degree(v), 4u);
+}
+
+TEST(WattsStrogatz, RewiringChangesStructure) {
+  const auto lattice = dg::gen::watts_strogatz(200, 6, 0.0, 2);
+  const auto rewired = dg::gen::watts_strogatz(200, 6, 0.5, 2);
+  EXPECT_NE(lattice.edges, rewired.edges);
+  // Edge count can only drop slightly (rejected rewires are skipped).
+  EXPECT_GT(rewired.edges.size(), lattice.edges.size() * 9 / 10);
+}
+
+TEST(WattsStrogatz, RejectsBadParams) {
+  EXPECT_THROW(dg::gen::watts_strogatz(10, 3, 0.1, 1),
+               dinfomap::ContractViolation);  // odd k
+  EXPECT_THROW(dg::gen::watts_strogatz(4, 4, 0.1, 1),
+               dinfomap::ContractViolation);  // n <= k
+  EXPECT_THROW(dg::gen::watts_strogatz(10, 4, 1.5, 1),
+               dinfomap::ContractViolation);  // beta
+}

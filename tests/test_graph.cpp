@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/stats.hpp"
+#include "util/check.hpp"
+
+namespace dg = dinfomap::graph;
+
+namespace {
+/// Triangle 0-1-2 plus pendant 3 attached to 0.
+dg::Csr triangle_plus_pendant() {
+  return dg::build_csr({{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+}
+}  // namespace
+
+TEST(Builder, BasicCsrShape) {
+  const auto g = triangle_plus_pendant();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_arcs(), 8u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Builder, AdjacencySortedAndSymmetric) {
+  const auto g = triangle_plus_pendant();
+  const auto nb0 = g.neighbors(0);
+  ASSERT_EQ(nb0.size(), 3u);
+  EXPECT_EQ(nb0[0].target, 1u);
+  EXPECT_EQ(nb0[1].target, 2u);
+  EXPECT_EQ(nb0[2].target, 3u);
+}
+
+TEST(Builder, DuplicateEdgesCombineWeights) {
+  const auto g = dg::build_csr({{0, 1, 1.0}, {1, 0, 2.0}, {0, 1, 0.5}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 3.5);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 3.5);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Builder, DuplicateKeepFirstWhenCombineOff) {
+  dg::BuildOptions opt;
+  opt.combine_duplicates = false;
+  const auto g = dg::build_csr({{0, 1, 1.0}, {1, 0, 2.0}}, 0, opt);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 1.0);
+}
+
+TEST(Builder, SelfLoopsGoToSelfWeight) {
+  const auto g = dg::build_csr({{0, 0, 2.0}, {0, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(g.self_weight(0), 2.0);
+  EXPECT_EQ(g.degree(0), 1u);  // self-loop not in adjacency
+  EXPECT_DOUBLE_EQ(g.total_link_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+}
+
+TEST(Builder, SelfLoopsDroppedOnRequest) {
+  dg::BuildOptions opt;
+  opt.drop_self_loops = true;
+  const auto g = dg::build_csr({{0, 0, 2.0}, {0, 1, 1.0}}, 0, opt);
+  EXPECT_DOUBLE_EQ(g.self_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 1.0);
+}
+
+TEST(Builder, ExplicitVertexCountKeepsIsolated) {
+  const auto g = dg::build_csr({{0, 1}}, 5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(dg::build_csr({{0, 7}}, 3), dinfomap::ContractViolation);
+}
+
+TEST(Builder, RejectsNonPositiveWeight) {
+  EXPECT_THROW(dg::build_csr({{0, 1, 0.0}}), dinfomap::ContractViolation);
+  EXPECT_THROW(dg::build_csr({{0, 1, -1.0}}), dinfomap::ContractViolation);
+}
+
+TEST(Csr, WeightedDegreeAndTotals) {
+  const auto g = dg::build_csr({{0, 1, 2.0}, {1, 2, 3.0}});
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_link_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 5.0);
+}
+
+TEST(Csr, EmptyGraphRejectedByCtor) {
+  EXPECT_THROW(dg::Csr({}, {}, {}), dinfomap::ContractViolation);
+}
+
+TEST(Stats, DegreeStatsFindHubs) {
+  // Star: vertex 0 connects to 1..9.
+  dg::EdgeList edges;
+  for (dg::VertexId v = 1; v < 10; ++v) edges.push_back({0, v});
+  const auto g = dg::build_csr(edges);
+  const auto s = dg::degree_stats(g, 4);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_EQ(s.hubs_above, 1u);
+  EXPECT_DOUBLE_EQ(s.hub_arc_fraction, 0.5);  // 9 of 18 arcs touch the hub
+  EXPECT_NEAR(s.mean_degree, 1.8, 1e-12);
+}
+
+TEST(Stats, DegreeHistogramCapsAtLastBucket) {
+  dg::EdgeList edges;
+  for (dg::VertexId v = 1; v < 10; ++v) edges.push_back({0, v});
+  const auto g = dg::build_csr(edges);
+  const auto hist = dg::degree_histogram(g, 4);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[1], 9u);  // nine leaves
+  EXPECT_EQ(hist[4], 1u);  // hub capped into bucket 4
+}

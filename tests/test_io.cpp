@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/edgelist_io.hpp"
+#include "io/clustering_io.hpp"
+#include "io/datasets.hpp"
+
+namespace dg = dinfomap::graph;
+namespace dio = dinfomap::io;
+
+namespace {
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dinfomap_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+using EdgeListIo = TempDir;
+using ClusteringIo = TempDir;
+}  // namespace
+
+TEST_F(EdgeListIo, RoundTrip) {
+  const dg::EdgeList edges = {{0, 1, 1.0}, {1, 2, 2.5}, {0, 3, 1.0}};
+  dg::write_edge_list(path("g.txt"), edges);
+  const auto back = dg::read_edge_list(path("g.txt"));
+  EXPECT_EQ(back, edges);
+}
+
+TEST_F(EdgeListIo, CommentsAndDefaultsAndBlankLines) {
+  std::ofstream out(path("g.txt"));
+  out << "# comment\n% another style\n\n0 1\n2 3 4.5\n";
+  out.close();
+  const auto edges = dg::read_edge_list(path("g.txt"));
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges[0].w, 1.0);
+  EXPECT_DOUBLE_EQ(edges[1].w, 4.5);
+}
+
+TEST_F(EdgeListIo, MalformedLineReportsLineNumber) {
+  std::ofstream out(path("bad.txt"));
+  out << "0 1\nnot numbers\n";
+  out.close();
+  try {
+    (void)dg::read_edge_list(path("bad.txt"));
+    FAIL() << "should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos);
+  }
+}
+
+TEST_F(EdgeListIo, NegativeWeightRejected) {
+  std::ofstream out(path("neg.txt"));
+  out << "0 1 -3\n";
+  out.close();
+  EXPECT_THROW((void)dg::read_edge_list(path("neg.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW((void)dg::read_edge_list(path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(EdgeListIo, BinaryRoundTrip) {
+  const dg::EdgeList edges = {{0, 1, 1.0}, {1, 2, 2.5}, {100000, 3, 0.125}};
+  dg::write_edge_list_binary(path("g.bin"), edges);
+  EXPECT_EQ(dg::read_edge_list_binary(path("g.bin")), edges);
+}
+
+TEST_F(EdgeListIo, BinaryRejectsWrongMagic) {
+  std::ofstream out(path("bad.bin"), std::ios::binary);
+  out << "NOPEnope";
+  out.close();
+  EXPECT_THROW((void)dg::read_edge_list_binary(path("bad.bin")),
+               std::runtime_error);
+}
+
+TEST_F(EdgeListIo, BinaryRejectsTruncation) {
+  const dg::EdgeList edges = {{0, 1, 1.0}, {1, 2, 2.5}};
+  dg::write_edge_list_binary(path("t.bin"), edges);
+  // Chop the last 8 bytes off.
+  const auto full = std::filesystem::file_size(path("t.bin"));
+  std::filesystem::resize_file(path("t.bin"), full - 8);
+  EXPECT_THROW((void)dg::read_edge_list_binary(path("t.bin")),
+               std::runtime_error);
+}
+
+TEST_F(ClusteringIo, RoundTrip) {
+  const dg::Partition p = {0, 0, 1, 2, 1};
+  dio::write_clustering(path("c.txt"), p);
+  EXPECT_EQ(dio::read_clustering(path("c.txt")), p);
+}
+
+TEST_F(ClusteringIo, MissingVertexDetected) {
+  std::ofstream out(path("c.txt"));
+  out << "0 0\n2 1\n";  // vertex 1 missing
+  out.close();
+  EXPECT_THROW((void)dio::read_clustering(path("c.txt")), std::runtime_error);
+}
+
+TEST(Datasets, RegistryCoversTableOne) {
+  const auto& reg = dio::dataset_registry();
+  EXPECT_EQ(reg.size(), 9u);  // the nine Table 1 rows
+  for (const auto& spec : reg) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.paper_name.empty());
+  }
+}
+
+TEST(Datasets, SpecLookup) {
+  EXPECT_EQ(dio::dataset_spec("amazon").paper_name, "Amazon");
+  EXPECT_THROW(dio::dataset_spec("nosuch"), std::out_of_range);
+}
+
+TEST(Datasets, LoadsAreDeterministic) {
+  const auto a = dio::load_dataset("amazon");
+  const auto b = dio::load_dataset("amazon");
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Datasets, GroundTruthFlagsAccurate) {
+  for (const auto& spec : dio::dataset_registry()) {
+    if (spec.size != dio::DatasetSpec::Size::kSmall) continue;  // keep it fast
+    const auto g = dio::load_dataset(spec.name);
+    EXPECT_EQ(g.ground_truth.has_value(), spec.has_ground_truth) << spec.name;
+    const auto csr = dg::build_csr(g.edges, g.num_vertices);
+    EXPECT_GT(csr.num_edges(), 0u);
+  }
+}

@@ -1,0 +1,165 @@
+// Map-equation math: plogp, flow graphs, and the incremental ΔL against
+// from-scratch recomputation (the property the whole optimizer rests on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/flowgraph.hpp"
+#include "core/mapequation.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace dc = dinfomap::core;
+namespace dg = dinfomap::graph;
+
+TEST(Plogp, BasicsAndZeroExtension) {
+  EXPECT_DOUBLE_EQ(dc::plogp(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dc::plogp(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dc::plogp(0.5), -0.5);
+  EXPECT_DOUBLE_EQ(dc::plogp(2.0), 2.0);
+}
+
+TEST(FlowGraph, NodeFlowsSumToOne) {
+  const auto g = dg::build_csr({{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto fg = dc::make_flow_graph(g);
+  EXPECT_TRUE(dc::validate_flow_graph(fg, /*level0=*/true));
+  double sum = 0;
+  for (auto f : fg.node_flow) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Vertex 2 has degree 3 of 8 arc-ends.
+  EXPECT_NEAR(fg.node_flow[2], 3.0 / 8.0, 1e-12);
+}
+
+TEST(FlowGraph, SelfLoopsExcludedFromLinkFlowButKeptInNodeFlow) {
+  const auto g = dg::build_csr({{0, 1, 1.0}, {0, 0, 2.0}});
+  const auto fg = dc::make_flow_graph(g);
+  // 2W counts only the non-self edge: flows normalized by 2.
+  EXPECT_NEAR(fg.out_flow(0), 0.5, 1e-12);
+  EXPECT_NEAR(fg.self_flow(0), 1.0, 1e-12);
+  EXPECT_NEAR(fg.node_flow[0], 1.5, 1e-12);
+}
+
+TEST(FlowGraph, RejectsGraphWithoutLinks) {
+  const auto g = dg::build_csr({{0, 0, 1.0}}, 2);
+  EXPECT_THROW(dc::make_flow_graph(g), dinfomap::ContractViolation);
+}
+
+TEST(CodelengthTerms, TwoCliquesKnownValue) {
+  // Two triangles bridged by one edge; modules = the triangles.
+  const auto g = dg::build_csr(
+      {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto fg = dc::make_flow_graph(g);
+  const std::vector<dg::VertexId> mods = {0, 0, 0, 1, 1, 1};
+  const double L = dc::codelength_of_partition(fg, mods);
+  // Hand-computed: W = 7, q_m = 1/14 each, q_tot = 1/7, p_m = 1/2.
+  const double q = 1.0 / 14.0;
+  double expected = dc::plogp(2 * q) - 2 * (2 * dc::plogp(q));
+  expected += 2 * dc::plogp(q + 0.5);
+  double node_term = 0;
+  for (auto f : fg.node_flow) node_term += dc::plogp(f);
+  expected -= node_term;
+  EXPECT_NEAR(L, expected, 1e-12);
+}
+
+TEST(CodelengthTerms, AllInOneModuleHasZeroExit) {
+  const auto g = dg::build_csr({{0, 1}, {1, 2}, {0, 2}});
+  const auto fg = dc::make_flow_graph(g);
+  const double L = dc::codelength_of_partition(fg, {7, 7, 7});
+  // Single module: L = −Σ plogp(p_α) + plogp(1) = entropy of visit probs.
+  double expected = 0;
+  for (auto f : fg.node_flow) expected -= dc::plogp(f);
+  EXPECT_NEAR(L, expected, 1e-12);
+}
+
+TEST(CodelengthTerms, SingletonsBeatNothingOnCliquePair) {
+  const auto g = dg::build_csr(
+      {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  const auto fg = dc::make_flow_graph(g);
+  std::vector<dg::VertexId> singles(6);
+  std::iota(singles.begin(), singles.end(), 0);
+  const double l_singles = dc::codelength_of_partition(fg, singles);
+  const double l_truth = dc::codelength_of_partition(fg, {0, 0, 0, 1, 1, 1});
+  EXPECT_LT(l_truth, l_singles);  // communities compress the walk
+}
+
+// The central property: evaluate_move's ΔL equals L(after) − L(before)
+// recomputed from scratch, for random moves on random graphs.
+class DeltaConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaConsistency,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST_P(DeltaConsistency, IncrementalMatchesRecompute) {
+  const auto gg = dinfomap::graph::gen::sbm(60, 4, 0.3, 0.05, GetParam());
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto fg = dc::make_flow_graph(g);
+  const dg::VertexId n = fg.num_vertices();
+
+  dinfomap::util::Xoshiro256 rng(GetParam() * 977);
+  // Random starting assignment into 6 modules.
+  std::vector<dg::VertexId> mods(n);
+  for (auto& m : mods) m = static_cast<dg::VertexId>(rng.bounded(6));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto u = static_cast<dg::VertexId>(rng.bounded(n));
+    // Move u to the module of a random neighbor.
+    const auto nbs = fg.csr.neighbors(u);
+    if (nbs.empty()) continue;
+    const auto target = mods[nbs[rng.bounded(nbs.size())].target];
+    const auto cur = mods[u];
+    if (target == cur) continue;
+
+    // Build MoveDelta from scratch.
+    dc::MoveDelta d;
+    d.p_u = fg.node_flow[u];
+    d.f_u = fg.out_flow(u);
+    d.q_total = 0;
+    double f_to_old = 0, f_to_new = 0;
+    for (const auto& nb : nbs) {
+      if (mods[nb.target] == cur) f_to_old += nb.weight;
+      if (mods[nb.target] == target) f_to_new += nb.weight;
+    }
+    d.f_to_old = f_to_old;
+    d.f_to_new = f_to_new;
+    // Module stats from scratch.
+    std::unordered_map<dg::VertexId, dc::ModuleStats> stats;
+    for (dg::VertexId v = 0; v < n; ++v) {
+      auto& s = stats[mods[v]];
+      s.sum_pr += fg.node_flow[v];
+      s.num_members += 1;
+      for (const auto& nb : fg.csr.neighbors(v))
+        if (mods[nb.target] != mods[v]) s.exit_pr += nb.weight;
+    }
+    for (const auto& [id, s] : stats) d.q_total += s.exit_pr;
+    d.old_stats = stats.at(cur);
+    d.new_stats = stats.at(target);
+
+    const double before = dc::codelength_of_partition(fg, mods);
+    const auto out = dc::evaluate_move(d);
+    mods[u] = target;
+    const double after = dc::codelength_of_partition(fg, mods);
+    EXPECT_NEAR(out.delta_codelength, after - before, 1e-10)
+        << "trial " << trial << " u=" << u;
+  }
+}
+
+TEST(EvaluateMove, SymmetricMoveRoundTripsToZero) {
+  // Moving u A→B then B→A with consistent stats must cancel.
+  const auto gg = dinfomap::graph::gen::ring_of_cliques(4, 5, 0);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto fg = dc::make_flow_graph(g);
+  std::vector<dg::VertexId> mods = *gg.ground_truth;
+
+  const dg::VertexId u = 0;
+  const double before = dc::codelength_of_partition(fg, mods);
+  mods[u] = 1;
+  const double mid = dc::codelength_of_partition(fg, mods);
+  mods[u] = 0;
+  const double after = dc::codelength_of_partition(fg, mods);
+  EXPECT_NEAR(before, after, 1e-12);
+  EXPECT_NE(before, mid);
+}

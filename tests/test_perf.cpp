@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "perf/cost_model.hpp"
+#include "perf/work_counters.hpp"
+
+namespace dp = dinfomap::perf;
+
+TEST(WorkCounters, AccumulateAndAdd) {
+  dp::WorkCounters a{1, 2, 3, 4, 5};
+  const dp::WorkCounters b{10, 20, 30, 40, 50};
+  a += b;
+  EXPECT_EQ(a.arcs_scanned, 11u);
+  EXPECT_EQ(a.bytes, 55u);
+  const auto c = a + b;
+  EXPECT_EQ(c.messages, 84u);
+}
+
+TEST(CostModel, ZeroWorkIsZeroTime) {
+  const dp::CostModel model;
+  EXPECT_DOUBLE_EQ(model.seconds({}), 0.0);
+}
+
+TEST(CostModel, ComputeAndCommSplit) {
+  const dp::CostModel model;
+  dp::WorkCounters w;
+  w.arcs_scanned = 1000;
+  w.messages = 10;
+  w.bytes = 1 << 20;
+  EXPECT_DOUBLE_EQ(model.compute_seconds(w), 1000 * model.sec_per_arc);
+  EXPECT_DOUBLE_EQ(model.comm_seconds(w),
+                   10 * model.alpha + (1 << 20) * model.beta);
+  EXPECT_DOUBLE_EQ(model.seconds(w),
+                   model.compute_seconds(w) + model.comm_seconds(w));
+}
+
+TEST(CostModel, MonotoneInEveryCounter) {
+  const dp::CostModel model;
+  dp::WorkCounters base{100, 100, 100, 100, 100};
+  const double t0 = model.seconds(base);
+  for (auto field : {&dp::WorkCounters::arcs_scanned, &dp::WorkCounters::delta_evals,
+                     &dp::WorkCounters::module_updates, &dp::WorkCounters::messages,
+                     &dp::WorkCounters::bytes}) {
+    dp::WorkCounters more = base;
+    more.*field += 1000;
+    EXPECT_GT(model.seconds(more), t0);
+  }
+}
+
+TEST(BspSeconds, SlowestRankGates) {
+  const dp::CostModel model;
+  dp::WorkCounters light, heavy;
+  light.arcs_scanned = 10;
+  heavy.arcs_scanned = 1000;
+  const double t = dp::bsp_seconds({light, heavy, light}, model);
+  EXPECT_DOUBLE_EQ(t, model.seconds(heavy));
+}
+
+TEST(BspSeconds, EmptyFleetIsZero) {
+  EXPECT_DOUBLE_EQ(dp::bsp_seconds({}, {}), 0.0);
+}
+
+TEST(BspSeconds, PerfectBalanceScalesInverse) {
+  // Same total work split over more ranks → proportionally less BSP time.
+  const dp::CostModel model;
+  dp::WorkCounters whole;
+  whole.arcs_scanned = 1 << 20;
+  dp::WorkCounters half = whole;
+  half.arcs_scanned /= 2;
+  EXPECT_NEAR(dp::bsp_seconds({half, half}, model),
+              dp::bsp_seconds({whole}, model) / 2.0, 1e-12);
+}

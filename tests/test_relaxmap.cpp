@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/flowgraph.hpp"
+#include "core/relaxmap.hpp"
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "quality/metrics.hpp"
+#include "util/check.hpp"
+
+namespace dc = dinfomap::core;
+namespace dg = dinfomap::graph;
+namespace gen = dinfomap::graph::gen;
+
+TEST(RelaxMap, SingleThreadRecoversRingOfCliques) {
+  const auto gg = gen::ring_of_cliques(8, 5, 0);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  dc::RelaxMapConfig cfg;
+  cfg.num_threads = 1;
+  const auto result = dc::relaxmap(g, cfg);
+  EXPECT_DOUBLE_EQ(
+      dinfomap::quality::nmi(result.assignment, *gg.ground_truth), 1.0);
+}
+
+TEST(RelaxMap, MultiThreadQualityHolds) {
+  const auto gg = gen::ring_of_cliques(10, 6, 0);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  for (int t : {2, 4}) {
+    dc::RelaxMapConfig cfg;
+    cfg.num_threads = t;
+    const auto result = dc::relaxmap(g, cfg);
+    EXPECT_GT(dinfomap::quality::nmi(result.assignment, *gg.ground_truth), 0.95)
+        << "threads=" << t;
+  }
+}
+
+TEST(RelaxMap, CodelengthIsExactRescoring) {
+  const auto gg = gen::lfr_lite({}, 13);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  dc::RelaxMapConfig cfg;
+  cfg.num_threads = 3;
+  const auto result = dc::relaxmap(g, cfg);
+  const auto fg = dc::make_flow_graph(g);
+  EXPECT_NEAR(result.codelength,
+              dc::codelength_of_partition(fg, result.assignment), 1e-12);
+  EXPECT_LT(result.codelength, result.singleton_codelength);
+}
+
+TEST(RelaxMap, CloseToSequentialQuality) {
+  const auto gg = gen::lfr_lite({}, 21);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto seq = dc::sequential_infomap(g);
+  dc::RelaxMapConfig cfg;
+  cfg.num_threads = 4;
+  const auto result = dc::relaxmap(g, cfg);
+  // RelaxMap's pitch (Bae et al. 2013): parallel relaxation preserves
+  // near-sequential quality.
+  EXPECT_LT(result.codelength, seq.codelength * 1.05);
+}
+
+TEST(RelaxMap, MoreThreadsThanVerticesIsFine) {
+  const auto g = dg::build_csr({{0, 1}, {1, 2}, {0, 2}});
+  dc::RelaxMapConfig cfg;
+  cfg.num_threads = 16;
+  const auto result = dc::relaxmap(g, cfg);
+  EXPECT_EQ(result.num_modules(), 1u);
+}
+
+TEST(RelaxMap, RejectsZeroThreads) {
+  const auto g = dg::build_csr({{0, 1}});
+  dc::RelaxMapConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_THROW(dc::relaxmap(g, cfg), dinfomap::ContractViolation);
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/transform.hpp"
+#include "util/check.hpp"
+
+namespace dg = dinfomap::graph;
+
+namespace {
+// Triangle {0,1,2}, edge {3,4}, isolated 5.
+dg::Csr three_components() {
+  return dg::build_csr({{0, 1}, {1, 2}, {0, 2}, {3, 4}}, 6);
+}
+}  // namespace
+
+TEST(Components, LabelsByComponent) {
+  const auto comp = dg::connected_components(three_components());
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(Components, FullyConnectedIsOne) {
+  const auto gg = dinfomap::graph::gen::ring_of_cliques(4, 3, 0);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto comp = dg::connected_components(g);
+  for (auto c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(InducedSubgraph, KeepsEdgesAmongKept) {
+  const auto g = three_components();
+  const std::vector<dg::VertexId> keep = {0, 2, 3};
+  const auto sub = dg::induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 1u);  // only {0,2} survives
+  EXPECT_EQ(sub.old_ids, keep);
+  EXPECT_TRUE(sub.graph.validate());
+}
+
+TEST(InducedSubgraph, PreservesSelfLoops) {
+  const auto g = dg::build_csr({{0, 0, 2.5}, {0, 1, 1.0}});
+  const auto sub = dg::induced_subgraph(g, std::vector<dg::VertexId>{0});
+  EXPECT_DOUBLE_EQ(sub.graph.self_weight(0), 2.5);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraph, RejectsDuplicatesAndRange) {
+  const auto g = three_components();
+  EXPECT_THROW(dg::induced_subgraph(g, std::vector<dg::VertexId>{0, 0}),
+               dinfomap::ContractViolation);
+  EXPECT_THROW(dg::induced_subgraph(g, std::vector<dg::VertexId>{99}),
+               dinfomap::ContractViolation);
+}
+
+TEST(LargestComponent, PicksTheTriangle) {
+  const auto sub = dg::largest_component(three_components());
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.old_ids, (std::vector<dg::VertexId>{0, 1, 2}));
+}
+
+TEST(RelabelDense, CompactsAscending) {
+  dg::VertexId k = 0;
+  const auto out = dg::relabel_dense({10, 7, 10, 42, 7}, &k);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(out, (dg::Partition{1, 0, 1, 2, 0}));
+}
+
+TEST(RelabelDense, AlreadyDenseIsIdentity) {
+  const dg::Partition p = {0, 1, 2, 1, 0};
+  EXPECT_EQ(dg::relabel_dense(p), p);
+}
+
+TEST(CommunitySizes, CountsPerDenseLabel) {
+  const auto sizes = dg::community_sizes({5, 5, 9, 5, 9});
+  EXPECT_EQ(sizes, (std::vector<dg::VertexId>{3, 2}));
+}

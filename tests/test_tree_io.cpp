@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/seq_infomap.hpp"
+#include "graph/builder.hpp"
+#include "graph/gen/generators.hpp"
+#include "io/tree_io.hpp"
+#include "util/check.hpp"
+
+namespace dio = dinfomap::io;
+namespace dg = dinfomap::graph;
+
+TEST(TreePaths, SingleLevelTwoModules) {
+  // Finest (only) level: {0,1,2} in module 7, {3,4} in module 3.
+  const std::vector<dg::Partition> levels = {{7, 7, 7, 3, 3}};
+  const auto paths = dio::tree_paths(levels);
+  ASSERT_EQ(paths.size(), 5u);
+  // Larger module first → module 7 is "1", module 3 is "2".
+  EXPECT_EQ(paths[0][0], 1u);
+  EXPECT_EQ(paths[3][0], 2u);
+  // Leaf positions within each module are 1-based and unique.
+  EXPECT_EQ(paths[0].size(), 2u);
+  EXPECT_NE(paths[0][1], paths[1][1]);
+}
+
+TEST(TreePaths, TwoLevelNesting) {
+  // Finest: four groups of 2; coarser: first two groups together, last two
+  // together.
+  const std::vector<dg::Partition> levels = {
+      {0, 0, 1, 1, 2, 2, 3, 3},   // finest
+      {0, 0, 0, 0, 1, 1, 1, 1}};  // coarsest
+  const auto paths = dio::tree_paths(levels);
+  // Path depth: coarsest + finest + leaf = 3 components.
+  ASSERT_EQ(paths[0].size(), 3u);
+  // Vertices 0 and 2 share the top module, differ in the submodule.
+  EXPECT_EQ(paths[0][0], paths[2][0]);
+  EXPECT_NE(paths[0][1], paths[2][1]);
+  // Vertices 0 and 4 differ at the top.
+  EXPECT_NE(paths[0][0], paths[4][0]);
+}
+
+TEST(TreePaths, PathsUniquePerVertex) {
+  const auto gg = dinfomap::graph::gen::lfr_lite({}, 3);
+  const auto g = dg::build_csr(gg.edges, gg.num_vertices);
+  const auto result = dinfomap::core::sequential_infomap(g);
+  ASSERT_FALSE(result.level_assignments.empty());
+  const auto paths = dio::tree_paths(result.level_assignments);
+  std::set<std::vector<dg::VertexId>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(TreePaths, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(dio::tree_paths({}), dinfomap::ContractViolation);
+  EXPECT_THROW(dio::tree_paths({{0, 1}, {0}}), dinfomap::ContractViolation);
+}
+
+TEST(TreeWrite, FileRoundTripShape) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dinfomap_tree_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "out.tree").string();
+
+  const std::vector<dg::Partition> levels = {{0, 0, 1, 1}};
+  dio::write_tree(path, levels, {0.4, 0.3, 0.2, 0.1});
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header comment
+  EXPECT_EQ(line[0], '#');
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    // "a:b flow "name"" — must contain a colon, a space, and a quoted name.
+    EXPECT_NE(line.find(':'), std::string::npos);
+    EXPECT_NE(line.find('"'), std::string::npos);
+  }
+  EXPECT_EQ(rows, 4);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TreeWrite, FlowSizeMismatchRejected) {
+  EXPECT_THROW(dio::write_tree("/tmp/x.tree", {{0, 1}}, {1.0}),
+               dinfomap::ContractViolation);
+}
