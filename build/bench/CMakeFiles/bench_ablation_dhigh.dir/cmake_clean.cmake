@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dhigh.dir/bench_ablation_dhigh.cpp.o"
+  "CMakeFiles/bench_ablation_dhigh.dir/bench_ablation_dhigh.cpp.o.d"
+  "bench_ablation_dhigh"
+  "bench_ablation_dhigh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dhigh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hubmoves.dir/bench_ablation_hubmoves.cpp.o"
+  "CMakeFiles/bench_ablation_hubmoves.dir/bench_ablation_hubmoves.cpp.o.d"
+  "bench_ablation_hubmoves"
+  "bench_ablation_hubmoves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hubmoves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minlabel.dir/bench_ablation_minlabel.cpp.o"
+  "CMakeFiles/bench_ablation_minlabel.dir/bench_ablation_minlabel.cpp.o.d"
+  "bench_ablation_minlabel"
+  "bench_ablation_minlabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minlabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

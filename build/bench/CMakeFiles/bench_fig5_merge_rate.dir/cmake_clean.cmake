@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_merge_rate.dir/bench_fig5_merge_rate.cpp.o"
+  "CMakeFiles/bench_fig5_merge_rate.dir/bench_fig5_merge_rate.cpp.o.d"
+  "bench_fig5_merge_rate"
+  "bench_fig5_merge_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_merge_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp_hierarchy.dir/bench_supp_hierarchy.cpp.o"
+  "CMakeFiles/bench_supp_hierarchy.dir/bench_supp_hierarchy.cpp.o.d"
+  "bench_supp_hierarchy"
+  "bench_supp_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supp_parallel_infomap.dir/bench_supp_parallel_infomap.cpp.o"
+  "CMakeFiles/bench_supp_parallel_infomap.dir/bench_supp_parallel_infomap.cpp.o.d"
+  "bench_supp_parallel_infomap"
+  "bench_supp_parallel_infomap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supp_parallel_infomap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

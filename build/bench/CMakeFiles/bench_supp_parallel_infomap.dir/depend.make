@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_supp_parallel_infomap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_supp_quality_vs_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_flow.dir/citation_flow.cpp.o"
+  "CMakeFiles/citation_flow.dir/citation_flow.cpp.o.d"
+  "citation_flow"
+  "citation_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

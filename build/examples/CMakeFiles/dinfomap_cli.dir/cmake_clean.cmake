@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_cli.dir/dinfomap_cli.cpp.o"
+  "CMakeFiles/dinfomap_cli.dir/dinfomap_cli.cpp.o.d"
+  "dinfomap_cli"
+  "dinfomap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

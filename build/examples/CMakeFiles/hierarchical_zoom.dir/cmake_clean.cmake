@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_zoom.dir/hierarchical_zoom.cpp.o"
+  "CMakeFiles/hierarchical_zoom.dir/hierarchical_zoom.cpp.o.d"
+  "hierarchical_zoom"
+  "hierarchical_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

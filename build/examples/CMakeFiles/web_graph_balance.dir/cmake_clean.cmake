@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_graph_balance.dir/web_graph_balance.cpp.o"
+  "CMakeFiles/web_graph_balance.dir/web_graph_balance.cpp.o.d"
+  "web_graph_balance"
+  "web_graph_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_graph_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_comm.dir/comm.cpp.o"
+  "CMakeFiles/dinfomap_comm.dir/comm.cpp.o.d"
+  "CMakeFiles/dinfomap_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/dinfomap_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/dinfomap_comm.dir/runtime.cpp.o"
+  "CMakeFiles/dinfomap_comm.dir/runtime.cpp.o.d"
+  "libdinfomap_comm.a"
+  "libdinfomap_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

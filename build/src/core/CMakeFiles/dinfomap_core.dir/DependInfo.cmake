@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coarsen.cpp" "src/core/CMakeFiles/dinfomap_core.dir/coarsen.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/coarsen.cpp.o.d"
+  "/root/repo/src/core/directed_infomap.cpp" "src/core/CMakeFiles/dinfomap_core.dir/directed_infomap.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/directed_infomap.cpp.o.d"
+  "/root/repo/src/core/dist_infomap.cpp" "src/core/CMakeFiles/dinfomap_core.dir/dist_infomap.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/dist_infomap.cpp.o.d"
+  "/root/repo/src/core/dist_louvain.cpp" "src/core/CMakeFiles/dinfomap_core.dir/dist_louvain.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/dist_louvain.cpp.o.d"
+  "/root/repo/src/core/dist_setup.cpp" "src/core/CMakeFiles/dinfomap_core.dir/dist_setup.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/dist_setup.cpp.o.d"
+  "/root/repo/src/core/flowgraph.cpp" "src/core/CMakeFiles/dinfomap_core.dir/flowgraph.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/flowgraph.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/dinfomap_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/labelflow.cpp" "src/core/CMakeFiles/dinfomap_core.dir/labelflow.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/labelflow.cpp.o.d"
+  "/root/repo/src/core/louvain.cpp" "src/core/CMakeFiles/dinfomap_core.dir/louvain.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/louvain.cpp.o.d"
+  "/root/repo/src/core/mapequation.cpp" "src/core/CMakeFiles/dinfomap_core.dir/mapequation.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/mapequation.cpp.o.d"
+  "/root/repo/src/core/relaxmap.cpp" "src/core/CMakeFiles/dinfomap_core.dir/relaxmap.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/relaxmap.cpp.o.d"
+  "/root/repo/src/core/seq_infomap.cpp" "src/core/CMakeFiles/dinfomap_core.dir/seq_infomap.cpp.o" "gcc" "src/core/CMakeFiles/dinfomap_core.dir/seq_infomap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dinfomap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/dinfomap_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dinfomap_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dinfomap_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dinfomap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_core.dir/coarsen.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/coarsen.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/directed_infomap.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/directed_infomap.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/dist_infomap.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/dist_infomap.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/dist_louvain.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/dist_louvain.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/dist_setup.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/dist_setup.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/flowgraph.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/flowgraph.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/labelflow.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/labelflow.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/louvain.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/louvain.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/mapequation.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/mapequation.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/relaxmap.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/relaxmap.cpp.o.d"
+  "CMakeFiles/dinfomap_core.dir/seq_infomap.cpp.o"
+  "CMakeFiles/dinfomap_core.dir/seq_infomap.cpp.o.d"
+  "libdinfomap_core.a"
+  "libdinfomap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

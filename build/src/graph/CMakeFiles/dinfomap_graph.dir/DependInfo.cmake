@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/dicsr.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/dicsr.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/dicsr.cpp.o.d"
+  "/root/repo/src/graph/edgelist_io.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/edgelist_io.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/edgelist_io.cpp.o.d"
+  "/root/repo/src/graph/formats.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/formats.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/formats.cpp.o.d"
+  "/root/repo/src/graph/gen/barabasi_albert.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/barabasi_albert.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/barabasi_albert.cpp.o.d"
+  "/root/repo/src/graph/gen/configuration_model.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/configuration_model.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/configuration_model.cpp.o.d"
+  "/root/repo/src/graph/gen/erdos_renyi.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/erdos_renyi.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/graph/gen/lfr_lite.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/lfr_lite.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/lfr_lite.cpp.o.d"
+  "/root/repo/src/graph/gen/ring_of_cliques.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/ring_of_cliques.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/ring_of_cliques.cpp.o.d"
+  "/root/repo/src/graph/gen/rmat.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/rmat.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/rmat.cpp.o.d"
+  "/root/repo/src/graph/gen/sbm.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/sbm.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/sbm.cpp.o.d"
+  "/root/repo/src/graph/gen/watts_strogatz.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/watts_strogatz.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/gen/watts_strogatz.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/transform.cpp" "src/graph/CMakeFiles/dinfomap_graph.dir/transform.cpp.o" "gcc" "src/graph/CMakeFiles/dinfomap_graph.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dinfomap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/clustering_io.cpp" "src/io/CMakeFiles/dinfomap_io.dir/clustering_io.cpp.o" "gcc" "src/io/CMakeFiles/dinfomap_io.dir/clustering_io.cpp.o.d"
+  "/root/repo/src/io/datasets.cpp" "src/io/CMakeFiles/dinfomap_io.dir/datasets.cpp.o" "gcc" "src/io/CMakeFiles/dinfomap_io.dir/datasets.cpp.o.d"
+  "/root/repo/src/io/tree_io.cpp" "src/io/CMakeFiles/dinfomap_io.dir/tree_io.cpp.o" "gcc" "src/io/CMakeFiles/dinfomap_io.dir/tree_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dinfomap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dinfomap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

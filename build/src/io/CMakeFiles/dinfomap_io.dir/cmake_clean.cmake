@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_io.dir/clustering_io.cpp.o"
+  "CMakeFiles/dinfomap_io.dir/clustering_io.cpp.o.d"
+  "CMakeFiles/dinfomap_io.dir/datasets.cpp.o"
+  "CMakeFiles/dinfomap_io.dir/datasets.cpp.o.d"
+  "CMakeFiles/dinfomap_io.dir/tree_io.cpp.o"
+  "CMakeFiles/dinfomap_io.dir/tree_io.cpp.o.d"
+  "libdinfomap_io.a"
+  "libdinfomap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

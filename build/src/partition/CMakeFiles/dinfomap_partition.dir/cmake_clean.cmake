@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_partition.dir/arc_partition.cpp.o"
+  "CMakeFiles/dinfomap_partition.dir/arc_partition.cpp.o.d"
+  "CMakeFiles/dinfomap_partition.dir/metrics.cpp.o"
+  "CMakeFiles/dinfomap_partition.dir/metrics.cpp.o.d"
+  "libdinfomap_partition.a"
+  "libdinfomap_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/dinfomap_perf.dir/cost_model.cpp.o.d"
+  "libdinfomap_perf.a"
+  "libdinfomap_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

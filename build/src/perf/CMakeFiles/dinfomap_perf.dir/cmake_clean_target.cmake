@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdinfomap_perf.a"
+)

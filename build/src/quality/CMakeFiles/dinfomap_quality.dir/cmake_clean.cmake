@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_quality.dir/community_stats.cpp.o"
+  "CMakeFiles/dinfomap_quality.dir/community_stats.cpp.o.d"
+  "CMakeFiles/dinfomap_quality.dir/contingency.cpp.o"
+  "CMakeFiles/dinfomap_quality.dir/contingency.cpp.o.d"
+  "CMakeFiles/dinfomap_quality.dir/metrics.cpp.o"
+  "CMakeFiles/dinfomap_quality.dir/metrics.cpp.o.d"
+  "libdinfomap_quality.a"
+  "libdinfomap_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

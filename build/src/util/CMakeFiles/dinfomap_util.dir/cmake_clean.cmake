@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dinfomap_util.dir/logging.cpp.o"
+  "CMakeFiles/dinfomap_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dinfomap_util.dir/random.cpp.o"
+  "CMakeFiles/dinfomap_util.dir/random.cpp.o.d"
+  "CMakeFiles/dinfomap_util.dir/stats.cpp.o"
+  "CMakeFiles/dinfomap_util.dir/stats.cpp.o.d"
+  "libdinfomap_util.a"
+  "libdinfomap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dinfomap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

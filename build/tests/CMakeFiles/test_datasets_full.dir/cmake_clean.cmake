@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datasets_full.dir/test_datasets_full.cpp.o"
+  "CMakeFiles/test_datasets_full.dir/test_datasets_full.cpp.o.d"
+  "test_datasets_full"
+  "test_datasets_full.pdb"
+  "test_datasets_full[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datasets_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_louvain.dir/test_dist_louvain.cpp.o"
+  "CMakeFiles/test_dist_louvain.dir/test_dist_louvain.cpp.o.d"
+  "test_dist_louvain"
+  "test_dist_louvain.pdb"
+  "test_dist_louvain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_louvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

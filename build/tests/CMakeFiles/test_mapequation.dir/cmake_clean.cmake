@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapequation.dir/test_mapequation.cpp.o"
+  "CMakeFiles/test_mapequation.dir/test_mapequation.cpp.o.d"
+  "test_mapequation"
+  "test_mapequation.pdb"
+  "test_mapequation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapequation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_relaxmap.cpp" "tests/CMakeFiles/test_relaxmap.dir/test_relaxmap.cpp.o" "gcc" "tests/CMakeFiles/test_relaxmap.dir/test_relaxmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quality/CMakeFiles/dinfomap_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dinfomap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/dinfomap_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/dinfomap_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/dinfomap_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dinfomap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dinfomap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dinfomap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relaxmap.dir/test_relaxmap.cpp.o"
+  "CMakeFiles/test_relaxmap.dir/test_relaxmap.cpp.o.d"
+  "test_relaxmap"
+  "test_relaxmap.pdb"
+  "test_relaxmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relaxmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_io.dir/test_tree_io.cpp.o"
+  "CMakeFiles/test_tree_io.dir/test_tree_io.cpp.o.d"
+  "test_tree_io"
+  "test_tree_io.pdb"
+  "test_tree_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_mapequation[1]_include.cmake")
+include("/root/repo/build/tests/test_seq_infomap[1]_include.cmake")
+include("/root/repo/build/tests/test_coarsen[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_infomap[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_directed[1]_include.cmake")
+include("/root/repo/build/tests/test_relaxmap[1]_include.cmake")
+include("/root/repo/build/tests/test_tree_io[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_property[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_dist_louvain[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets_full[1]_include.cmake")
