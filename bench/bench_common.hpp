@@ -66,6 +66,75 @@ class CsvSink {
   std::ofstream out_;
 };
 
+/// Machine-readable JSON mirror for tracking the perf trajectory across PRs:
+/// writes bench_results/BENCH_<name>.json on destruction as
+/// {"bench": <name>, "rows": [{...}, ...]}. Rows are flat key→value objects
+/// built with field(); numbers stay numbers, everything else is quoted.
+class JsonSink {
+ public:
+  explicit JsonSink(std::string name) : name_(std::move(name)) {}
+
+  JsonSink& begin_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonSink& field(const std::string& key, const std::string& value) {
+    return raw_field(key, '"' + escape(value) + '"');
+  }
+  JsonSink& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonSink& field(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    return raw_field(key, os.str());
+  }
+  JsonSink& field(const std::string& key, std::int64_t value) {
+    return raw_field(key, std::to_string(value));
+  }
+  JsonSink& field(const std::string& key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+
+  ~JsonSink() { write(); }
+
+  void write() const {
+    std::filesystem::create_directories("bench_results");
+    std::ofstream out("bench_results/BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {";
+      const auto& row = rows_[i];
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (j) out << ", ";
+        out << '"' << escape(row[j].first) << "\": " << row[j].second;
+      }
+      out << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  JsonSink& raw_field(const std::string& key, std::string json_value) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(json_value));
+    return *this;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
 /// Modeled BSP seconds of one phase of a distributed run: slowest rank gates.
 inline double modeled_phase_seconds(const std::vector<perf::WorkCounters>& per_rank,
                                     const perf::CostModel& model = {}) {

@@ -18,6 +18,7 @@ int main() {
   bench::CsvSink csv("fig8_time_breakdown",
                      {"dataset", "ranks", "rounds", "find_best_ms", "bcast_ms",
                       "swap_ms", "other_ms"});
+  bench::JsonSink json("fig8_time_breakdown");
 
   for (const char* name : {"uk2005", "webbase2001", "friendster", "uk2007"}) {
     const auto data = bench::load(name);
@@ -46,6 +47,14 @@ int main() {
       std::printf("\n");
       csv.row(name, p, result.stage1_rounds, per_phase_ms[0], per_phase_ms[1],
               per_phase_ms[2], per_phase_ms[3]);
+      json.begin_row()
+          .field("dataset", name)
+          .field("ranks", p)
+          .field("rounds", result.stage1_rounds)
+          .field("find_best_ms", per_phase_ms[0])
+          .field("bcast_ms", per_phase_ms[1])
+          .field("swap_ms", per_phase_ms[2])
+          .field("other_ms", per_phase_ms[3]);
     }
   }
   std::printf(

@@ -1,16 +1,33 @@
 // Microbenchmarks (google-benchmark) of the hot kernels: plogp, ΔL
-// evaluation, the sequential move pass, coarsening, and the comm collectives.
+// evaluation, the sequential move pass, coarsening, and the comm collectives —
+// plus before/after kernels for the ISSUE-1 hot-path data structures
+// (SparseAccumulator vs unordered_map gather, FlatMap vs node-based module
+// table, memoized vs plain plogp in evaluate_move).
+//
+// main() first hand-times the before/after kernels and writes the
+// machine-readable perf-trajectory artifact bench_results/BENCH_hotpath.json
+// (see bench_common.hpp JsonSink), then runs the registered google
+// benchmarks. `--benchmark_filter=NONE` skips the latter for a quick
+// artifact-only run.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <numeric>
+#include <unordered_map>
 
+#include "bench_common.hpp"
 #include "comm/runtime.hpp"
 #include "core/coarsen.hpp"
 #include "core/flowgraph.hpp"
 #include "core/mapequation.hpp"
+#include "core/module_info.hpp"
 #include "core/seq_infomap.hpp"
 #include "graph/builder.hpp"
 #include "graph/gen/generators.hpp"
+#include "util/flat_map.hpp"
+#include "util/random.hpp"
+#include "util/sparse_accumulator.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -38,6 +55,20 @@ void BM_EvaluateMove(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateMove);
 
+void BM_EvaluateMoveMemo(benchmark::State& state) {
+  core::MoveDelta d;
+  d.p_u = 0.01;
+  d.f_u = 0.008;
+  d.f_to_old = 0.001;
+  d.f_to_new = 0.004;
+  d.old_stats = {0.2, 0.05, 40};
+  d.new_stats = {0.3, 0.07, 55};
+  d.q_total = 0.4;
+  core::PlogpMemo memo;
+  for (auto _ : state) benchmark::DoNotOptimize(core::evaluate_move(d, memo));
+}
+BENCHMARK(BM_EvaluateMoveMemo);
+
 const core::FlowGraph& lfr_flow_graph() {
   static const core::FlowGraph fg = [] {
     const auto gg = graph::gen::lfr_lite({}, 7);
@@ -45,6 +76,139 @@ const core::FlowGraph& lfr_flow_graph() {
   }();
   return fg;
 }
+
+/// Module assignment exercising the gather kernels: ~20 vertices per module.
+std::vector<graph::VertexId> gather_modules(const core::FlowGraph& fg) {
+  std::vector<graph::VertexId> mods(fg.num_vertices());
+  util::Xoshiro256 rng(7);
+  for (graph::VertexId v = 0; v < fg.num_vertices(); ++v)
+    mods[v] = static_cast<graph::VertexId>(rng.bounded(fg.num_vertices() / 20));
+  return mods;
+}
+
+// --- before/after kernel A: per-vertex neighbor-flow gather -----------------
+// The DistRank::best_move_for inner loop before this PR: two fresh
+// unordered_maps per vertex per round.
+
+double gather_unordered_fresh(const core::FlowGraph& fg,
+                              const std::vector<graph::VertexId>& mods) {
+  double checksum = 0;
+  for (graph::VertexId u = 0; u < fg.num_vertices(); ++u) {
+    std::unordered_map<graph::VertexId, double> flow_to;
+    std::unordered_map<graph::VertexId, bool> boundary;
+    for (const auto& nb : fg.csr.neighbors(u)) {
+      flow_to[mods[nb.target]] += nb.weight;
+      if ((nb.target & 3) == 0) boundary[mods[nb.target]] = true;
+    }
+    for (const auto& [m, f] : flow_to) checksum += f + (boundary.count(m) ? 1 : 0);
+  }
+  return checksum;
+}
+
+double gather_unordered_reused(const core::FlowGraph& fg,
+                               const std::vector<graph::VertexId>& mods) {
+  double checksum = 0;
+  std::unordered_map<graph::VertexId, double> flow_to;
+  std::unordered_map<graph::VertexId, bool> boundary;
+  for (graph::VertexId u = 0; u < fg.num_vertices(); ++u) {
+    flow_to.clear();
+    boundary.clear();
+    for (const auto& nb : fg.csr.neighbors(u)) {
+      flow_to[mods[nb.target]] += nb.weight;
+      if ((nb.target & 3) == 0) boundary[mods[nb.target]] = true;
+    }
+    for (const auto& [m, f] : flow_to) checksum += f + (boundary.count(m) ? 1 : 0);
+  }
+  return checksum;
+}
+
+double gather_accumulator(const core::FlowGraph& fg,
+                          const std::vector<graph::VertexId>& mods,
+                          util::SparseAccumulator<graph::VertexId,
+                                                  std::pair<double, std::uint8_t>>& acc) {
+  double checksum = 0;
+  if (acc.capacity() < fg.num_vertices()) acc.reset(fg.num_vertices());
+  for (graph::VertexId u = 0; u < fg.num_vertices(); ++u) {
+    acc.clear();
+    for (const auto& nb : fg.csr.neighbors(u)) {
+      auto& e = acc[mods[nb.target]];
+      e.first += nb.weight;
+      if ((nb.target & 3) == 0) e.second = 1;
+    }
+    for (const graph::VertexId m : acc.keys()) {
+      const auto& e = *acc.find(m);
+      checksum += e.first + (e.second ? 1 : 0);
+    }
+  }
+  return checksum;
+}
+
+void BM_GatherUnorderedFresh(benchmark::State& state) {
+  const auto& fg = lfr_flow_graph();
+  const auto mods = gather_modules(fg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gather_unordered_fresh(fg, mods));
+}
+BENCHMARK(BM_GatherUnorderedFresh)->Unit(benchmark::kMicrosecond);
+
+void BM_GatherAccumulator(benchmark::State& state) {
+  const auto& fg = lfr_flow_graph();
+  const auto mods = gather_modules(fg);
+  util::SparseAccumulator<graph::VertexId, std::pair<double, std::uint8_t>> acc;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gather_accumulator(fg, mods, acc));
+}
+BENCHMARK(BM_GatherAccumulator)->Unit(benchmark::kMicrosecond);
+
+// --- before/after kernel B: module-table probe ------------------------------
+// The evaluate_move candidate lookup pattern: random finds + occasional
+// updates against a table of live modules.
+
+template <typename Table>
+double module_table_probe(Table& table, const std::vector<std::uint64_t>& keys,
+                          const std::vector<std::uint64_t>& probes) {
+  table.clear();
+  for (std::uint64_t k : keys)
+    table.emplace(k, core::ModuleStats{1.0 / static_cast<double>(k + 1),
+                                       0.5 / static_cast<double>(k + 1), 1});
+  double checksum = 0;
+  for (std::uint64_t q : probes) {
+    auto it = table.find(q);
+    if (it != table.end()) {
+      checksum += it->second.sum_pr;
+      it->second.exit_pr += 1e-9;
+    }
+  }
+  return checksum;
+}
+
+std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>
+module_table_workload() {
+  constexpr std::size_t kModules = 4096;
+  constexpr std::size_t kProbes = 1 << 18;
+  std::vector<std::uint64_t> keys(kModules);
+  util::Xoshiro256 rng(11);
+  for (auto& k : keys) k = rng.next() % (kModules * 8);
+  std::vector<std::uint64_t> probes(kProbes);
+  for (auto& q : probes) q = rng.next() % (kModules * 8);
+  return {std::move(keys), std::move(probes)};
+}
+
+void BM_ModuleTableUnordered(benchmark::State& state) {
+  const auto [keys, probes] = module_table_workload();
+  std::unordered_map<std::uint64_t, core::ModuleStats> table;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(module_table_probe(table, keys, probes));
+}
+BENCHMARK(BM_ModuleTableUnordered)->Unit(benchmark::kMicrosecond);
+
+void BM_ModuleTableFlat(benchmark::State& state) {
+  const auto [keys, probes] = module_table_workload();
+  util::FlatMap<std::uint64_t, core::ModuleStats> table;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(module_table_probe(table, keys, probes));
+}
+BENCHMARK(BM_ModuleTableFlat)->Unit(benchmark::kMicrosecond);
 
 void BM_SequentialInfomapLfr1k(benchmark::State& state) {
   const auto gg = graph::gen::lfr_lite({}, 7);
@@ -108,6 +272,138 @@ void BM_BuildCsr(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildCsr)->Unit(benchmark::kMicrosecond);
 
+// --- BENCH_hotpath.json: hand-timed before/after comparison -----------------
+
+/// Best-of-`reps` seconds of `fn()` (minimum filters scheduler noise).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    util::Timer t;
+    benchmark::DoNotOptimize(fn());
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+void emit_hotpath_json() {
+  const auto& fg = lfr_flow_graph();
+  const auto mods = gather_modules(fg);
+  constexpr int kReps = 15;
+
+  bench::JsonSink json("hotpath");
+
+  {
+    util::SparseAccumulator<graph::VertexId, std::pair<double, std::uint8_t>> acc;
+    const double fresh =
+        best_seconds(kReps, [&] { return gather_unordered_fresh(fg, mods); });
+    const double reused =
+        best_seconds(kReps, [&] { return gather_unordered_reused(fg, mods); });
+    const double flat =
+        best_seconds(kReps, [&] { return gather_accumulator(fg, mods, acc); });
+    json.begin_row()
+        .field("kernel", "neighbor_flow_gather")
+        .field("graph", "lfr_lite_default")
+        .field("unordered_fresh_us", fresh * 1e6)
+        .field("unordered_reused_us", reused * 1e6)
+        .field("sparse_accumulator_us", flat * 1e6)
+        .field("speedup_vs_fresh", fresh / flat)
+        .field("speedup_vs_reused", reused / flat);
+    std::printf("gather: fresh %.1fus reused %.1fus accumulator %.1fus "
+                "(%.2fx vs fresh, %.2fx vs reused)\n",
+                fresh * 1e6, reused * 1e6, flat * 1e6, fresh / flat,
+                reused / flat);
+  }
+
+  {
+    const auto [keys, probes] = module_table_workload();
+    std::unordered_map<std::uint64_t, core::ModuleStats> umap;
+    util::FlatMap<std::uint64_t, core::ModuleStats> fmap;
+    const double node =
+        best_seconds(kReps, [&] { return module_table_probe(umap, keys, probes); });
+    const double flat =
+        best_seconds(kReps, [&] { return module_table_probe(fmap, keys, probes); });
+    json.begin_row()
+        .field("kernel", "module_table_probe")
+        .field("graph", "synthetic_4k_modules")
+        .field("unordered_us", node * 1e6)
+        .field("flat_map_us", flat * 1e6)
+        .field("speedup", node / flat);
+    std::printf("module table: unordered %.1fus flat %.1fus (%.2fx)\n",
+                node * 1e6, flat * 1e6, node / flat);
+  }
+
+  {
+    core::MoveDelta d;
+    d.p_u = 0.01;
+    d.f_u = 0.008;
+    d.f_to_old = 0.001;
+    d.f_to_new = 0.004;
+    d.old_stats = {0.2, 0.05, 40};
+    d.new_stats = {0.3, 0.07, 55};
+    d.q_total = 0.4;
+    constexpr int kEvals = 200000;
+    const double plain = best_seconds(kReps, [&] {
+      double s = 0;
+      for (int i = 0; i < kEvals; ++i) s += core::evaluate_move(d).delta_codelength;
+      return s;
+    });
+    core::PlogpMemo memo;
+    const double memoized = best_seconds(kReps, [&] {
+      double s = 0;
+      for (int i = 0; i < kEvals; ++i)
+        s += core::evaluate_move(d, memo).delta_codelength;
+      return s;
+    });
+    json.begin_row()
+        .field("kernel", "evaluate_move_repeated")
+        .field("graph", "single_delta")
+        .field("plain_us", plain * 1e6)
+        .field("memo_us", memoized * 1e6)
+        .field("speedup", plain / memoized);
+    std::printf("evaluate_move x%d: plain %.1fus memo %.1fus (%.2fx)\n",
+                kEvals, plain * 1e6, memoized * 1e6, plain / memoized);
+  }
+
+  // End-to-end FindBestModule check on the distributed path: one small LFR
+  // run, wall-clock per phase (the modeled Fig. 8 numbers live in
+  // BENCH_fig8_time_breakdown.json).
+  {
+    const auto gg = graph::gen::lfr_lite({}, 7);
+    const auto g = graph::build_csr(gg.edges, gg.num_vertices);
+    core::DistInfomapConfig cfg;
+    cfg.num_ranks = 4;
+    const auto findbest_wall = [&](bool memo) {
+      core::DistInfomapConfig c = cfg;
+      c.plogp_memo = memo;
+      return best_seconds(3, [&] {
+        const auto result = core::distributed_infomap(g, c);
+        double find_best = 0;
+        for (double s : result.phase_seconds[0]) find_best += s;
+        return find_best;
+      });
+    };
+    const double with_memo = findbest_wall(true);
+    const double without_memo = findbest_wall(false);
+    json.begin_row()
+        .field("kernel", "dist_findbestmodule_wall")
+        .field("graph", "lfr_lite_default")
+        .field("ranks", 4)
+        .field("findbest_wall_memo_s", with_memo)
+        .field("findbest_wall_plain_s", without_memo);
+    std::printf("dist FindBestModule wall: memo %.2fms plain %.2fms\n",
+                with_memo * 1e3, without_memo * 1e3);
+  }
+  json.write();
+  std::printf("wrote bench_results/BENCH_hotpath.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_hotpath_json();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "core/mapequation.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sparse_accumulator.hpp"
 
 namespace dinfomap::core {
 
@@ -151,12 +152,14 @@ struct DiState {
 };
 
 std::uint64_t di_move_pass(const DiFlow& fg, DiState& state,
-                           const std::vector<VertexId>& order, double eps) {
+                           const std::vector<VertexId>& order, double eps,
+                           util::SparseAccumulator<VertexId, double>& flow_to,
+                           PlogpMemo& memo) {
   std::uint64_t moves = 0;
   // Combined (out+in)/2 flow to each neighbor module — this halving makes
   // the shared undirected MoveDelta algebra exact for directed flows (it
   // multiplies by 2 internally).
-  std::unordered_map<VertexId, double> flow_to;
+  if (flow_to.capacity() < fg.size()) flow_to.reset(fg.size());
   for (VertexId u : order) {
     const VertexId cur = state.module_of[u];
     flow_to.clear();
@@ -168,22 +171,22 @@ std::uint64_t di_move_pass(const DiFlow& fg, DiState& state,
     for (EdgeIndex a = fg.in_off[u]; a < fg.in_off[u + 1]; ++a)
       flow_to[state.module_of[fg.in[a].first]] += fg.in[a].second / 2.0;
     if (flow_to.empty()) continue;
-    const double f_to_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
+    const double f_to_old = flow_to.value_or(cur, 0.0);
 
     double best_delta = -eps;
     VertexId best_target = cur;
     MoveOutcome best_outcome;
-    for (const auto& [mod, flow] : flow_to) {
+    for (const VertexId mod : flow_to.keys()) {
       if (mod == cur) continue;
       MoveDelta d;
       d.p_u = fg.node_flow[u];
       d.f_u = f_u;
       d.f_to_old = f_to_old;
-      d.f_to_new = flow;
+      d.f_to_new = *flow_to.find(mod);
       d.old_stats = state.modules[cur];
       d.new_stats = state.modules[mod];
       d.q_total = state.terms.q_total;
-      const MoveOutcome out = evaluate_move(d);
+      const MoveOutcome out = evaluate_move(d, memo);
       if (out.delta_codelength < best_delta - 1e-15 ||
           (out.delta_codelength < best_delta + 1e-15 && mod < best_target)) {
         best_delta = out.delta_codelength;
@@ -273,6 +276,8 @@ DirectedInfomapResult directed_infomap(const DiCsr& graph,
   double prev = result.singleton_codelength;
 
   util::Xoshiro256 rng(config.seed);
+  util::SparseAccumulator<VertexId, double> flow_to;
+  PlogpMemo memo;
   for (int level = 0; level < config.max_outer_iterations; ++level) {
     DiState state;
     state.init_singletons(fg);
@@ -280,7 +285,9 @@ DirectedInfomapResult directed_infomap(const DiCsr& graph,
     std::iota(order.begin(), order.end(), 0);
     for (int pass = 0; pass < config.max_inner_passes; ++pass) {
       util::deterministic_shuffle(order, rng);
-      if (di_move_pass(fg, state, order, config.move_epsilon) == 0) break;
+      if (di_move_pass(fg, state, order, config.move_epsilon, flow_to, memo) ==
+          0)
+        break;
     }
     result.codelength = state.terms.codelength();
     ++result.levels;

@@ -20,18 +20,21 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
   const ModuleId cur = lv.module;
 
   // Flow from li to each neighbor module, and whether that module was
-  // reached through a non-owned vertex (⇒ boundary module, §3.4).
-  std::unordered_map<ModuleId, double> flow_to;
-  std::unordered_map<ModuleId, bool> boundary;
+  // reached through a non-owned vertex (⇒ boundary module, §3.4). The
+  // accumulator is rank-level scratch: allocation-free per vertex, cleared
+  // in O(#touched), iterated in deterministic first-touch (= arc) order.
+  if (nbflow_.capacity() < level_n_) nbflow_.reset(level_n_);
+  nbflow_.clear();
   for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
     const LocalVertex& nb = verts_[arcs_[a].target];
-    flow_to[nb.module] += arcs_[a].flow;
-    if (nb.kind != Kind::kOwned) boundary[nb.module] = true;
+    NeighborFlow& e = nbflow_[nb.module];
+    e.flow += arcs_[a].flow;
+    if (nb.kind != Kind::kOwned) e.boundary = 1;
     ++wk(Phase::kFindBestModule).arcs_scanned;
   }
-  if (flow_to.empty()) return false;
+  if (nbflow_.empty()) return false;
 
-  const double f_to_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
+  const double f_to_old = nbflow_.value_or(cur, {}).flow;
   auto cur_it = modules_.find(cur);
   DINFOMAP_REQUIRE_MSG(cur_it != modules_.end(),
                        "vertex's own module missing from local table");
@@ -40,8 +43,9 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
   ModuleId best_target = cur;
   MoveOutcome best_outcome;
 
-  for (const auto& [mod, flow] : flow_to) {
+  for (const ModuleId mod : nbflow_.keys()) {
     if (mod == cur) continue;
+    const NeighborFlow& e = *nbflow_.find(mod);
     auto it = modules_.find(mod);
     if (it == modules_.end()) continue;  // not yet synced; skip this round
     // Anti-bouncing (§3.4, minimum-label strategy of Lu et al.): in a
@@ -50,18 +54,17 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
     // into a *boundary* module is only allowed toward a smaller label — of
     // any conflicting pair exactly one side moves; the free rounds in
     // between let blocked vertices correct course.
-    if (cfg_.min_label && (round_index_ % 2 == 0) && mod > cur &&
-        boundary.count(mod))
+    if (cfg_.min_label && (round_index_ % 2 == 0) && mod > cur && e.boundary)
       continue;
     MoveDelta d;
     d.p_u = lv.node_flow;
     d.f_u = lv.out_flow;
     d.f_to_old = f_to_old;
-    d.f_to_new = flow;
+    d.f_to_new = e.flow;
     d.old_stats = cur_it->second;
     d.new_stats = it->second;
     d.q_total = q_total_;
-    const MoveOutcome out = evaluate_move(d);
+    const MoveOutcome out = eval_move(d);
     ++wk(Phase::kFindBestModule).delta_evals;
     if (out.delta_codelength >= -cfg_.move_epsilon) continue;
     if (out.delta_codelength < best_delta - 1e-15 ||
@@ -179,19 +182,20 @@ std::uint64_t DistRank::broadcast_delegates_exact() {
   // Ship each local hub's per-module flow partials (with the sender's
   // post-sync module stats attached) to the hub's owner.
   std::vector<std::vector<HubFlowRecord>> out(p);
+  if (nbflow_.capacity() < level_n_) nbflow_.reset(level_n_);
   for (std::uint32_t li : hubs_) {
     const LocalVertex& hv = verts_[li];
-    std::unordered_map<ModuleId, double> flow_to;
+    nbflow_.clear();
     for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
-      flow_to[verts_[arcs_[a].target].module] += arcs_[a].flow;
+      nbflow_[verts_[arcs_[a].target].module].flow += arcs_[a].flow;
       ++wk(Phase::kBroadcastDelegates).arcs_scanned;
     }
     const int dest = owner_of(hv.global);
-    for (const auto& [mod, flow] : flow_to) {
+    for (const ModuleId mod : nbflow_.keys()) {
       HubFlowRecord rec;
       rec.hub = hv.global;
       rec.module = mod;
-      rec.flow = flow;
+      rec.flow = nbflow_.find(mod)->flow;
       auto it = modules_.find(mod);
       if (it != modules_.end()) {
         rec.sum_pr = it->second.sum_pr;
@@ -256,7 +260,7 @@ std::uint64_t DistRank::broadcast_delegates_exact() {
       d.old_stats = own_cur->second;
       d.new_stats = stats;
       d.q_total = q_total_;
-      const MoveOutcome outcome = evaluate_move(d);
+      const MoveOutcome outcome = eval_move(d);
       ++wk(Phase::kBroadcastDelegates).delta_evals;
       if (outcome.delta_codelength < best_delta - 1e-15 ||
           (outcome.delta_codelength < best_delta + 1e-15 && mod < best_target)) {
@@ -337,14 +341,16 @@ void DistRank::swap_boundary_info() {
   // --- exact aggregation at module homes ----------------------------------
   // Every vertex is controlled by exactly one rank and every arc is held by
   // exactly one rank, so per-module partial sums reduce to exact statistics.
-  std::unordered_map<ModuleId, ModulePartial> partial;
+  // Accumulated in the reusable dense scratch (module ids < level_n_).
+  if (partial_acc_.capacity() < level_n_) partial_acc_.reset(level_n_);
+  partial_acc_.clear();
   const int r = comm_.rank();
   for (const auto& lv : verts_) {
     const bool controlled =
         lv.kind == Kind::kOwned ||
         (lv.kind == Kind::kDelegate && owner_of(lv.global) == r);
     if (controlled) {
-      ModulePartial& mp = partial[lv.module];
+      ModulePartial& mp = partial_acc_[lv.module];
       mp.mod_id = lv.module;
       mp.sum_pr += lv.node_flow;
       mp.num_members += 1;
@@ -355,7 +361,7 @@ void DistRank::swap_boundary_info() {
     for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
       const ModuleId mv = verts_[arcs_[a].target].module;
       if (mu == mv) continue;
-      ModulePartial& mp = partial[mu];
+      ModulePartial& mp = partial_acc_[mu];
       mp.mod_id = mu;
       mp.exit_pr += arcs_[a].flow;
     }
@@ -363,12 +369,13 @@ void DistRank::swap_boundary_info() {
   // Zero partials double as interest declarations for every module any local
   // vertex currently references.
   for (const auto& lv : verts_) {
-    auto [it, inserted] = partial.try_emplace(lv.module);
-    if (inserted) it->second.mod_id = lv.module;
+    ModulePartial& mp = partial_acc_[lv.module];
+    mp.mod_id = lv.module;  // no-op unless this touch created the entry
   }
 
   std::vector<std::vector<ModulePartial>> to_home(p);
-  for (const auto& [m, mp] : partial) to_home[home_of(m)].push_back(mp);
+  for (const ModuleId m : partial_acc_.keys())
+    to_home[home_of(m)].push_back(*partial_acc_.find(m));
   auto partials_in = comm_.alltoallv(to_home);
 
   homed_.clear();

@@ -66,6 +66,11 @@ struct DistInfomapConfig {
   /// alltoallv of (hub, module, flow) records per round; improves quality on
   /// hub-dominated graphs (see bench_ablation_hubmoves).
   bool exact_hub_moves = false;
+  /// Route the hot-path plogp calls through a per-rank memo (exact cache of
+  /// x·log2(x) keyed on the bit pattern of x — results are bit-identical to
+  /// the uncached path by construction; asserted under chaos by the
+  /// determinism regression test). Off selects the memo-free reference path.
+  bool plogp_memo = true;
   /// Chaos testing: random per-message delivery delay (µs). The synchronous
   /// protocol must produce identical results under any delivery timing —
   /// asserted by tests. 0 disables.

@@ -12,7 +12,9 @@
 #include "core/module_info.hpp"
 #include "partition/arc_partition.hpp"
 #include "perf/work_counters.hpp"
+#include "util/flat_map.hpp"
 #include "util/random.hpp"
+#include "util/sparse_accumulator.hpp"
 #include "util/timer.hpp"
 
 namespace dinfomap::core::detail {
@@ -126,6 +128,12 @@ class DistRank {
 
   void apply_local_move(std::uint32_t li, const BestMove& mv);
 
+  /// ΔL evaluation routed through the plogp memo when enabled (exact either
+  /// way; the flag keeps a memo-free reference path selectable).
+  MoveOutcome eval_move(const MoveDelta& d) {
+    return cfg_.plogp_memo ? evaluate_move(d, plogp_memo_) : evaluate_move(d);
+  }
+
   [[nodiscard]] int home_of(ModuleId m) const {
     return static_cast<int>(m % static_cast<ModuleId>(comm_.size()));
   }
@@ -174,7 +182,22 @@ class DistRank {
   std::vector<std::uint32_t> movable_;   // local indices, owned first
   std::vector<std::uint32_t> hubs_;      // local indices of delegates
 
-  std::unordered_map<ModuleId, ModuleStats> modules_;
+  /// Per-rank module table. Open addressing: evaluate_move probes it once
+  /// per candidate module, which made unordered_map bucket chasing the
+  /// FindBestModule bottleneck (see DESIGN.md "Hot-path data structures").
+  util::FlatMap<ModuleId, ModuleStats> modules_;
+
+  /// Reusable move-search scratch. Module ids at any level are that level's
+  /// vertex ids, so a dense accumulator of capacity level_n_ covers all keys.
+  struct NeighborFlow {
+    double flow = 0;
+    std::uint8_t boundary = 0;  ///< reached through a non-owned vertex
+  };
+  util::SparseAccumulator<ModuleId, NeighborFlow> nbflow_;
+  /// Reusable per-module partial-stat scratch for swap_boundary_info.
+  util::SparseAccumulator<ModuleId, ModulePartial> partial_acc_;
+  PlogpMemo plogp_memo_;
+
   double q_total_ = 0;
   double codelength_ = 0;
   double singleton_codelength_ = 0;

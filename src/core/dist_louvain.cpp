@@ -85,8 +85,11 @@ class LouvainRank {
         }
         if (flow_to.empty()) continue;
         const double p_u = fg_.node_flow[u];
-        const double f_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
-        const double sigma_cur = sigma_.count(cur) ? sigma_.at(cur) : p_u;
+        const auto f_old_it = flow_to.find(cur);
+        const double f_old = f_old_it != flow_to.end() ? f_old_it->second : 0.0;
+        const auto sigma_it = sigma_.find(cur);
+        const double sigma_cur =
+            sigma_it != sigma_.end() ? sigma_it->second : p_u;
         const double base = f_old - p_u * (sigma_cur - p_u);
         double best_gain = cfg_.min_gain;
         VertexId best = cur;

@@ -97,8 +97,8 @@ class LpaRank {
           if (w > best_w) best_w = w;
         }
         VertexId best = current;
-        const double cur_w =
-            weight_to.count(current) ? weight_to.at(current) : 0.0;
+        const auto cur_it = weight_to.find(current);
+        const double cur_w = cur_it != weight_to.end() ? cur_it->second : 0.0;
         if (cur_w < best_w - 1e-15) {
           std::vector<VertexId> winners;
           for (const auto& [lbl, w] : weight_to)

@@ -7,6 +7,7 @@
 #include "core/flowgraph.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sparse_accumulator.hpp"
 
 namespace dinfomap::core {
 
@@ -41,24 +42,26 @@ struct LouvainState {
 };
 
 std::uint64_t louvain_pass(const FlowGraph& fg, LouvainState& st,
-                           const std::vector<VertexId>& order, double min_gain) {
+                           const std::vector<VertexId>& order, double min_gain,
+                           util::SparseAccumulator<VertexId, double>& flow_to) {
   std::uint64_t moves = 0;
-  std::unordered_map<VertexId, double> flow_to;
+  if (flow_to.capacity() < fg.num_vertices()) flow_to.reset(fg.num_vertices());
   for (VertexId u : order) {
     const VertexId cur = st.module_of[u];
     flow_to.clear();
     for (const auto& nb : fg.csr.neighbors(u))
       flow_to[st.module_of[nb.target]] += nb.weight;
     const double p_u = fg.node_flow[u];
-    const double f_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
+    const double f_old = flow_to.value_or(cur, 0.0);
 
     // Gain of moving u from cur to c (2W = 1 in flow units):
     //   ΔQ = 2[f(u,c) − f(u,cur\u)] − 2 p_u [Σtot(c) − (Σtot(cur) − p_u)]
     const double base = f_old - p_u * (st.sigma_tot[cur] - p_u);
     double best_gain = min_gain;
     VertexId best = cur;
-    for (const auto& [c, f] : flow_to) {
+    for (const VertexId c : flow_to.keys()) {
       if (c == cur) continue;
+      const double f = *flow_to.find(c);
       const double gain = 2.0 * ((f - p_u * st.sigma_tot[c]) - base);
       if (gain > best_gain + 1e-15 ||
           (gain > best_gain - 1e-15 && best != cur && c < best)) {
@@ -70,7 +73,7 @@ std::uint64_t louvain_pass(const FlowGraph& fg, LouvainState& st,
       st.sigma_tot[cur] -= p_u;
       st.internal[cur] -= 2.0 * (f_old + fg.self_flow(u));
       st.sigma_tot[best] += p_u;
-      const double f_new = flow_to.at(best);
+      const double f_new = *flow_to.find(best);
       st.internal[best] += 2.0 * (f_new + fg.self_flow(u));
       st.module_of[u] = best;
       ++moves;
@@ -89,6 +92,7 @@ LouvainResult louvain(const graph::Csr& graph, const LouvainConfig& config) {
   std::iota(result.assignment.begin(), result.assignment.end(), 0);
 
   util::Xoshiro256 rng(config.seed);
+  util::SparseAccumulator<VertexId, double> flow_to;
   for (int level = 0; level < config.max_levels; ++level) {
     LouvainState st;
     st.init(fg);
@@ -98,7 +102,8 @@ LouvainResult louvain(const graph::Csr& graph, const LouvainConfig& config) {
     std::uint64_t total_moves = 0;
     for (int pass = 0; pass < config.max_inner_passes; ++pass) {
       util::deterministic_shuffle(order, rng);
-      const auto moves = louvain_pass(fg, st, order, config.min_modularity_gain);
+      const auto moves =
+          louvain_pass(fg, st, order, config.min_modularity_gain, flow_to);
       total_moves += moves;
       if (moves == 0) break;
     }

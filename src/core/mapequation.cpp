@@ -2,7 +2,13 @@
 
 namespace dinfomap::core {
 
-MoveOutcome evaluate_move(const MoveDelta& d) {
+namespace {
+
+/// Shared ΔL algebra; `pl` is either the plain plogp or a PlogpMemo. Both
+/// instantiations perform the same floating-point operations in the same
+/// order, so their results are bit-identical.
+template <typename Plogp>
+MoveOutcome evaluate_move_impl(const MoveDelta& d, Plogp&& pl) {
   MoveOutcome out;
 
   out.old_after.sum_pr = d.old_stats.sum_pr - d.p_u;
@@ -25,16 +31,26 @@ MoveOutcome evaluate_move(const MoveDelta& d) {
   const double q_before = d.q_total;
   const double q_after = d.q_total + out.delta_q_total;
 
-  double delta = plogp(q_after) - plogp(q_before);
-  delta -= 2.0 * (plogp(out.old_after.exit_pr) - plogp(d.old_stats.exit_pr) +
-                  plogp(out.new_after.exit_pr) - plogp(d.new_stats.exit_pr));
-  delta += plogp(out.old_after.exit_pr + out.old_after.sum_pr) -
-           plogp(d.old_stats.exit_pr + d.old_stats.sum_pr);
-  delta += plogp(out.new_after.exit_pr + out.new_after.sum_pr) -
-           plogp(d.new_stats.exit_pr + d.new_stats.sum_pr);
+  double delta = pl(q_after) - pl(q_before);
+  delta -= 2.0 * (pl(out.old_after.exit_pr) - pl(d.old_stats.exit_pr) +
+                  pl(out.new_after.exit_pr) - pl(d.new_stats.exit_pr));
+  delta += pl(out.old_after.exit_pr + out.old_after.sum_pr) -
+           pl(d.old_stats.exit_pr + d.old_stats.sum_pr);
+  delta += pl(out.new_after.exit_pr + out.new_after.sum_pr) -
+           pl(d.new_stats.exit_pr + d.new_stats.sum_pr);
 
   out.delta_codelength = delta;
   return out;
+}
+
+}  // namespace
+
+MoveOutcome evaluate_move(const MoveDelta& d) {
+  return evaluate_move_impl(d, [](double x) { return plogp(x); });
+}
+
+MoveOutcome evaluate_move(const MoveDelta& d, PlogpMemo& memo) {
+  return evaluate_move_impl(d, memo);
 }
 
 }  // namespace dinfomap::core

@@ -9,6 +9,8 @@
 // same formulas hold unchanged at every coarsening level.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -16,6 +18,38 @@ namespace dinfomap::core {
 
 /// x·log2(x), continuously extended with plogp(0) = 0.
 inline double plogp(double x) { return x > 1e-300 ? x * std::log2(x) : 0.0; }
+
+/// Direct-mapped memo for plogp. A move-search round evaluates plogp on the
+/// same handful of values over and over: all old-module terms and plogp(q)
+/// are constant across a vertex's candidates, and popular target modules
+/// repeat their (exit_pr, sum_pr) across vertices until they absorb a move.
+/// The cache is keyed on the exact bit pattern of x and stores the exact
+/// plogp(x), so a hit returns bit-identical results to the uncached path —
+/// memoization never changes the numerics, only skips repeated log2 calls.
+/// 4096 entries × 16 B = 64 KiB, one cache line per probe.
+class PlogpMemo {
+ public:
+  double operator()(double x) {
+    if (x <= 1e-300) return 0.0;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+    Entry& e = entries_[(bits * 0x9E3779B97F4A7C15ull) >> (64 - kLogSlots)];
+    if (e.key_bits == bits) return e.value;
+    const double v = x * std::log2(x);
+    e.key_bits = bits;
+    e.value = v;
+    return v;
+  }
+
+ private:
+  struct Entry {
+    // Initial key is a NaN bit pattern, which no input x can equal (flows
+    // are finite), so virgin slots never produce a false hit.
+    std::uint64_t key_bits = ~std::uint64_t{0};
+    double value = 0;
+  };
+  static constexpr int kLogSlots = 12;
+  std::array<Entry, std::size_t{1} << kLogSlots> entries_{};
+};
 
 /// Aggregate statistics of one module.
 struct ModuleStats {
@@ -63,5 +97,10 @@ struct MoveOutcome {
 /// Undirected flow algebra: removing u from A changes q_A by −f_u + 2·f(u,A);
 /// adding u to B changes q_B by +f_u − 2·f(u,B).
 MoveOutcome evaluate_move(const MoveDelta& d);
+
+/// Same evaluation with plogp calls routed through `memo`. Bit-identical to
+/// the plain overload (the memo caches exact values); callers gate it on a
+/// config flag anyway so a reference path stays one switch away.
+MoveOutcome evaluate_move(const MoveDelta& d, PlogpMemo& memo);
 
 }  // namespace dinfomap::core

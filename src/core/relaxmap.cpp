@@ -12,6 +12,7 @@
 #include "core/seq_infomap.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sparse_accumulator.hpp"
 #include "util/timer.hpp"
 
 namespace dinfomap::core {
@@ -67,7 +68,10 @@ struct SharedLevel {
 std::uint64_t stripe_pass(const FlowGraph& fg, SharedLevel& shared,
                           int thread_id, int num_threads, double eps) {
   std::uint64_t moves = 0;
-  std::unordered_map<VertexId, double> flow_to;
+  // Thread-private scratch: one allocation per pass instead of hash-bucket
+  // churn per vertex.
+  util::SparseAccumulator<VertexId, double> flow_to(fg.num_vertices());
+  PlogpMemo memo;
   const VertexId n = fg.num_vertices();
   for (VertexId u = static_cast<VertexId>(thread_id); u < n;
        u += static_cast<VertexId>(num_threads)) {
@@ -79,21 +83,21 @@ std::uint64_t stripe_pass(const FlowGraph& fg, SharedLevel& shared,
       f_u += nb.weight;
     }
     if (flow_to.empty()) continue;
-    const double f_to_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
+    const double f_to_old = flow_to.value_or(cur, 0.0);
 
     double best_delta = -eps;
     VertexId best = cur;
-    for (const auto& [mod, flow] : flow_to) {
+    for (const VertexId mod : flow_to.keys()) {
       if (mod == cur) continue;
       MoveDelta d;
       d.p_u = fg.node_flow[u];
       d.f_u = f_u;
       d.f_to_old = f_to_old;
-      d.f_to_new = flow;
+      d.f_to_new = *flow_to.find(mod);
       d.old_stats = shared.modules[cur];  // relaxed read
       d.new_stats = shared.modules[mod];
       d.q_total = shared.q_total_snapshot;
-      const auto out = evaluate_move(d);
+      const auto out = evaluate_move(d, memo);
       if (out.delta_codelength < best_delta - 1e-15 ||
           (out.delta_codelength < best_delta + 1e-15 && mod < best)) {
         best_delta = out.delta_codelength;
@@ -113,7 +117,7 @@ std::uint64_t stripe_pass(const FlowGraph& fg, SharedLevel& shared,
     old_m.exit_pr += -f_u + 2.0 * f_to_old;
     old_m.num_members = old_m.num_members > 0 ? old_m.num_members - 1 : 0;
     new_m.sum_pr += fg.node_flow[u];
-    new_m.exit_pr += f_u - 2.0 * flow_to.at(best);
+    new_m.exit_pr += f_u - 2.0 * *flow_to.find(best);
     new_m.num_members += 1;
     shared.module_of[u] = best;
     if (lo != hi) shared.locks[hi].unlock();

@@ -8,6 +8,7 @@
 #include "graph/builder.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sparse_accumulator.hpp"
 
 namespace dinfomap::core {
 
@@ -74,11 +75,22 @@ struct LevelState {
   }
 };
 
+/// Reusable scratch for move passes: the flow accumulator (module ids are
+/// always < the level's vertex count) and the plogp memo. One instance
+/// serves every pass of a level — no per-vertex allocation.
+struct MoveScratch {
+  util::SparseAccumulator<VertexId, double> flow_to;  // module -> flow from u
+  PlogpMemo memo;
+  bool use_memo = true;
+};
+
 /// One pass over all vertices in `order`; returns the number of moves.
 std::uint64_t move_pass(const FlowGraph& fg, LevelState& state,
-                        const std::vector<VertexId>& order, double eps) {
+                        const std::vector<VertexId>& order, double eps,
+                        MoveScratch& scratch) {
   std::uint64_t moves = 0;
-  std::unordered_map<VertexId, double> flow_to;  // module -> flow from u
+  auto& flow_to = scratch.flow_to;
+  if (flow_to.capacity() < fg.num_vertices()) flow_to.reset(fg.num_vertices());
   for (VertexId u : order) {
     const VertexId cur = state.module_of[u];
     flow_to.clear();
@@ -88,24 +100,25 @@ std::uint64_t move_pass(const FlowGraph& fg, LevelState& state,
       f_u += nb.weight;
     }
     if (flow_to.empty()) continue;  // isolated vertex
-    const double f_to_old = flow_to.count(cur) ? flow_to.at(cur) : 0.0;
+    const double f_to_old = flow_to.value_or(cur, 0.0);
 
     // Greedy argmin of ΔL over neighbor modules; deterministic tie-break on
     // smaller module id.
     double best_delta = -eps;
     VertexId best_target = cur;
     MoveOutcome best_outcome;
-    for (const auto& [mod, flow] : flow_to) {
+    for (const VertexId mod : flow_to.keys()) {
       if (mod == cur) continue;
       MoveDelta d;
       d.p_u = fg.node_flow[u];
       d.f_u = f_u;
       d.f_to_old = f_to_old;
-      d.f_to_new = flow;
+      d.f_to_new = *flow_to.find(mod);
       d.old_stats = state.modules[cur];
       d.new_stats = state.modules[mod];
       d.q_total = state.terms.q_total;
-      const MoveOutcome out = evaluate_move(d);
+      const MoveOutcome out = scratch.use_memo ? evaluate_move(d, scratch.memo)
+                                               : evaluate_move(d);
       if (out.delta_codelength < best_delta - 1e-15 ||
           (out.delta_codelength < best_delta + 1e-15 && mod < best_target)) {
         best_delta = out.delta_codelength;
@@ -143,6 +156,8 @@ InfomapResult sequential_infomap(const graph::Csr& graph,
   }
 
   util::Xoshiro256 rng(config.seed);
+  MoveScratch scratch;
+  scratch.use_memo = config.plogp_memo;
   for (int level = 0; level < config.max_outer_iterations; ++level) {
     LevelState state;
     state.init_singletons(fg);
@@ -158,7 +173,7 @@ InfomapResult sequential_infomap(const graph::Csr& graph,
     for (int pass = 0; pass < config.max_inner_passes; ++pass) {
       util::deterministic_shuffle(order, rng);
       const std::uint64_t moves =
-          move_pass(fg, state, order, config.move_epsilon);
+          move_pass(fg, state, order, config.move_epsilon, scratch);
       info.moves += moves;
       ++info.inner_passes;
       if (moves == 0) break;
@@ -252,8 +267,8 @@ InfomapResult sequential_infomap(const graph::Csr& graph,
     util::Xoshiro256 tune_rng(util::derive_seed(config.seed, 0xC0A53));
     for (int pass = 0; pass < config.max_inner_passes; ++pass) {
       util::deterministic_shuffle(order, tune_rng);
-      const auto moves =
-          move_pass(contracted.graph, state, order, config.move_epsilon);
+      const auto moves = move_pass(contracted.graph, state, order,
+                                   config.move_epsilon, scratch);
       result.coarse_tune_moves += moves;
       if (moves == 0) break;
     }
@@ -283,7 +298,8 @@ InfomapResult sequential_infomap(const graph::Csr& graph,
     util::Xoshiro256 tune_rng(util::derive_seed(config.seed, 0xF17E));
     for (int pass = 0; pass < config.max_inner_passes; ++pass) {
       util::deterministic_shuffle(order, tune_rng);
-      const auto moves = move_pass(level0, state, order, config.move_epsilon);
+      const auto moves =
+          move_pass(level0, state, order, config.move_epsilon, scratch);
       result.fine_tune_moves += moves;
       if (moves == 0) break;
     }
@@ -312,9 +328,11 @@ graph::Partition cluster_flow_graph(const FlowGraph& fg,
   std::vector<VertexId> order(fg.num_vertices());
   std::iota(order.begin(), order.end(), 0);
   util::Xoshiro256 rng(config.seed);
+  MoveScratch scratch;
+  scratch.use_memo = config.plogp_memo;
   for (int pass = 0; pass < config.max_inner_passes; ++pass) {
     util::deterministic_shuffle(order, rng);
-    if (move_pass(fg, state, order, config.move_epsilon) == 0) break;
+    if (move_pass(fg, state, order, config.move_epsilon, scratch) == 0) break;
   }
   return state.module_of;
 }

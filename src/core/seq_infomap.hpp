@@ -30,6 +30,10 @@ struct InfomapConfig {
   /// module into candidate submodules and let whole submodules move between
   /// modules. Never worsens the result; off by default (see fine_tune).
   bool coarse_tune = false;
+  /// Route hot-path plogp calls through an exact bit-pattern memo (see
+  /// core::PlogpMemo). Bit-identical to the uncached path; off selects the
+  /// memo-free reference implementation.
+  bool plogp_memo = true;
 };
 
 /// One row of the convergence trace (drives Figs. 4 and 5).

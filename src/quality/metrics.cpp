@@ -90,7 +90,8 @@ double modularity(const graph::Csr& graph, const Partition& partition) {
   if (two_w == 0) return 0.0;
   double q = 0;
   for (const auto& [c, tot] : total) {
-    const double in_c = internal.count(c) ? internal.at(c) : 0.0;
+    const auto in_it = internal.find(c);
+    const double in_c = in_it != internal.end() ? in_it->second : 0.0;
     q += in_c / two_w - (tot / two_w) * (tot / two_w);
   }
   return q;

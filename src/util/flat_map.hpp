@@ -1,0 +1,170 @@
+// Open-addressing hash map (linear probing, power-of-two capacity, Fibonacci
+// hashing) for integral keys. Replaces `std::unordered_map` in lookup-heavy
+// hot paths — the per-rank module table of the distributed Infomap probes this
+// once per candidate module per ΔL evaluation, and a node-based map pays a
+// bucket-pointer chase plus an allocation per insert. Slots live in one
+// contiguous array, so a probe is one cache line in the common case.
+//
+// Not a general container: no erase (the algorithms only ever clear whole
+// tables between rounds), keys are value types, and iteration order is slot
+// order (callers that need deterministic order must sort — the hot paths never
+// iterate). See DESIGN.md "Hot-path data structures".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dinfomap::util {
+
+template <typename K, typename V>
+class FlatMap {
+  struct Slot {
+    K first{};
+    V second{};
+    bool used = false;
+  };
+
+ public:
+  /// Forward iterator over occupied slots; `it->first` / `it->second` mirror
+  /// the std::unordered_map access idiom so call sites read unchanged.
+  class iterator {
+   public:
+    iterator() = default;
+    iterator(Slot* p, Slot* end) : p_(p), end_(end) { skip(); }
+    Slot& operator*() const { return *p_; }
+    Slot* operator->() const { return p_; }
+    iterator& operator++() {
+      ++p_;
+      skip();
+      return *this;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.p_ == b.p_;
+    }
+
+   private:
+    void skip() {
+      while (p_ != end_ && !p_->used) ++p_;
+    }
+    Slot* p_ = nullptr;
+    Slot* end_ = nullptr;
+  };
+
+  FlatMap() = default;
+  explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Drop all entries; keeps the slot array (O(capacity), no deallocation).
+  void clear() {
+    for (Slot& s : slots_) s.used = false;
+    size_ = 0;
+  }
+
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  iterator begin() {
+    return {slots_.data(), slots_.data() + slots_.size()};
+  }
+  iterator end() {
+    Slot* e = slots_.data() + slots_.size();
+    return {e, e};
+  }
+
+  iterator find(K key) {
+    Slot* s = locate(key);
+    return (s && s->used) ? iterator{s, slots_.data() + slots_.size()}
+                          : end();
+  }
+  [[nodiscard]] bool contains(K key) const {
+    const Slot* s = const_cast<FlatMap*>(this)->locate(key);
+    return s && s->used;
+  }
+  [[nodiscard]] std::size_t count(K key) const { return contains(key) ? 1 : 0; }
+
+  V& operator[](K key) {
+    grow_if_needed();
+    Slot* s = locate(key);
+    if (!s->used) {
+      s->first = key;
+      s->second = V{};
+      s->used = true;
+      ++size_;
+    }
+    return s->second;
+  }
+
+  /// Insert (key, value) if absent; returns {slot, inserted}.
+  std::pair<iterator, bool> emplace(K key, const V& value) {
+    grow_if_needed();
+    Slot* s = locate(key);
+    const bool inserted = !s->used;
+    if (inserted) {
+      s->first = key;
+      s->second = value;
+      s->used = true;
+      ++size_;
+    }
+    return {iterator{s, slots_.data() + slots_.size()}, inserted};
+  }
+
+  /// Hash mix, exposed so tests can construct collision-heavy key sets.
+  static std::uint64_t mix(K key) {
+    return static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  // Entries fill at most 7/8 of the slots; linear probing degrades sharply
+  // past that.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  /// Slot holding `key`, or the empty slot where it would be inserted.
+  /// Null only when the table has no storage yet.
+  Slot* locate(K key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key) >> shift_) & mask;
+    while (slots_[i].used && slots_[i].first != key) i = (i + 1) & mask;
+    return &slots_[i];
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      rehash(kMinCapacity);
+    } else if ((size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      rehash(slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    shift_ = 64;
+    for (std::size_t c = new_cap; c > 1; c >>= 1) --shift_;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      Slot* t = locate(s.first);
+      t->first = s.first;
+      t->second = std::move(s.second);
+      t->used = true;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  int shift_ = 64;  ///< top-bits shift for the current capacity
+};
+
+}  // namespace dinfomap::util
