@@ -96,6 +96,17 @@ class JsonSink {
   JsonSink& field(const std::string& key, int value) {
     return field(key, static_cast<std::int64_t>(value));
   }
+  JsonSink& field(const std::string& key, std::uint64_t value) {
+    return raw_field(key, std::to_string(value));
+  }
+  /// Embed an already-serialized JSON document verbatim as `key`'s value —
+  /// how benches attach the structured obs::RunReport to their rows.
+  JsonSink& json_field(const std::string& key, const std::string& raw_json) {
+    return raw_field(key, raw_json);
+  }
+  JsonSink& report_field(const std::string& key, const obs::RunReport& rep) {
+    return json_field(key, rep.to_json());
+  }
 
   ~JsonSink() { write(); }
 
@@ -155,6 +166,27 @@ inline double modeled_stage_seconds(const core::DistInfomapResult& result,
                                     int stage,
                                     const perf::CostModel& model = {}) {
   return perf::bsp_seconds(result.stage_work[stage], model);
+}
+
+// Run-report-based overloads: benches that consume the structured report
+// (rather than the raw result arrays) evaluate the same BSP model off it.
+inline double modeled_phase_seconds(const obs::RunReport& report, int phase,
+                                    const perf::CostModel& model = {}) {
+  return perf::bsp_seconds(report.phases[static_cast<std::size_t>(phase)].work,
+                           model);
+}
+
+inline double modeled_total_seconds(const obs::RunReport& report,
+                                    const perf::CostModel& model = {}) {
+  double total = 0;
+  for (const auto& ph : report.phases) total += perf::bsp_seconds(ph.work, model);
+  return total;
+}
+
+inline double modeled_stage_seconds(const obs::RunReport& report, int stage,
+                                    const perf::CostModel& model = {}) {
+  return perf::bsp_seconds(report.stage_work[static_cast<std::size_t>(stage)],
+                           model);
 }
 
 }  // namespace dinfomap::bench

@@ -32,6 +32,21 @@ int main() {
                 s1.imbalance,
                 util::with_commas(static_cast<std::uint64_t>(s2.max)).c_str(),
                 s2.imbalance);
+
+    // Observed balance: ghost counts predict communication; the run report's
+    // per-rank comm counters verify it with the bytes actually sent.
+    core::DistInfomapConfig cfg;
+    cfg.num_ranks = p;
+    cfg.obs.enabled = true;
+    const auto rep = core::distributed_infomap(data.csr, cfg).report;
+    std::vector<std::uint64_t> sent(static_cast<std::size_t>(p), 0);
+    for (int r = 0; r < p; ++r)
+      sent[static_cast<std::size_t>(r)] =
+          rep.comm[static_cast<std::size_t>(r)].total_bytes();
+    const auto so = util::summarize_counts(sent);
+    std::printf("observed bytes sent (run report): max %s, imb %.2fx\n",
+                util::with_commas(static_cast<std::uint64_t>(so.max)).c_str(),
+                so.imbalance);
   }
   return 0;
 }

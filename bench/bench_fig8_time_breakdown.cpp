@@ -28,33 +28,36 @@ int main() {
     for (int p : {4, 8, 16}) {
       core::DistInfomapConfig cfg;
       cfg.num_ranks = p;
+      cfg.obs.enabled = true;  // flight recorder fills the run report
       const auto result = core::distributed_infomap(data.csr, cfg);
-      const double iters = std::max(1, result.stage1_rounds);
-      std::printf("%-5d %-9d | ", p, result.stage1_rounds);
+      const obs::RunReport& rep = result.report;
+      const double iters = std::max(1, rep.stage1_rounds);
+      // Phase counters include stage 2; scale by the stage-1 share of total
+      // work so the per-iteration stage-1 number stays honest.
+      const double stage1_share =
+          bench::modeled_stage_seconds(rep, 0, model) /
+          std::max(1e-12, bench::modeled_stage_seconds(rep, 0, model) +
+                              bench::modeled_stage_seconds(rep, 1, model));
+      std::printf("%-5d %-9d | ", p, rep.stage1_rounds);
       double per_phase_ms[core::kNumPhases] = {};
       for (int ph = 0; ph < core::kNumPhases; ++ph) {
-        // Phase counters include stage 2; scale by the stage-1 share of total
-        // work so the per-iteration stage-1 number stays honest.
         const double phase_ms =
-            1000.0 * bench::modeled_phase_seconds(result.work[ph], model);
-        const double stage1_share =
-            bench::modeled_stage_seconds(result, 0, model) /
-            std::max(1e-12, bench::modeled_stage_seconds(result, 0, model) +
-                                bench::modeled_stage_seconds(result, 1, model));
+            1000.0 * bench::modeled_phase_seconds(rep, ph, model);
         per_phase_ms[ph] = phase_ms * stage1_share / iters;
         std::printf("%-12.3f ", per_phase_ms[ph]);
       }
       std::printf("\n");
-      csv.row(name, p, result.stage1_rounds, per_phase_ms[0], per_phase_ms[1],
+      csv.row(name, p, rep.stage1_rounds, per_phase_ms[0], per_phase_ms[1],
               per_phase_ms[2], per_phase_ms[3]);
       json.begin_row()
           .field("dataset", name)
           .field("ranks", p)
-          .field("rounds", result.stage1_rounds)
+          .field("rounds", rep.stage1_rounds)
           .field("find_best_ms", per_phase_ms[0])
           .field("bcast_ms", per_phase_ms[1])
           .field("swap_ms", per_phase_ms[2])
-          .field("other_ms", per_phase_ms[3]);
+          .field("other_ms", per_phase_ms[3])
+          .report_field("run_report", rep);
     }
   }
   std::printf(

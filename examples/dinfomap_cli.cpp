@@ -43,6 +43,7 @@ int usage() {
                "  dinfomap_cli generate <lfr|ba|rmat|sbm|ring|er> <out.txt> [seed]\n"
                "  dinfomap_cli cluster <edges.txt> <out.clu> [--algo seq|dist|louvain|lpa|relaxmap]\n"
                "                [--ranks N] [--seed S] [--tree out.tree]\n"
+               "                [--trace out.trace.json] [--report out.report.json]  (dist only)\n"
                "  dinfomap_cli eval <edges.txt> <a.clu> <b.clu>\n"
                "  dinfomap_cli partition-stats <edges.txt> <ranks>\n");
   return 2;
@@ -88,6 +89,8 @@ int cmd_cluster(int argc, char** argv) {
   const std::string out = argv[3];
   std::string algo = "dist";
   std::string tree_out;
+  std::string trace_out;
+  std::string report_out;
   int ranks = 4;
   std::uint64_t seed = 42;
   for (int i = 4; i + 1 < argc; i += 2) {
@@ -95,6 +98,8 @@ int cmd_cluster(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--ranks")) ranks = std::atoi(argv[i + 1]);
     else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(argv[i + 1], nullptr, 10);
     else if (!std::strcmp(argv[i], "--tree")) tree_out = argv[i + 1];
+    else if (!std::strcmp(argv[i], "--trace")) trace_out = argv[i + 1];
+    else if (!std::strcmp(argv[i], "--report")) report_out = argv[i + 1];
     else return usage();
   }
 
@@ -118,10 +123,20 @@ int cmd_cluster(int argc, char** argv) {
     core::DistInfomapConfig cfg;
     cfg.num_ranks = ranks;
     cfg.seed = seed;
+    if (!trace_out.empty() || !report_out.empty()) {
+      cfg.obs.enabled = true;  // flight recorder on; results are unchanged
+      cfg.obs.trace_path = trace_out;
+      cfg.obs.report_path = report_out;
+    }
     const auto r = core::distributed_infomap(g, cfg);
     assignment = r.assignment;
     std::printf("distributed Infomap (p=%d): L = %.6f, %u modules\n", ranks,
                 r.codelength, r.num_modules());
+    if (!trace_out.empty())
+      std::printf("trace written to %s (load at ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    if (!report_out.empty())
+      std::printf("run report written to %s\n", report_out.c_str());
   } else if (algo == "louvain") {
     core::LouvainConfig cfg;
     cfg.seed = seed;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "comm/runtime.hpp"
+#include "obs/metrics.hpp"
 
 namespace dinfomap::comm {
 
@@ -13,10 +14,16 @@ namespace {
 constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
 }  // namespace
 
+void Comm::set_metrics(obs::MetricsRegistry* metrics) {
+  msg_bytes_hist_ =
+      metrics != nullptr ? &metrics->histogram("comm.msg_bytes") : nullptr;
+}
+
 void Comm::transport_send(int dest, int tag, std::span<const std::byte> data,
                           bool collective) {
   DINFOMAP_REQUIRE_MSG(dest >= 0 && dest < size_, "send: destination out of range");
   if (dest != rank_) {
+    if (msg_bytes_hist_ != nullptr) msg_bytes_hist_->observe(data.size());
     // Self-delivery is a local copy in any real transport; only remote
     // traffic counts toward communication volume.
     if (collective) {

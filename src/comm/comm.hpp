@@ -25,6 +25,11 @@
 #include "comm/message.hpp"
 #include "util/check.hpp"
 
+namespace dinfomap::obs {
+class MetricsRegistry;
+class Histogram;
+}  // namespace dinfomap::obs
+
 namespace dinfomap::comm {
 
 class Runtime;
@@ -246,6 +251,12 @@ class Comm {
   [[nodiscard]] const CommCounters& counters() const { return counters_; }
   CommCounters& counters() { return counters_; }
 
+  // ---- flight recorder ---------------------------------------------------
+  /// Attach this rank's metrics registry; transport sends then feed the
+  /// `comm.msg_bytes` message-size histogram. Pass nullptr to detach.
+  /// Observability only — never alters what is sent or when.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   template <typename T>
   static std::span<const std::byte> as_bytes(std::span<const T> data) {
@@ -292,6 +303,8 @@ class Comm {
   int size_;
   std::uint64_t collective_seq_ = 0;
   CommCounters counters_;
+  /// Resolved once by set_metrics so the send path pays one null check.
+  obs::Histogram* msg_bytes_hist_ = nullptr;
 };
 
 }  // namespace dinfomap::comm

@@ -15,6 +15,8 @@ void Mailbox::deliver(Message message) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (poisoned_) throw CommAborted("deliver to poisoned mailbox");
     queue_.push_back(std::move(message));
+    ++delivered_;
+    if (queue_.size() > depth_high_water_) depth_high_water_ = queue_.size();
   }
   cv_.notify_all();
 }
@@ -51,6 +53,16 @@ void Mailbox::poison() {
 std::size_t Mailbox::pending() {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::size_t Mailbox::depth_high_water() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_high_water_;
+}
+
+std::uint64_t Mailbox::delivered() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delivered_;
 }
 
 }  // namespace dinfomap::comm

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -38,11 +39,19 @@ class Mailbox {
   /// Number of queued (undelivered) messages — used by shutdown diagnostics.
   std::size_t pending() ;
 
+  /// Largest queue depth ever observed (flight-recorder backlog signal: a
+  /// rank whose inbox grows deep is the straggler its peers wait on).
+  std::size_t depth_high_water();
+  /// Total messages ever delivered into this mailbox.
+  std::uint64_t delivered();
+
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool poisoned_ = false;
+  std::size_t depth_high_water_ = 0;
+  std::uint64_t delivered_ = 0;
 };
 
 }  // namespace dinfomap::comm

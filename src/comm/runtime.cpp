@@ -57,6 +57,8 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
   threads.reserve(nranks);
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      // Tag this thread's log lines with its rank for the lifetime of the job.
+      util::ScopedThreadRank rank_tag(r);
       Comm comm(runtime, r, nranks);
       try {
         fn(comm);
@@ -74,6 +76,13 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
     });
   }
   for (auto& t : threads) t.join();
+
+  report.mailbox_depth_high_water.resize(nranks);
+  report.mailbox_delivered.resize(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    report.mailbox_depth_high_water[r] = runtime.mailbox(r).depth_high_water();
+    report.mailbox_delivered[r] = runtime.mailbox(r).delivered();
+  }
 
   if (first_failure) std::rethrow_exception(first_failure);
   return report;

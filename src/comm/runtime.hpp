@@ -19,6 +19,10 @@ class Runtime {
   /// Per-rank results a job can leave behind (counters survive the ranks).
   struct JobReport {
     std::vector<CommCounters> counters;  ///< indexed by rank
+    /// Flight-recorder inbox stats per rank: deepest backlog ever queued and
+    /// total messages delivered (includes self-delivery).
+    std::vector<std::size_t> mailbox_depth_high_water;
+    std::vector<std::uint64_t> mailbox_delivered;
   };
 
   using RankFn = std::function<void(Comm&)>;

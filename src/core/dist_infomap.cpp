@@ -321,8 +321,25 @@ void DistRank::swap_boundary_info() {
 
   // Receive side (Alg. 3 lines 22–32): update ghost→module mapping; build
   // new modules from unseen records, skip duplicate statistics.
+  // Watchdog: the sender's isSent flags guarantee at most one stats-bearing
+  // record per (batch, module); a second one means the dedup protocol broke.
+  const bool watch = recorder_ != nullptr && recorder_->enabled() &&
+                     recorder_->options().watchdog;
+  std::unordered_set<ModuleId> stats_seen;
   for (const auto& batch : incoming) {
+    if (watch) stats_seen.clear();
     for (const BoundaryRecord& rec : batch) {
+      if (watch && rec.info.is_sent == 0 &&
+          !stats_seen.insert(rec.info.mod_id).second) {
+        obs::Anomaly a;
+        a.rank = comm_.rank();
+        a.level = current_level_;
+        a.round = round_index_;
+        a.kind = "issent_dedup_violation";
+        a.detail = "module " + std::to_string(rec.info.mod_id) +
+                   " statistics shipped twice in one boundary batch";
+        recorder_->report_anomaly(comm_.rank(), std::move(a));
+      }
       auto it = index_.find(rec.vertex);
       if (it == index_.end()) continue;
       verts_[it->second].module = rec.info.mod_id;
@@ -456,8 +473,18 @@ std::uint64_t DistRank::other_update(std::uint64_t local_moves,
   return static_cast<std::uint64_t>(total[4]) + hub_moves;
 }
 
+void DistRank::sample_table_metrics() {
+  if (metrics_ == nullptr) return;
+  auto& probes = metrics_->histogram("module_table.probe_len");
+  for (const auto& slot : modules_) probes.observe(modules_.probe_length(slot.first));
+  metrics_->gauge("module_table.size").set(static_cast<double>(modules_.size()));
+  metrics_->gauge("module_table.capacity")
+      .set(static_cast<double>(modules_.capacity()));
+}
+
 DistRank::RoundResult DistRank::round(bool with_delegates,
                                       util::Xoshiro256& rng) {
+  const std::uint64_t arcs0 = wk(Phase::kFindBestModule).arcs_scanned;
   RoundResult rr;
   std::vector<HubProposal> proposals;
   rr.local_moves = find_best_modules(with_delegates, rng, proposals);
@@ -467,6 +494,24 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
   }
   swap_boundary_info();
   rr.global_moves = other_update(rr.local_moves, rr.hub_moves);
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    obs::RoundSample sample;
+    sample.level = current_level_;
+    sample.round = round_index_;
+    sample.codelength = codelength_;
+    sample.moves = rr.global_moves;
+    sample.rank_work = wk(Phase::kFindBestModule).arcs_scanned - arcs0;
+    recorder_->record_round(comm_.rank(), sample);
+    if (trace_buf_ != nullptr) {
+      trace_buf_->counter("codelength", codelength_);
+      trace_buf_->counter("global_moves",
+                          static_cast<double>(rr.global_moves));
+    }
+    if (metrics_ != nullptr) {
+      metrics_->histogram("round.moves").observe(rr.global_moves);
+      sample_table_metrics();
+    }
+  }
   ++round_index_;
   return rr;
 }
@@ -476,6 +521,7 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
 // ---------------------------------------------------------------------------
 
 VertexId DistRank::merge_level() {
+  obs::SpanScope merge_span(trace_buf_, "MergeLevel");
   const int p = comm_.size();
 
   // 1. Dense relabeling of live modules: homes announce theirs; ids are
@@ -548,6 +594,7 @@ VertexId DistRank::merge_level() {
   }
 
   // 5. Ship and rebuild.
+  obs::SpanScope redist_span(trace_buf_, "Redistribute");
   auto coarse_in = comm_.alltoallv(coarse_out);
   auto info_in = comm_.alltoallv(info_out);
 
@@ -593,7 +640,10 @@ void DistRank::execute() {
 
   // ---- stage 1: clustering with delegates --------------------------------
   util::Timer stage1;
+  double prev_codelength = 0;
   {
+    obs::SpanScope stage1_span(trace_buf_, "Stage1");
+    current_level_ = 0;
     OuterIterationInfo info;
     info.level = 0;
     info.level_vertices = level_n_;
@@ -615,50 +665,55 @@ void DistRank::execute() {
     info.codelength_after = codelength_;
     info.num_modules = static_cast<VertexId>(alive_modules_);
     trace_.push_back(info);
+    prev_codelength = codelength_;
+    merge_level();
+    swap_boundary_info();
+    (void)other_update(0, 0);
   }
-  double prev_codelength = codelength_;
-  merge_level();
-  swap_boundary_info();
-  (void)other_update(0, 0);
   stage1_seconds_ = stage1.seconds();
   for (int ph = 0; ph < kNumPhases; ++ph)
     stage1_work_snapshot_[ph] = work_[ph];
 
   // ---- stage 2: clustering without delegates -----------------------------
   util::Timer stage2;
-  for (int level = 1; level <= cfg_.max_levels; ++level) {
-    OuterIterationInfo info;
-    info.level = level;
-    info.level_vertices = level_n_;
-    info.codelength_before = codelength_;
-    for (int i = 0; i < cfg_.max_rounds; ++i) {
-      const double before = codelength_;
-      const RoundResult rr = round(/*with_delegates=*/false, rng);
-      info.moves += rr.global_moves;
-      ++info.inner_passes;
-      if (rr.global_moves == 0) break;
-      if (codelength_ > before + cfg_.round_theta) break;
-      if (i + 1 >= cfg_.min_rounds && before - codelength_ < cfg_.round_theta)
-        break;
-    }
-    info.codelength_after = codelength_;
-    info.num_modules = static_cast<VertexId>(alive_modules_);
-    trace_.push_back(info);
-    ++stage2_levels_;
+  {
+    obs::SpanScope stage2_span(trace_buf_, "Stage2");
+    for (int level = 1; level <= cfg_.max_levels; ++level) {
+      current_level_ = level;
+      OuterIterationInfo info;
+      info.level = level;
+      info.level_vertices = level_n_;
+      info.codelength_before = codelength_;
+      for (int i = 0; i < cfg_.max_rounds; ++i) {
+        const double before = codelength_;
+        const RoundResult rr = round(/*with_delegates=*/false, rng);
+        info.moves += rr.global_moves;
+        ++info.inner_passes;
+        if (rr.global_moves == 0) break;
+        if (codelength_ > before + cfg_.round_theta) break;
+        if (i + 1 >= cfg_.min_rounds && before - codelength_ < cfg_.round_theta)
+          break;
+      }
+      info.codelength_after = codelength_;
+      info.num_modules = static_cast<VertexId>(alive_modules_);
+      trace_.push_back(info);
+      ++stage2_levels_;
 
-    const bool merged_smaller = alive_modules_ < info.level_vertices;
-    const double improvement = prev_codelength - codelength_;
-    prev_codelength = codelength_;
-    if (!merged_smaller) break;
-    merge_level();
-    swap_boundary_info();
-    (void)other_update(0, 0);
-    if (improvement < cfg_.theta) break;
+      const bool merged_smaller = alive_modules_ < info.level_vertices;
+      const double improvement = prev_codelength - codelength_;
+      prev_codelength = codelength_;
+      if (!merged_smaller) break;
+      merge_level();
+      swap_boundary_info();
+      (void)other_update(0, 0);
+      if (improvement < cfg_.theta) break;
+    }
   }
   stage2_seconds_ = stage2.seconds();
 
   // ---- final projection: level-0 owned vertex → final module -------------
   {
+    obs::SpanScope proj_span(trace_buf_, "FinalProjection");
     const int p = comm_.size();
     std::vector<std::vector<ProjectionQuery>> queries(p);
     std::vector<std::vector<std::size_t>> slot(p);
@@ -710,6 +765,72 @@ perf::WorkCounters DistRank::stage_work(int stage) const {
 
 namespace dinfomap::core {
 
+namespace {
+
+/// Fold the result arrays, the recorder's metrics dumps, and the watchdog
+/// findings into one structured run report.
+obs::RunReport build_run_report(const graph::Csr& graph,
+                                const DistInfomapConfig& config,
+                                const DistInfomapResult& result,
+                                const obs::Recorder& recorder) {
+  obs::RunReport rep;
+  rep.add_config("num_ranks", config.num_ranks);
+  rep.add_config("degree_threshold",
+                 static_cast<std::uint64_t>(config.degree_threshold));
+  rep.add_config("theta", config.theta);
+  rep.add_config("max_levels", config.max_levels);
+  rep.add_config("max_rounds", config.max_rounds);
+  rep.add_config("round_theta", config.round_theta);
+  rep.add_config("min_rounds", config.min_rounds);
+  rep.add_config("move_epsilon", config.move_epsilon);
+  rep.add_config("seed", static_cast<std::uint64_t>(config.seed));
+  rep.add_config("min_label", config.min_label);
+  rep.add_config("whole_module_swap", config.whole_module_swap);
+  rep.add_config("exact_hub_moves", config.exact_hub_moves);
+  rep.add_config("plogp_memo", config.plogp_memo);
+  rep.add_config("chaos_delay_us",
+                 static_cast<std::uint64_t>(config.chaos_delay_us));
+  rep.graph_vertices = graph.num_vertices();
+  rep.graph_edges = graph.num_edges();
+  rep.num_ranks = config.num_ranks;
+  rep.codelength = result.codelength;
+  rep.singleton_codelength = result.singleton_codelength;
+  rep.num_modules = result.num_modules();
+  for (const auto& row : result.trace) {
+    obs::RunReport::LevelRow lr;
+    lr.level = static_cast<int>(row.level);
+    lr.vertices = row.level_vertices;
+    lr.rounds = static_cast<int>(row.inner_passes);
+    lr.moves = row.moves;
+    lr.codelength_before = row.codelength_before;
+    lr.codelength_after = row.codelength_after;
+    lr.num_modules = row.num_modules;
+    rep.levels.push_back(lr);
+  }
+  rep.round_codelengths = result.stage1_round_codelengths;
+  rep.stage1_rounds = result.stage1_rounds;
+  rep.stage2_levels = result.stage2_levels;
+  rep.stage1_wall_seconds = result.stage1_wall_seconds;
+  rep.stage2_wall_seconds = result.stage2_wall_seconds;
+  for (int ph = 0; ph < kNumPhases; ++ph) {
+    obs::RunReport::PhaseRow pr;
+    pr.name = kPhaseNames[static_cast<std::size_t>(ph)];
+    pr.work = result.work[static_cast<std::size_t>(ph)];
+    pr.seconds = result.phase_seconds[static_cast<std::size_t>(ph)];
+    rep.phases.push_back(std::move(pr));
+  }
+  rep.stage_work = result.stage_work;
+  rep.comm = result.comm_counters;
+  if (recorder.enabled()) {
+    for (const auto& m : recorder.all_metrics())
+      rep.metrics_json.push_back(m.to_json());
+    rep.anomalies = recorder.anomalies();
+  }
+  return rep;
+}
+
+}  // namespace
+
 DistInfomapResult distributed_infomap(const graph::Csr& graph,
                                       const partition::ArcPartition& part,
                                       const DistInfomapConfig& config) {
@@ -730,13 +851,16 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
 
   const int p = config.num_ranks;
   std::vector<std::unique_ptr<detail::DistRank>> ranks(p);
+  obs::Recorder recorder(p, config.obs);
 
   comm::Runtime::Options rt_options;
   rt_options.chaos_max_delay_us = config.chaos_delay_us;
   auto report = comm::Runtime::run(
       p,
       [&](comm::Comm& comm) {
-        auto rank = std::make_unique<detail::DistRank>(comm, part, config);
+        comm.set_metrics(recorder.metrics(comm.rank()));
+        auto rank =
+            std::make_unique<detail::DistRank>(comm, part, config, &recorder);
         rank->execute();
         ranks[comm.rank()] = std::move(rank);  // distinct slot per rank
       },
@@ -781,6 +905,26 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
       result.stage_work[stage][r] = ranks[r]->stage_work(stage);
   }
   result.comm_counters = report.counters;
+
+  // ---- flight-recorder epilogue ----------------------------------------
+  if (recorder.enabled()) {
+    for (int r = 0; r < p; ++r) {
+      auto* m = recorder.metrics(r);
+      m->absorb(report.counters[r], "comm");
+      m->counter("mailbox.depth_high_water")
+          .set(report.mailbox_depth_high_water[static_cast<std::size_t>(r)]);
+      m->counter("mailbox.delivered")
+          .set(report.mailbox_delivered[static_cast<std::size_t>(r)]);
+    }
+    recorder.finish_watchdog();
+  }
+  result.report = build_run_report(graph, config, result, recorder);
+  if (recorder.enabled()) {
+    if (!config.obs.trace_path.empty())
+      (void)recorder.trace().write(config.obs.trace_path);
+    if (!config.obs.report_path.empty())
+      (void)result.report.write(config.obs.report_path);
+  }
   return result;
 }
 

@@ -17,6 +17,8 @@
 #include "core/seq_infomap.hpp"
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"
 #include "partition/arc_partition.hpp"
 #include "perf/work_counters.hpp"
 
@@ -75,6 +77,10 @@ struct DistInfomapConfig {
   /// protocol must produce identical results under any delivery timing —
   /// asserted by tests. 0 disables.
   unsigned chaos_delay_us = 0;
+  /// Flight recorder (src/obs): per-rank tracing, metrics, and the invariant
+  /// watchdog. Off by default; purely observational — enabling it must not
+  /// change any result bit (asserted by the obs determinism regression).
+  obs::ObsOptions obs;
 };
 
 struct DistInfomapResult {
@@ -104,6 +110,11 @@ struct DistInfomapResult {
   /// machine — the modeled time uses `work`).
   std::array<std::vector<double>, kNumPhases> phase_seconds;
   std::vector<comm::CommCounters> comm_counters;  ///< per rank
+
+  /// Structured run report (always filled; its metrics/anomaly sections are
+  /// only populated when `config.obs.enabled`). Benches embed this instead of
+  /// re-accumulating the arrays above by hand.
+  obs::RunReport report;
 
   [[nodiscard]] graph::VertexId num_modules() const {
     graph::VertexId k = 0;

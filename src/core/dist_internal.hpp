@@ -10,6 +10,7 @@
 #include "core/dist_infomap.hpp"
 #include "core/mapequation.hpp"
 #include "core/module_info.hpp"
+#include "obs/recorder.hpp"
 #include "partition/arc_partition.hpp"
 #include "perf/work_counters.hpp"
 #include "util/flat_map.hpp"
@@ -35,7 +36,7 @@ enum class Kind : std::uint8_t {
 class DistRank {
  public:
   DistRank(comm::Comm& comm, const partition::ArcPartition& part,
-           const DistInfomapConfig& cfg);
+           const DistInfomapConfig& cfg, obs::Recorder* recorder = nullptr);
 
   /// Runs preprocessing, stage 1, merging, and stage 2. After return, the
   /// sinks below carry this rank's outputs.
@@ -144,14 +145,16 @@ class DistRank {
   perf::WorkCounters& wk(Phase ph) { return work_[static_cast<int>(ph)]; }
 
   /// RAII phase attribution: wall time plus the comm traffic that happened
-  /// while alive is charged to one Phase.
+  /// while alive is charged to one Phase, and (when tracing is armed) the
+  /// phase appears as a span on this rank's trace track.
   class PhaseScope {
    public:
     PhaseScope(DistRank& rank, Phase ph)
         : rank_(rank),
           ph_(static_cast<int>(ph)),
           messages0_(rank.comm_.counters().total_messages()),
-          bytes0_(rank.comm_.counters().total_bytes()) {}
+          bytes0_(rank.comm_.counters().total_bytes()),
+          span_(rank.trace_buf_, kPhaseNames[static_cast<int>(ph)]) {}
     PhaseScope(const PhaseScope&) = delete;
     PhaseScope& operator=(const PhaseScope&) = delete;
     ~PhaseScope() {
@@ -167,10 +170,21 @@ class DistRank {
     std::uint64_t messages0_;
     std::uint64_t bytes0_;
     util::Timer timer_;
+    obs::SpanScope span_;
   };
+
+  /// Sample flight-recorder gauges/histograms that describe the current
+  /// tables (module-table probe lengths, sizes). No-op unless metrics are on.
+  void sample_table_metrics();
 
   comm::Comm& comm_;
   const DistInfomapConfig& cfg_;
+  /// Flight recorder (nullable). trace_buf_/metrics_ are this rank's resolved
+  /// handles — null whenever the respective subsystem is off, so every
+  /// instrumentation site is one pointer test.
+  obs::Recorder* recorder_ = nullptr;
+  obs::TraceBuffer* trace_buf_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   VertexId n0_ = 0;        ///< level-0 global vertex count
   VertexId level_n_ = 0;   ///< current-level global vertex count
   double node_term_ = 0;   ///< Σ plogp(p_α), level 0 (global)
@@ -203,6 +217,7 @@ class DistRank {
   double singleton_codelength_ = 0;
   std::uint64_t alive_modules_ = 0;  ///< global module count (post-sync)
   int round_index_ = 0;  ///< round counter (drives min-label alternation)
+  int current_level_ = 0;  ///< outer level (0 = stage 1) for round samples
 
   /// Owned vertices that changed module since the last swap.
   std::vector<std::uint32_t> dirty_owned_;

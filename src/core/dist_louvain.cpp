@@ -217,10 +217,7 @@ DistLouvainResult distributed_louvain(const graph::Csr& graph,
           for (const LabelUpdate& lu : batch) labels[lu.vertex] = lu.community;
       }
     });
-    for (int r = 0; r < config.num_ranks; ++r) {
-      result.work_per_rank[r].messages += report.counters[r].total_messages();
-      result.work_per_rank[r].bytes += report.counters[r].total_bytes();
-    }
+    perf::add_comm_totals(result.work_per_rank, report.counters);
     result.total_rounds += level_rounds;
     ++result.levels;
 

@@ -10,8 +10,13 @@
 namespace dinfomap::core::detail {
 
 DistRank::DistRank(comm::Comm& comm, const partition::ArcPartition& part,
-                   const DistInfomapConfig& cfg)
-    : comm_(comm), cfg_(cfg) {
+                   const DistInfomapConfig& cfg, obs::Recorder* recorder)
+    : comm_(comm), cfg_(cfg), recorder_(recorder) {
+  if (recorder_ != nullptr) {
+    trace_buf_ = recorder_->track(comm_.rank());
+    metrics_ = recorder_->metrics(comm_.rank());
+  }
+  obs::SpanScope span(trace_buf_, "Setup");
   setup_stage1(part);
 }
 

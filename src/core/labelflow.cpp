@@ -185,10 +185,7 @@ LabelFlowResult distributed_labelflow(const graph::Csr& graph, int num_ranks,
         }
       }
     });
-    for (int r = 0; r < num_ranks; ++r) {
-      result.work_per_rank[r].messages += report.counters[r].total_messages();
-      result.work_per_rank[r].bytes += report.counters[r].total_bytes();
-    }
+    perf::add_comm_totals(result.work_per_rank, report.counters);
     result.total_rounds += level_rounds;
 
     CoarsenResult coarse = coarsen(level, final_labels);

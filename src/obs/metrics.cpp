@@ -1,0 +1,78 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace dinfomap::obs {
+
+void MetricsRegistry::absorb(const comm::CommCounters& c,
+                             const std::string& prefix) {
+  counter(prefix + ".p2p_messages").set(c.p2p_messages);
+  counter(prefix + ".p2p_bytes").set(c.p2p_bytes);
+  counter(prefix + ".collective_messages").set(c.collective_messages);
+  counter(prefix + ".collective_bytes").set(c.collective_bytes);
+  counter(prefix + ".collective_calls").set(c.collective_calls);
+}
+
+void MetricsRegistry::absorb(const perf::WorkCounters& w,
+                             const std::string& prefix) {
+  counter(prefix + ".arcs_scanned").set(w.arcs_scanned);
+  counter(prefix + ".delta_evals").set(w.delta_evals);
+  counter(prefix + ".module_updates").set(w.module_updates);
+  counter(prefix + ".messages").set(w.messages);
+  counter(prefix + ".bytes").set(w.bytes);
+}
+
+namespace {
+void append_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"';
+    append_escaped(os, name);
+    os << "\": " << c.value;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"';
+    append_escaped(os, name);
+    os << "\": " << g.value;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"';
+    append_escaped(os, name);
+    os << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"max\": " << h.max() << ", \"buckets\": [";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h.buckets()[static_cast<std::size_t>(b)] == 0) continue;
+      if (!bfirst) os << ", ";
+      bfirst = false;
+      os << '[' << Histogram::bucket_low(b) << ", "
+         << h.buckets()[static_cast<std::size_t>(b)] << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace dinfomap::obs

@@ -1,0 +1,121 @@
+// Typed per-rank metrics registry: monotonic counters, gauges, and log2-
+// bucket histograms, emitted in sorted-name order so every dump is
+// deterministic and diffable.
+//
+// Each rank owns one registry and is its only writer while the job runs; the
+// driver reads them after the ranks join. Hot paths resolve a metric once and
+// keep the reference — the by-name lookup is for registration and reporting,
+// not the fast path. The registry also absorbs whole CommCounters /
+// WorkCounters snapshots, replacing the hand-threaded struct copies the
+// benches used to do.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "comm/counters.hpp"
+#include "perf/work_counters.hpp"
+
+namespace dinfomap::obs {
+
+/// Monotonic event count.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) { value += n; }
+  void set(std::uint64_t v) { value = v; }
+};
+
+/// Last-written level (table sizes, thresholds, ratios).
+struct Gauge {
+  double value = 0;
+  void set(double v) { value = v; }
+};
+
+/// Power-of-two bucket histogram for non-negative integer samples.
+/// Bucket 0 holds exactly {0}; bucket b >= 1 holds [2^(b-1), 2^b - 1] — i.e.
+/// all values whose bit width is b. 64-bit samples always fit: 65 buckets.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void observe(std::uint64_t v) {
+    ++counts_[static_cast<std::size_t>(bucket_of(v))];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  /// Bucket index of `v`: 0 for 0, otherwise bit_width(v).
+  [[nodiscard]] static int bucket_of(std::uint64_t v) {
+    int b = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Smallest value landing in bucket `b` (inclusive lower edge).
+  [[nodiscard]] static std::uint64_t bucket_low(int b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value landing in bucket `b` (inclusive upper edge).
+  [[nodiscard]] static std::uint64_t bucket_high(int b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kNumBuckets>& buckets() const {
+    return counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metrics for one rank. std::map keeps every dump sorted by name.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Snapshot a comm counter struct as `<prefix>.p2p_messages` etc.
+  void absorb(const comm::CommCounters& c, const std::string& prefix);
+  /// Snapshot a work counter struct as `<prefix>.arcs_scanned` etc.
+  void absorb(const perf::WorkCounters& w, const std::string& prefix);
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}} with keys in sorted order; histograms emit only non-empty buckets
+  /// as [bucket_low, count] pairs.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dinfomap::obs

@@ -1,0 +1,39 @@
+#include "obs/recorder.hpp"
+
+#include "util/logging.hpp"
+
+namespace dinfomap::obs {
+
+Recorder::Recorder(int num_ranks, const ObsOptions& options)
+    : options_(options),
+      num_ranks_(num_ranks),
+      trace_(num_ranks, options.enabled && options.trace) {
+  metrics_.resize(static_cast<std::size_t>(num_ranks));
+  rounds_.resize(static_cast<std::size_t>(num_ranks));
+  rank_anomalies_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+void Recorder::report_anomaly(int rank, Anomaly anomaly) {
+  if (!options_.enabled) return;
+  LOG_WARN << "watchdog: " << anomaly.kind << " (level " << anomaly.level
+           << ", round " << anomaly.round << "): " << anomaly.detail;
+  if (TraceBuffer* t = track(rank)) t->instant("anomaly");
+  rank_anomalies_[static_cast<std::size_t>(rank)].push_back(std::move(anomaly));
+}
+
+void Recorder::finish_watchdog() {
+  if (!options_.enabled || !options_.watchdog) return;
+  global_anomalies_ = analyze_rounds(rounds_, options_.watchdog_options);
+  for (const Anomaly& a : global_anomalies_)
+    LOG_WARN << "watchdog: " << a.kind << " (level " << a.level << ", round "
+             << a.round << "): " << a.detail;
+}
+
+std::vector<Anomaly> Recorder::anomalies() const {
+  std::vector<Anomaly> out;
+  for (const auto& ra : rank_anomalies_) out.insert(out.end(), ra.begin(), ra.end());
+  out.insert(out.end(), global_anomalies_.begin(), global_anomalies_.end());
+  return out;
+}
+
+}  // namespace dinfomap::obs

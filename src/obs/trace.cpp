@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace dinfomap::obs {
+
+Trace::Trace(int num_tracks, bool enabled) : enabled_(enabled) {
+  tracks_.resize(static_cast<std::size_t>(num_tracks < 0 ? 0 : num_tracks));
+  const auto epoch = TraceBuffer::Clock::now();
+  for (auto& t : tracks_) t.attach(epoch, enabled);
+}
+
+namespace {
+
+void append_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+void append_event(std::ostream& os, int tid, const TraceEvent& e, bool& first) {
+  const char* ph = nullptr;
+  switch (e.kind) {
+    case TraceEvent::Kind::kBegin: ph = "B"; break;
+    case TraceEvent::Kind::kEnd: ph = "E"; break;
+    case TraceEvent::Kind::kInstant: ph = "i"; break;
+    case TraceEvent::Kind::kCounter: ph = "C"; break;
+  }
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"name\": \"";
+  append_escaped(os, e.name);
+  os << "\", \"ph\": \"" << ph << "\", \"pid\": 0, \"tid\": " << tid
+     << ", \"ts\": " << e.ts_us;
+  if (e.kind == TraceEvent::Kind::kInstant) os << ", \"s\": \"t\"";
+  if (e.kind == TraceEvent::Kind::kCounter)
+    os << ", \"args\": {\"value\": " << e.value << "}";
+  os << "}";
+}
+
+}  // namespace
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  // Track naming metadata: one thread per rank.
+  for (int r = 0; r < num_tracks(); ++r) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << r << ", \"args\": {\"name\": \"rank " << r << "\"}}";
+  }
+  for (int r = 0; r < num_tracks(); ++r)
+    for (const TraceEvent& e : tracks_[r].events())
+      append_event(os, r, e, first);
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+bool Trace::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_WARN << "trace: cannot open " << path << " for writing";
+    return false;
+  }
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace dinfomap::obs

@@ -1,0 +1,122 @@
+// Flight-recorder tracing: cheap per-rank event buffers and a Chrome
+// trace-event (Perfetto-loadable) JSON exporter.
+//
+// Each rank owns one TraceBuffer and is its only writer, so recording is a
+// plain vector append with no synchronization; the exporter runs after the
+// job joins. When tracing is disabled the per-span cost is a single branch on
+// a bool captured once at SpanScope construction — recording never touches
+// the algorithm's RNG or communication, so traced and untraced runs produce
+// bit-identical results (asserted by the chaos determinism regression).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dinfomap::obs {
+
+/// One recorded event. `name` must point at static-duration storage (phase
+/// names, literal tags) — buffers store the pointer, not a copy.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kBegin,    ///< span open
+    kEnd,      ///< span close (matches the innermost open span)
+    kInstant,  ///< point event (anomalies, markers)
+    kCounter,  ///< sampled numeric series
+  };
+  Kind kind = Kind::kInstant;
+  const char* name = "";
+  double ts_us = 0;   ///< microseconds since the trace epoch
+  double value = 0;   ///< kCounter payload; unused otherwise
+};
+
+/// Single-writer event buffer for one rank (one track in the exported trace).
+class TraceBuffer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceBuffer() = default;
+
+  /// Bind to the trace epoch and arm/disarm recording. Called once by the
+  /// owning Trace before any rank runs.
+  void attach(Clock::time_point epoch, bool enabled) {
+    epoch_ = epoch;
+    enabled_ = enabled;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void begin(const char* name) { push(TraceEvent::Kind::kBegin, name, 0); }
+  void end(const char* name) { push(TraceEvent::Kind::kEnd, name, 0); }
+  void instant(const char* name) { push(TraceEvent::Kind::kInstant, name, 0); }
+  void counter(const char* name, double value) {
+    push(TraceEvent::Kind::kCounter, name, value);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  void push(TraceEvent::Kind kind, const char* name, double value) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.kind = kind;
+    e.name = name;
+    e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+                  .count();
+    e.value = value;
+    events_.push_back(e);
+  }
+
+  bool enabled_ = false;
+  Clock::time_point epoch_{};
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. A null buffer (tracing subsystem absent) or a disabled buffer
+/// degrades to a no-op — the enabled flag is checked exactly once here.
+class SpanScope {
+ public:
+  SpanScope(TraceBuffer* buf, const char* name)
+      : buf_(buf != nullptr && buf->enabled() ? buf : nullptr), name_(name) {
+    if (buf_ != nullptr) buf_->begin(name_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() {
+    if (buf_ != nullptr) buf_->end(name_);
+  }
+
+ private:
+  TraceBuffer* buf_;
+  const char* name_;
+};
+
+/// Multi-track trace: one buffer per rank, exported as Chrome trace-event
+/// JSON (loadable at ui.perfetto.dev or chrome://tracing). Rank r is thread
+/// `tid = r` of process 0, named "rank r".
+class Trace {
+ public:
+  Trace(int num_tracks, bool enabled);
+
+  [[nodiscard]] int num_tracks() const {
+    return static_cast<int>(tracks_.size());
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] TraceBuffer& track(int i) { return tracks_[i]; }
+  [[nodiscard]] const TraceBuffer& track(int i) const { return tracks_[i]; }
+
+  /// Chrome trace-event JSON: `{"traceEvents": [...], ...}`. Spans become
+  /// B/E pairs, instants "i", counters "C".
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to `path`; returns false (and logs a warning) on
+  /// I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  bool enabled_;
+  std::vector<TraceBuffer> tracks_;
+};
+
+}  // namespace dinfomap::obs

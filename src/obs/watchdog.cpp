@@ -1,0 +1,72 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dinfomap::obs {
+
+std::vector<Anomaly> analyze_rounds(
+    const std::vector<std::vector<RoundSample>>& streams,
+    const WatchdogOptions& options) {
+  std::vector<Anomaly> out;
+  if (streams.empty() || streams.front().empty()) return out;
+  const std::size_t rounds = streams.front().size();
+
+  // The synchronous protocol requires every rank to observe every round; a
+  // ragged stream is itself an anomaly (and we only analyze the common
+  // prefix below).
+  std::size_t common = rounds;
+  for (std::size_t r = 1; r < streams.size(); ++r) {
+    if (streams[r].size() != rounds) {
+      std::ostringstream os;
+      os << "rank " << r << " recorded " << streams[r].size()
+         << " rounds, rank 0 recorded " << rounds;
+      out.push_back({static_cast<int>(r), 0, 0, "ragged_round_stream", os.str()});
+      common = std::min(common, streams[r].size());
+    }
+  }
+
+  // Non-monotone global MDL: L after a round should not exceed L after the
+  // previous round beyond tolerance. Rank 0's stream carries the global
+  // value (identical on all ranks by the allreduce).
+  const auto& s0 = streams.front();
+  for (std::size_t i = 1; i < s0.size(); ++i) {
+    const double regression = s0[i].codelength - s0[i - 1].codelength;
+    if (regression > options.mdl_tolerance) {
+      std::ostringstream os;
+      os.precision(12);
+      os << "L rose " << s0[i - 1].codelength << " -> " << s0[i].codelength
+         << " (+" << regression << ")";
+      out.push_back({-1, s0[i].level, s0[i].round, "mdl_regression", os.str()});
+    }
+  }
+
+  // Per-round work skew across ranks.
+  for (std::size_t i = 0; i < common; ++i) {
+    std::uint64_t total = 0;
+    std::uint64_t max_work = 0;
+    int max_rank = 0;
+    for (std::size_t r = 0; r < streams.size(); ++r) {
+      const std::uint64_t w = streams[r][i].rank_work;
+      total += w;
+      if (w > max_work) {
+        max_work = w;
+        max_rank = static_cast<int>(r);
+      }
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(streams.size());
+    if (mean < static_cast<double>(options.min_skew_work)) continue;
+    if (static_cast<double>(max_work) > options.skew_threshold * mean) {
+      std::ostringstream os;
+      os << "rank " << max_rank << " scanned " << max_work
+         << " arcs vs mean " << static_cast<std::uint64_t>(mean) << " ("
+         << static_cast<double>(max_work) / mean << "x)";
+      out.push_back(
+          {max_rank, s0[i].level, s0[i].round, "work_skew", os.str()});
+    }
+  }
+  return out;
+}
+
+}  // namespace dinfomap::obs

@@ -1,0 +1,55 @@
+// Invariant watchdog: consumes the per-rank round stream the flight recorder
+// captured and flags violations of the properties the algorithm is supposed
+// to maintain — non-monotone global MDL, per-rank work skew beyond a
+// threshold, and isSent dedup violations (reported inline by the ranks).
+// Findings are structured anomaly events: they land in the run report, in
+// the trace (as instant events), and on the log as warnings so tests can
+// capture them through util::set_log_sink.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dinfomap::obs {
+
+/// One synchronous round as observed by one rank.
+struct RoundSample {
+  int level = 0;
+  int round = 0;              ///< round index within the run (monotone per rank)
+  double codelength = 0;      ///< exact global L after the round
+  std::uint64_t moves = 0;    ///< global move count of the round
+  std::uint64_t rank_work = 0;  ///< this rank's arcs scanned during the round
+};
+
+/// A detected invariant violation. `rank < 0` means "global" (derived from
+/// the cross-rank view rather than one rank's stream).
+struct Anomaly {
+  int rank = -1;
+  int level = 0;
+  int round = 0;
+  std::string kind;    ///< stable identifier, e.g. "mdl_regression"
+  std::string detail;  ///< human-readable specifics
+};
+
+struct WatchdogOptions {
+  /// L may grow by at most this much between consecutive rounds before the
+  /// regression is flagged (conflicting synchronous moves can overshoot by a
+  /// hair; the round loop itself tolerates round_theta).
+  double mdl_tolerance = 1e-7;
+  /// Flag a round when max rank work exceeds `skew_threshold` × mean rank
+  /// work (only once the round does meaningful work — see min_skew_work).
+  double skew_threshold = 8.0;
+  /// Rounds whose mean per-rank work is below this many arcs are too small
+  /// for a skew verdict and are skipped.
+  std::uint64_t min_skew_work = 1024;
+};
+
+/// Analyze per-rank round streams (`streams[r]` is rank r's samples, all the
+/// same length for a correct synchronous run). Returns anomalies found;
+/// callers append them to the recorder's inline anomalies.
+[[nodiscard]] std::vector<Anomaly> analyze_rounds(
+    const std::vector<std::vector<RoundSample>>& streams,
+    const WatchdogOptions& options);
+
+}  // namespace dinfomap::obs

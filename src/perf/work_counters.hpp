@@ -9,6 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "comm/counters.hpp"
 
 namespace dinfomap::perf {
 
@@ -18,6 +21,8 @@ struct WorkCounters {
   std::uint64_t module_updates = 0;  ///< module-table mutations
   std::uint64_t messages = 0;        ///< transport messages sent
   std::uint64_t bytes = 0;           ///< transport bytes sent
+
+  void reset() { *this = WorkCounters{}; }
 
   WorkCounters& operator+=(const WorkCounters& o) {
     arcs_scanned += o.arcs_scanned;
@@ -32,5 +37,16 @@ struct WorkCounters {
     return a;
   }
 };
+
+/// Fold per-rank comm totals into per-rank work counters — the post-job step
+/// every distributed driver performs after Runtime::run returns its report.
+inline void add_comm_totals(std::vector<WorkCounters>& work,
+                            const std::vector<comm::CommCounters>& comm) {
+  const std::size_t n = work.size() < comm.size() ? work.size() : comm.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    work[r].messages += comm[r].total_messages();
+    work[r].bytes += comm[r].total_bytes();
+  }
+}
 
 }  // namespace dinfomap::perf

@@ -121,6 +121,20 @@ class FlatMap {
     return static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
   }
 
+  /// Diagnostic: slots inspected to reach `key` (1 = home slot, 0 = absent or
+  /// empty table). Flight-recorder sampling only — never on the hot path.
+  [[nodiscard]] std::size_t probe_length(K key) const {
+    if (slots_.empty()) return 0;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key) >> shift_) & mask;
+    std::size_t probes = 1;
+    while (slots_[i].used && slots_[i].first != key) {
+      i = (i + 1) & mask;
+      ++probes;
+    }
+    return slots_[i].used ? probes : 0;
+  }
+
  private:
   static constexpr std::size_t kMinCapacity = 16;
   // Entries fill at most 7/8 of the slots; linear probing degrades sharply

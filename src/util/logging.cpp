@@ -4,12 +4,15 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace dinfomap::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+std::mutex g_mutex;           // guards stderr interleaving and the sink
+LogSink g_sink;               // under g_mutex
+thread_local int t_rank = -1;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -33,11 +36,29 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%8.3f] %s %s\n", seconds_since_start(), tag(level),
-               message.c_str());
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[%8.3f] [r%d] %s %s\n", seconds_since_start(),
+                 t_rank, tag(level), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%8.3f] %s %s\n", seconds_since_start(), tag(level),
+                 message.c_str());
+  }
 }
 
 }  // namespace dinfomap::util

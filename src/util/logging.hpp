@@ -1,7 +1,9 @@
 // Minimal leveled logger. Thread-safe line-at-a-time output; intended for
-// coarse progress reporting, not per-edge tracing.
+// coarse progress reporting, not per-edge tracing. Lines carry the log level
+// and, when emitted from inside a comm runtime rank, the rank id.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,7 +16,33 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line (with level tag and monotonic timestamp) to stderr.
+/// Redirect formatted lines to `sink` instead of stderr (tests capture
+/// watchdog warnings this way); pass nullptr to restore stderr. The sink
+/// receives the level and the raw message (no timestamp/level/rank prefix).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Rank id attached to every line logged from the calling thread (the comm
+/// runtime tags each rank thread); -1 = not inside a rank.
+void set_thread_rank(int rank);
+int thread_rank();
+
+/// RAII rank tag for the current thread.
+class ScopedThreadRank {
+ public:
+  explicit ScopedThreadRank(int rank) : prev_(thread_rank()) {
+    set_thread_rank(rank);
+  }
+  ScopedThreadRank(const ScopedThreadRank&) = delete;
+  ScopedThreadRank& operator=(const ScopedThreadRank&) = delete;
+  ~ScopedThreadRank() { set_thread_rank(prev_); }
+
+ private:
+  int prev_;
+};
+
+/// Emit one line (with level tag, monotonic timestamp, and rank id when
+/// inside a rank) to stderr or the installed sink.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

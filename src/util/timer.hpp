@@ -1,9 +1,12 @@
 // Wall-clock timers over std::chrono::steady_clock.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dinfomap::util {
 
@@ -38,8 +41,12 @@ class PhaseTimer {
 
   void clear() { acc_.clear(); }
 
-  [[nodiscard]] const std::unordered_map<std::string, double>& phases() const {
-    return acc_;
+  /// All accumulated phases in sorted name order. Printing code iterates
+  /// this, so reports are deterministic regardless of hash-map layout.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> phases() const {
+    std::vector<std::pair<std::string, double>> out(acc_.begin(), acc_.end());
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
  private:

@@ -155,6 +155,19 @@ TEST(Timer, PhaseTimerAccumulates) {
   EXPECT_DOUBLE_EQ(pt.total("a"), 0.0);
 }
 
+TEST(Timer, PhaseTimerPhasesSortedByName) {
+  du::PhaseTimer pt;
+  pt.add("swap", 3.0);
+  pt.add("find", 1.0);
+  pt.add("broadcast", 2.0);
+  const auto rows = pt.phases();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "broadcast");
+  EXPECT_EQ(rows[1].first, "find");
+  EXPECT_EQ(rows[2].first, "swap");
+  EXPECT_DOUBLE_EQ(rows[1].second, 1.0);
+}
+
 TEST(Timer, ScopedPhaseRecords) {
   du::PhaseTimer pt;
   {
