@@ -44,6 +44,8 @@ int usage() {
                "  dinfomap_cli cluster <edges.txt> <out.clu> [--algo seq|dist|louvain|lpa|relaxmap]\n"
                "                [--ranks N] [--seed S] [--tree out.tree]\n"
                "                [--trace out.trace.json] [--report out.report.json]  (dist only)\n"
+               "                [--faults drop=P,dup=P,reorder=P,corrupt=P[,stall=R][,seed=S]]\n"
+               "                [--watchdog-ms N]  (dist only; e.g. --faults drop=0.01,dup=0.01)\n"
                "  dinfomap_cli eval <edges.txt> <a.clu> <b.clu>\n"
                "  dinfomap_cli partition-stats <edges.txt> <ranks>\n");
   return 2;
@@ -83,6 +85,31 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+// Parse "drop=0.01,dup=0.01,reorder=0.005,corrupt=0.01,stall=2,seed=7" into a
+// FaultPlan; returns false on an unknown key or malformed pair.
+bool parse_fault_spec(const std::string& spec, comm::FaultPlan* plan) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    const auto item = spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                  : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const auto key = item.substr(0, eq);
+    const auto value = item.substr(eq + 1);
+    if (value.empty()) return false;
+    if (key == "drop") plan->drop = std::strtod(value.c_str(), nullptr);
+    else if (key == "dup") plan->duplicate = std::strtod(value.c_str(), nullptr);
+    else if (key == "reorder") plan->reorder = std::strtod(value.c_str(), nullptr);
+    else if (key == "corrupt") plan->corrupt = std::strtod(value.c_str(), nullptr);
+    else if (key == "stall") plan->stall_rank = std::atoi(value.c_str());
+    else if (key == "seed") plan->seed = std::strtoull(value.c_str(), nullptr, 10);
+    else return false;
+  }
+  return true;
+}
+
 int cmd_cluster(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string in = argv[2];
@@ -93,6 +120,8 @@ int cmd_cluster(int argc, char** argv) {
   std::string report_out;
   int ranks = 4;
   std::uint64_t seed = 42;
+  std::string fault_spec;
+  unsigned watchdog_ms = 0;
   for (int i = 4; i + 1 < argc; i += 2) {
     if (!std::strcmp(argv[i], "--algo")) algo = argv[i + 1];
     else if (!std::strcmp(argv[i], "--ranks")) ranks = std::atoi(argv[i + 1]);
@@ -100,6 +129,8 @@ int cmd_cluster(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--tree")) tree_out = argv[i + 1];
     else if (!std::strcmp(argv[i], "--trace")) trace_out = argv[i + 1];
     else if (!std::strcmp(argv[i], "--report")) report_out = argv[i + 1];
+    else if (!std::strcmp(argv[i], "--faults")) fault_spec = argv[i + 1];
+    else if (!std::strcmp(argv[i], "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
     else return usage();
   }
 
@@ -123,6 +154,15 @@ int cmd_cluster(int argc, char** argv) {
     core::DistInfomapConfig cfg;
     cfg.num_ranks = ranks;
     cfg.seed = seed;
+    if (!fault_spec.empty()) {
+      cfg.faults.seed = seed;  // default the fault stream to the run seed
+      if (!parse_fault_spec(fault_spec, &cfg.faults)) return usage();
+      // A fault plan without a watchdog can only hang on unrecoverable
+      // schedules; arm a generous default.
+      cfg.comm_watchdog_ms = watchdog_ms > 0 ? watchdog_ms : 10'000;
+    } else if (watchdog_ms > 0) {
+      cfg.comm_watchdog_ms = watchdog_ms;
+    }
     if (!trace_out.empty() || !report_out.empty()) {
       cfg.obs.enabled = true;  // flight recorder on; results are unchanged
       cfg.obs.trace_path = trace_out;
@@ -132,6 +172,23 @@ int cmd_cluster(int argc, char** argv) {
     assignment = r.assignment;
     std::printf("distributed Infomap (p=%d): L = %.6f, %u modules\n", ranks,
                 r.codelength, r.num_modules());
+    if (cfg.faults.any()) {
+      comm::FaultCounters injected;
+      for (const auto& f : r.report.faults_injected) injected += f;
+      comm::CommCounters recovered;
+      for (const auto& c : r.comm_counters) recovered += c;
+      std::printf(
+          "faults injected: %llu drops, %llu dups, %llu reorders, %llu "
+          "corruptions; recovery: %llu retransmits, %llu dup frames dropped, "
+          "%llu checksum failures\n",
+          static_cast<unsigned long long>(injected.drops),
+          static_cast<unsigned long long>(injected.duplicates),
+          static_cast<unsigned long long>(injected.reorders),
+          static_cast<unsigned long long>(injected.corruptions),
+          static_cast<unsigned long long>(recovered.retransmits),
+          static_cast<unsigned long long>(recovered.dup_frames_dropped),
+          static_cast<unsigned long long>(recovered.checksum_failures));
+    }
     if (!trace_out.empty())
       std::printf("trace written to %s (load at ui.perfetto.dev)\n",
                   trace_out.c_str());

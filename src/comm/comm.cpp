@@ -1,5 +1,7 @@
 #include "comm/comm.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "comm/runtime.hpp"
@@ -34,16 +36,126 @@ void Comm::transport_send(int dest, int tag, std::span<const std::byte> data,
       counters_.p2p_bytes += data.size();
     }
   }
-  Message m;
-  m.source = rank_;
-  m.tag = tag;
-  m.payload.assign(data.begin(), data.end());
-  runtime_->maybe_delay();
-  runtime_->mailbox(dest).deliver(std::move(m));
+  // The runtime is the transport: it frames the payload (seq + checksum when
+  // fault injection is on), rolls the fault dice, and delivers.
+  runtime_->deliver(rank_, dest, tag, data);
 }
 
 Message Comm::transport_recv(int source, int tag) {
-  return runtime_->mailbox(rank_).recv(source, tag);
+  if (runtime_->faults_enabled()) return recv_with_recovery(source, tag);
+  // Fault-free path: plain blocking receive. The waiting flag still gets set
+  // so a watchdog (if armed) can tell blocked-in-recv from frozen-elsewhere.
+  runtime_->set_waiting(rank_, true);
+  struct WaitClear {
+    Runtime* rt;
+    int rank;
+    ~WaitClear() { rt->set_waiting(rank, false); }
+  } clear{runtime_, rank_};
+  Message m = runtime_->mailbox(rank_).recv(source, tag);
+  runtime_->note_progress(rank_);
+  return m;
+}
+
+Message Comm::recv_with_recovery(int source, int tag) {
+  const Runtime::Options& opt = runtime_->options();
+  auto backoff =
+      std::chrono::microseconds(std::max(1u, opt.retry_backoff_us));
+  constexpr auto kBackoffCap = std::chrono::microseconds(20'000);
+  int retries = 0;
+  // The whole loop counts as "blocked in recv" for the watchdog — including
+  // the brief spells between timeout and retransmit request.
+  runtime_->set_waiting(rank_, true);
+  struct WaitClear {
+    Runtime* rt;
+    int rank;
+    ~WaitClear() { rt->set_waiting(rank, false); }
+  } clear{runtime_, rank_};
+
+  for (;;) {
+    auto msg = runtime_->mailbox(rank_).try_recv_for(source, tag, backoff,
+                                                     /*by_min_seq=*/true);
+    if (msg.has_value()) {
+      auto& seen = consumed_[static_cast<std::size_t>(msg->source)];
+      if (msg->source != rank_) {
+        if (seen.count(msg->seq) != 0) {
+          counters_.dup_frames_dropped += 1;  // duplicate or stale retransmit
+          continue;
+        }
+        // Gap check: min-seq matching alone cannot see a *missing* frame. If
+        // the send log holds an older unconsumed frame of this (channel,
+        // tag), that one was dropped or is still in flight — requeue the
+        // candidate, pull the older frame, and charge the budget.
+        if (runtime_->oldest_unconsumed(msg->source, rank_, msg->tag, seen) <
+            msg->seq) {
+          runtime_->mailbox(rank_).deliver(std::move(*msg));
+          if (runtime_->request_retransmit(msg->source, rank_, msg->tag,
+                                           consumed_) ==
+              Runtime::Retransmit::kRedelivered) {
+            counters_.retransmit_requests += 1;
+            counters_.retransmits += 1;
+          }
+          if (++retries > opt.max_recv_retries) {
+            throw CommFault(
+                "recv: retry budget exhausted (" +
+                    std::to_string(opt.max_recv_retries) +
+                    " retransmit requests) closing a sequence gap from "
+                    "source " +
+                    std::to_string(msg->source) + " tag " +
+                    std::to_string(tag),
+                msg->source, tag);
+          }
+          continue;
+        }
+        const auto expect =
+            frame_checksum(msg->source, msg->tag, msg->seq,
+                           msg->payload.data(), msg->payload.size());
+        if (expect != msg->checksum) {
+          counters_.checksum_failures += 1;
+          if (!runtime_->request_retransmit_seq(msg->source, rank_,
+                                                msg->seq)) {
+            throw CommFault(
+                "recv: corrupt frame (source " + std::to_string(msg->source) +
+                    ", tag " + std::to_string(tag) + ", seq " +
+                    std::to_string(msg->seq) +
+                    ") and its pristine copy already left the send log — "
+                    "unrecoverable",
+                msg->source, tag);
+          }
+          counters_.retransmits += 1;
+          continue;  // the pristine copy is on its way
+        }
+        seen.insert(msg->seq);
+      }
+      runtime_->note_progress(rank_);
+      return std::move(*msg);
+    }
+
+    // Timed out. Ask the send log; only *provable* loss charges the budget —
+    // a sender that simply hasn't sent yet is waited on patiently (liveness
+    // is the watchdog's job, not ours).
+    switch (runtime_->request_retransmit(source, rank_, tag, consumed_)) {
+      case Runtime::Retransmit::kRedelivered:
+        counters_.retransmit_requests += 1;
+        counters_.retransmits += 1;
+        ++retries;
+        break;
+      case Runtime::Retransmit::kNoneEvicted:
+        counters_.retransmit_requests += 1;
+        ++retries;
+        break;
+      case Runtime::Retransmit::kNoneSafe:
+        break;
+    }
+    if (retries > opt.max_recv_retries) {
+      throw CommFault("recv: retry budget exhausted (" +
+                          std::to_string(opt.max_recv_retries) +
+                          " retransmit requests) waiting on source " +
+                          std::to_string(source) + " tag " +
+                          std::to_string(tag),
+                      source, tag);
+    }
+    backoff = std::min(backoff * 2, kBackoffCap);
+  }
 }
 
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> data) {

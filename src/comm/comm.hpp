@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 #include <type_traits>
+#include <unordered_set>
 #include <vector>
 
 #include "comm/counters.hpp"
@@ -40,7 +41,10 @@ enum class ReduceOp { kSum, kMin, kMax, kLogicalAnd, kLogicalOr };
 class Comm {
  public:
   Comm(Runtime& runtime, int rank, int size)
-      : runtime_(&runtime), rank_(rank), size_(size) {}
+      : runtime_(&runtime),
+        rank_(rank),
+        size_(size),
+        consumed_(static_cast<std::size_t>(size)) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -105,7 +109,12 @@ class Comm {
   template <typename T>
   [[nodiscard]] T recv_value(int source, int tag) {
     auto v = recv<T>(source, tag);
-    DINFOMAP_REQUIRE_MSG(v.size() == 1, "recv_value: expected exactly one element");
+    DINFOMAP_REQUIRE_MSG(v.size() == 1,
+                         "recv_value: expected exactly one element ("
+                             << sizeof(T) << " bytes) from source " << source
+                             << " tag " << tag << ", got " << v.size()
+                             << " elements (" << v.size() * sizeof(T)
+                             << " bytes)");
     return v.front();
   }
 
@@ -154,9 +163,13 @@ class Comm {
     auto nested = allgatherv(std::vector<T>{value});
     std::vector<T> flat;
     flat.reserve(nested.size());
-    for (auto& v : nested) {
-      DINFOMAP_REQUIRE(v.size() == 1);
-      flat.push_back(v.front());
+    for (std::size_t r = 0; r < nested.size(); ++r) {
+      DINFOMAP_REQUIRE_MSG(nested[r].size() == 1,
+                           "allgather_value: rank "
+                               << r << " contributed " << nested[r].size()
+                               << " elements (" << sizeof(T)
+                               << " bytes each), expected exactly 1");
+      flat.push_back(nested[r].front());
     }
     return flat;
   }
@@ -294,6 +307,11 @@ class Comm {
   void transport_send(int dest, int tag, std::span<const std::byte> data,
                       bool collective);
   [[nodiscard]] Message transport_recv(int source, int tag);
+  /// Receive loop used when fault injection is active: seq dedup, checksum
+  /// verification, timeout-driven retransmit pulls with bounded retries.
+  /// Throws CommFault when the budget is exhausted or a corrupt frame's
+  /// pristine copy has left the send log.
+  [[nodiscard]] Message recv_with_recovery(int source, int tag);
 
   /// Next reserved tag for a collective step (same sequence on all ranks).
   int next_collective_tag();
@@ -301,6 +319,9 @@ class Comm {
   Runtime* runtime_;
   int rank_;
   int size_;
+  /// Seqs already consumed, per source rank — the dedup filter under fault
+  /// injection (frame seqs are per-channel, so per-source sets suffice).
+  std::vector<std::unordered_set<std::uint64_t>> consumed_;
   std::uint64_t collective_seq_ = 0;
   CommCounters counters_;
   /// Resolved once by set_metrics so the send path pays one null check.

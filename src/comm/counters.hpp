@@ -14,6 +14,13 @@ struct CommCounters {
   std::uint64_t collective_bytes = 0;
   std::uint64_t collective_calls = 0;     ///< user-level collective invocations
 
+  // Receiver-side recovery events (nonzero only under fault injection; the
+  // run report uses them to prove a fault plan actually fired and was healed).
+  std::uint64_t retransmit_requests = 0;  ///< timeout-driven send-log pulls
+  std::uint64_t retransmits = 0;          ///< frames re-delivered on our behalf
+  std::uint64_t dup_frames_dropped = 0;   ///< frames discarded by seq dedup
+  std::uint64_t checksum_failures = 0;    ///< corrupt frames detected
+
   void reset() { *this = CommCounters{}; }
 
   CommCounters& operator+=(const CommCounters& other) {
@@ -22,7 +29,16 @@ struct CommCounters {
     collective_messages += other.collective_messages;
     collective_bytes += other.collective_bytes;
     collective_calls += other.collective_calls;
+    retransmit_requests += other.retransmit_requests;
+    retransmits += other.retransmits;
+    dup_frames_dropped += other.dup_frames_dropped;
+    checksum_failures += other.checksum_failures;
     return *this;
+  }
+
+  [[nodiscard]] std::uint64_t recovery_events() const {
+    return retransmit_requests + retransmits + dup_frames_dropped +
+           checksum_failures;
   }
 
   [[nodiscard]] std::uint64_t total_messages() const {

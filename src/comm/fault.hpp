@@ -1,0 +1,119 @@
+// Deterministic fault injection for the comm substrate, and the typed error
+// surfaced when recovery fails.
+//
+// The paper's implementation ran on Titan, where any MPI fault kills the job;
+// this layer models the opposite regime: a lossy, duplicating, corrupting,
+// reordering transport with the occasional frozen rank. Every transport frame
+// rolls seeded dice keyed by (seed, source, dest, seq) — the plan is a pure
+// function of the channel position, so a given (plan, program) pair injects
+// the same faults on every run regardless of thread interleaving. Recovery
+// (seq dedup, checksum verification, retransmit from the per-channel send
+// log) is the receiver's job in comm.cpp; the contract, asserted by
+// tests/test_comm_faults.cpp, is that recovery is *transparent*: the
+// algorithm's results are bit-identical to the fault-free run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dinfomap::comm {
+
+/// Unrecoverable transport failure: retry budget exhausted, a corrupt frame
+/// whose pristine copy was already evicted from the send log, or a watchdog
+/// verdict against a stalled rank. Carries the peer rank and tag involved so
+/// failures under fault injection are diagnosable (rank < 0 when unknown).
+class CommFault : public std::runtime_error {
+ public:
+  CommFault(const std::string& what, int rank = -1, int tag = -1)
+      : std::runtime_error(what), rank_(rank), tag_(tag) {}
+  /// The peer rank the failure implicates (the stalled or silent rank).
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int tag() const { return tag_; }
+
+ private:
+  int rank_;
+  int tag_;
+};
+
+/// Seeded per-message fault plan. Probabilities are evaluated as one cascade
+/// (at most one fault per frame), so their sum must stay <= 1.
+struct FaultPlan {
+  double drop = 0;       ///< frame never delivered (send log retains it)
+  double duplicate = 0;  ///< frame delivered twice
+  double reorder = 0;    ///< frame held and delivered after the channel's next
+  double corrupt = 0;    ///< delivered copy has one payload byte flipped
+  /// Rank to freeze mid-send (-1 = none): once it has issued
+  /// `stall_after_sends` remote sends it sleeps until the job aborts —
+  /// the watchdog's prey.
+  int stall_rank = -1;
+  std::uint64_t stall_after_sends = 0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           stall_rank >= 0;
+  }
+};
+
+/// Injected-fault tallies, kept per source rank so the run report can show
+/// that a plan actually fired.
+struct FaultCounters {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t stalls = 0;
+
+  FaultCounters& operator+=(const FaultCounters& other) {
+    drops += other.drops;
+    duplicates += other.duplicates;
+    reorders += other.reorders;
+    corruptions += other.corruptions;
+    stalls += other.stalls;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    return drops + duplicates + reorders + corruptions + stalls;
+  }
+};
+
+/// SplitMix64 output mixer — the same stream shape Runtime::maybe_delay uses.
+[[nodiscard]] inline std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Map a mixed 64-bit word to [0, 1).
+[[nodiscard]] inline double unit_interval(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// FNV-1a over the frame header and payload. Seeding the hash with
+/// (source, tag, seq) means a frame misfiled under the wrong identity also
+/// fails verification, not just payload bit flips.
+[[nodiscard]] inline std::uint64_t frame_checksum(int source, int tag,
+                                                  std::uint64_t seq,
+                                                  const std::byte* data,
+                                                  std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto eat = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (word & 0xff)) * 0x100000001b3ULL;
+      word >>= 8;
+    }
+  };
+  eat(static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)));
+  eat(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  eat(seq);
+  eat(size);
+  for (std::size_t i = 0; i < size; ++i)
+    h = (h ^ static_cast<std::uint64_t>(data[i])) * 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace dinfomap::comm

@@ -36,6 +36,32 @@ Message Mailbox::recv(int source, int tag) {
   }
 }
 
+std::optional<Message> Mailbox::try_recv_for(int source, int tag,
+                                             std::chrono::microseconds timeout,
+                                             bool by_min_seq) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!matches(*it, source, tag)) continue;
+      if (best == queue_.end() || (by_min_seq && it->seq < best->seq))
+        best = it;
+      if (!by_min_seq) break;
+    }
+    if (best != queue_.end()) {
+      Message out = std::move(*best);
+      queue_.erase(best);
+      return out;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
+      return std::nullopt;
+    }
+  }
+}
+
 bool Mailbox::probe(int source, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(),

@@ -2,10 +2,12 @@
 // the MPI-like Comm API.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "comm/message.hpp"
@@ -29,6 +31,15 @@ class Mailbox {
   /// Block until a message matching (source|kAnySource, tag) arrives; remove
   /// and return it. Throws CommAborted if the runtime is shutting down.
   Message recv(int source, int tag);
+
+  /// Timed variant for the recovery layer: wait up to `timeout` for a match,
+  /// returning nullopt on expiry so the caller can request a retransmit. With
+  /// `by_min_seq`, the *lowest-seq* queued match is taken instead of the
+  /// first — this restores per-channel sender order when the fault plan
+  /// reorders deliveries. Throws CommAborted if poisoned.
+  std::optional<Message> try_recv_for(int source, int tag,
+                                      std::chrono::microseconds timeout,
+                                      bool by_min_seq);
 
   /// Non-blocking probe: true if a matching message is queued.
   bool probe(int source, int tag);

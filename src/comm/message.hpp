@@ -14,10 +14,18 @@ inline constexpr int kAnySource = -1;
 /// stay below (checked in Comm::send/recv).
 inline constexpr int kCollectiveTagBase = 1 << 30;
 
-/// One in-flight message: source rank, tag, and an opaque payload.
+/// One in-flight message: source rank, tag, and an opaque payload, framed
+/// with the recovery header the fault-injection layer needs. `seq` numbers
+/// frames per (source, dest) channel so receivers can drop duplicates and
+/// restore sender order under reordering; `checksum` covers header + payload
+/// (comm::frame_checksum) so corruption is detected rather than consumed.
+/// Both are written only when fault injection is active — the fault-free
+/// transport neither computes nor verifies them.
 struct Message {
   int source = 0;
   int tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
   std::vector<std::byte> payload;
 };
 

@@ -1,30 +1,40 @@
 #include "comm/runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
-#include "util/random.hpp"
 
 namespace dinfomap::comm {
 
 Runtime::Runtime(int nranks, const Options& options)
-    : options_(options), chaos_state_(options.chaos_seed) {
+    : options_(options),
+      faults_enabled_(options.faults.any()),
+      chaos_state_(options.chaos_seed) {
   mailboxes_.reserve(nranks);
-  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  rank_state_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    rank_state_.push_back(std::make_unique<RankState>());
+  }
+  if (faults_enabled_) {
+    const auto n = static_cast<std::size_t>(nranks);
+    channels_.reserve(n * n);
+    for (std::size_t i = 0; i < n * n; ++i)
+      channels_.push_back(std::make_unique<Channel>());
+  }
 }
 
 void Runtime::maybe_delay() {
   if (options_.chaos_max_delay_us == 0) return;
   // SplitMix64 step on a shared atomic: races only shuffle the schedule,
   // which is the point.
-  std::uint64_t z = chaos_state_.fetch_add(0x9E3779B97F4A7C15ULL,
-                                           std::memory_order_relaxed);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  const auto delay = (z ^ (z >> 31)) % (options_.chaos_max_delay_us + 1);
+  const std::uint64_t z = splitmix64(chaos_state_.fetch_add(
+      0x9E3779B97F4A7C15ULL, std::memory_order_relaxed));
+  const auto delay = chaos_delay_us(z, options_.chaos_max_delay_us);
   if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
 }
 
@@ -39,6 +49,184 @@ void Runtime::abort() {
   for (auto& mb : mailboxes_) mb->poison();
 }
 
+void Runtime::note_progress(int rank) {
+  rank_state_[static_cast<std::size_t>(rank)]->progress.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Runtime::set_waiting(int rank, bool waiting) {
+  rank_state_[static_cast<std::size_t>(rank)]->waiting.store(
+      waiting, std::memory_order_relaxed);
+}
+
+void Runtime::stall_forever(int rank) {
+  LOG_WARN << "fault plan: rank " << rank << " stalling mid-send";
+  while (!aborted())
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  throw CommAborted("stalled rank released by abort");
+}
+
+void Runtime::push_log(Channel& ch, const Message& m) {
+  ch.log.push_back(m);
+  while (ch.log.size() > options_.retransmit_window) {
+    ch.log.pop_front();
+    ch.evicted = true;
+  }
+}
+
+void Runtime::deliver(int src, int dest, int tag,
+                      std::span<const std::byte> data) {
+  Message m;
+  m.source = src;
+  m.tag = tag;
+  m.payload.assign(data.begin(), data.end());
+  note_progress(src);
+
+  if (!faults_enabled_ || dest == src) {
+    // Fault-free fast path. Self-delivery always takes it too: a local copy
+    // cannot be lost or corrupted by any real transport.
+    maybe_delay();
+    mailbox(dest).deliver(std::move(m));
+    return;
+  }
+
+  const FaultPlan& plan = options_.faults;
+  RankState& rs = *rank_state_[static_cast<std::size_t>(src)];
+  const auto nsent = rs.remote_sends.fetch_add(1, std::memory_order_relaxed);
+  if (src == plan.stall_rank && nsent >= plan.stall_after_sends) {
+    {
+      Channel& ch = channel(src, dest);
+      std::lock_guard<std::mutex> lock(ch.mutex);
+      ch.injected.stalls += 1;
+    }
+    stall_forever(src);  // throws CommAborted once the watchdog pulls the cord
+  }
+
+  // Frames to put on the wire this call, in order. Built under the channel
+  // lock (sequencing + dice must be atomic per channel), delivered after it
+  // drops so a chaos sleep never holds the lane.
+  std::vector<Message> out;
+  {
+    Channel& ch = channel(src, dest);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    m.seq = ch.next_seq++;
+    m.checksum =
+        frame_checksum(src, tag, m.seq, m.payload.data(), m.payload.size());
+    push_log(ch, m);  // pristine copy, logged before any fault touches it
+
+    // Fault dice: a pure function of (seed, src, dest, seq), so the plan
+    // injects identical faults on every run regardless of thread timing.
+    const std::uint64_t key = splitmix64(
+        plan.seed ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)) << 20));
+    const std::uint64_t h = splitmix64(key ^ m.seq);
+    double u = unit_interval(h);
+
+    // A held (reordered) frame is released behind the channel's *next* frame,
+    // whatever that frame's own fate is.
+    const bool had_held = ch.holding;
+    Message old_held;
+    if (had_held) {
+      old_held = std::move(ch.held);
+      ch.holding = false;
+    }
+
+    if (u < plan.drop) {
+      ch.injected.drops += 1;  // never delivered; the send log answers for it
+    } else if ((u -= plan.drop) < plan.duplicate) {
+      ch.injected.duplicates += 1;
+      out.push_back(m);
+      out.push_back(std::move(m));
+    } else if ((u -= plan.duplicate) < plan.reorder) {
+      ch.injected.reorders += 1;
+      ch.held = std::move(m);
+      ch.holding = true;
+    } else if ((u -= plan.reorder) < plan.corrupt) {
+      ch.injected.corruptions += 1;
+      // Flip one payload bit on the wire copy (the log keeps the pristine
+      // frame); an empty payload gets its checksum field damaged instead.
+      if (!m.payload.empty()) {
+        const auto pos = splitmix64(h ^ 0x5bd1e995ULL) % m.payload.size();
+        m.payload[pos] ^= std::byte{0x40};
+      } else {
+        m.checksum ^= 0x40;
+      }
+      out.push_back(std::move(m));
+    } else {
+      out.push_back(std::move(m));
+    }
+    if (had_held) out.push_back(std::move(old_held));
+  }
+  for (auto& f : out) {
+    maybe_delay();
+    mailbox(dest).deliver(std::move(f));
+  }
+}
+
+Runtime::Retransmit Runtime::request_retransmit(
+    int src, int dst, int tag,
+    const std::vector<std::unordered_set<std::uint64_t>>& consumed) {
+  const int p = static_cast<int>(mailboxes_.size());
+  const int lo = src == kAnySource ? 0 : src;
+  const int hi = src == kAnySource ? p - 1 : src;
+  bool evicted = false;
+  for (int s = lo; s <= hi; ++s) {
+    if (s == dst) continue;
+    Channel& ch = channel(s, dst);
+    Message copy;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(ch.mutex);
+      evicted = evicted || ch.evicted;
+      const auto& seen = consumed[static_cast<std::size_t>(s)];
+      // Lowest unconsumed seq first: redelivery preserves sender order.
+      for (const Message& f : ch.log) {
+        if (f.tag != tag || seen.count(f.seq) != 0) continue;
+        if (!found || f.seq < copy.seq) {
+          copy = f;
+          found = true;
+        }
+      }
+    }
+    if (found) {
+      mailbox(dst).deliver(std::move(copy));
+      return Retransmit::kRedelivered;
+    }
+  }
+  return evicted ? Retransmit::kNoneEvicted : Retransmit::kNoneSafe;
+}
+
+std::uint64_t Runtime::oldest_unconsumed(
+    int src, int dst, int tag,
+    const std::unordered_set<std::uint64_t>& consumed) {
+  Channel& ch = channel(src, dst);
+  std::uint64_t oldest = ~std::uint64_t{0};
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  for (const Message& f : ch.log)
+    if (f.tag == tag && consumed.count(f.seq) == 0 && f.seq < oldest)
+      oldest = f.seq;
+  return oldest;
+}
+
+bool Runtime::request_retransmit_seq(int src, int dst, std::uint64_t seq) {
+  Channel& ch = channel(src, dst);
+  Message copy;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    for (const Message& f : ch.log) {
+      if (f.seq == seq) {
+        copy = f;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (found) mailbox(dst).deliver(std::move(copy));
+  return found;
+}
+
 Runtime::JobReport Runtime::run(int nranks, const RankFn& fn) {
   return run(nranks, fn, Options{});
 }
@@ -46,12 +234,19 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn) {
 Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
                                 const Options& options) {
   DINFOMAP_REQUIRE_MSG(nranks >= 1, "need at least one rank");
+  DINFOMAP_REQUIRE_MSG(
+      options.faults.drop + options.faults.duplicate + options.faults.reorder +
+              options.faults.corrupt <=
+          1.0,
+      "fault probabilities form one cascade; their sum must stay <= 1");
   Runtime runtime(nranks, options);
   JobReport report;
   report.counters.resize(nranks);
 
   std::mutex failure_mutex;
-  std::exception_ptr first_failure;
+  std::exception_ptr first_failure;     // first non-abort root cause
+  std::exception_ptr first_abort;       // a rank's own failure *was* CommAborted
+  std::exception_ptr watchdog_failure;  // stalled-rank verdict
 
   std::vector<std::thread> threads;
   threads.reserve(nranks);
@@ -63,7 +258,17 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
       try {
         fn(comm);
       } catch (const CommAborted&) {
-        // Secondary casualty of another rank's failure — not the root cause.
+        // Usually a secondary casualty of another rank's failure — but when
+        // *no* rank records a primary cause, this abort is itself the root
+        // cause and swallowing it would report success for a job that died.
+        // Keep the first one; run() rethrows it as a last resort. Abort too:
+        // if this CommAborted came from user code rather than a poisoned
+        // mailbox, nobody else will unblock the peers.
+        {
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!first_abort) first_abort = std::current_exception();
+        }
+        runtime.abort();
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(failure_mutex);
@@ -73,9 +278,87 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
         runtime.abort();
       }
       report.counters[r] = comm.counters();
+      runtime.rank_state_[static_cast<std::size_t>(r)]->done.store(
+          true, std::memory_order_release);
     });
   }
+
+  // Watchdog: fires only when *no* unfinished rank has made transport
+  // progress for the full timeout, then convicts the rank frozen outside a
+  // blocking receive (the stalled-sender signature); when every rank is
+  // blocked in recv it names the longest-frozen one (a wait cycle — still a
+  // deadlock diagnosis, just a different shape).
+  std::thread watchdog;
+  std::atomic<bool> job_joined{false};
+  if (options.watchdog_timeout_ms > 0) {
+    watchdog = std::thread([&, nranks] {
+      using clock = std::chrono::steady_clock;
+      const auto timeout =
+          std::chrono::milliseconds(options.watchdog_timeout_ms);
+      const auto poll = std::min(
+          std::chrono::milliseconds(
+              std::max(1u, options.watchdog_timeout_ms / 4)),
+          std::chrono::milliseconds(50));
+      std::vector<std::uint64_t> last(static_cast<std::size_t>(nranks), 0);
+      std::vector<clock::time_point> since(static_cast<std::size_t>(nranks),
+                                           clock::now());
+      while (!job_joined.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(poll);
+        if (runtime.aborted()) return;  // a real failure already pulled the cord
+        const auto now = clock::now();
+        bool all_frozen = true;
+        bool any_running = false;
+        for (int r = 0; r < nranks; ++r) {
+          const auto& rs = *runtime.rank_state_[static_cast<std::size_t>(r)];
+          if (rs.done.load(std::memory_order_acquire)) continue;
+          any_running = true;
+          const auto cur = rs.progress.load(std::memory_order_relaxed);
+          if (cur != last[static_cast<std::size_t>(r)]) {
+            last[static_cast<std::size_t>(r)] = cur;
+            since[static_cast<std::size_t>(r)] = now;
+          }
+          if (now - since[static_cast<std::size_t>(r)] < timeout)
+            all_frozen = false;
+        }
+        if (!any_running || !all_frozen) continue;
+        int convicted = -1;
+        auto oldest = now;
+        for (int pass = 0; pass < 2 && convicted < 0; ++pass) {
+          // Pass 0: frozen and NOT blocked in recv. Pass 1: anyone frozen.
+          for (int r = 0; r < nranks; ++r) {
+            const auto& rs = *runtime.rank_state_[static_cast<std::size_t>(r)];
+            if (rs.done.load(std::memory_order_acquire)) continue;
+            if (pass == 0 && rs.waiting.load(std::memory_order_relaxed))
+              continue;
+            const auto frozen_at = since[static_cast<std::size_t>(r)];
+            if (convicted < 0 || frozen_at < oldest) {
+              convicted = r;
+              oldest = frozen_at;
+            }
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!watchdog_failure)
+            watchdog_failure = std::make_exception_ptr(CommFault(
+                "watchdog: rank " + std::to_string(convicted) +
+                    " made no transport progress for " +
+                    std::to_string(options.watchdog_timeout_ms) +
+                    " ms while the job was quiescent — stalled rank aborted",
+                convicted));
+        }
+        report.stalled_rank = convicted;
+        LOG_WARN << "watchdog: aborting stalled job (rank " << convicted
+                 << " frozen)";
+        runtime.abort();
+        return;
+      }
+    });
+  }
+
   for (auto& t : threads) t.join();
+  job_joined.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
 
   report.mailbox_depth_high_water.resize(nranks);
   report.mailbox_delivered.resize(nranks);
@@ -83,8 +366,23 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
     report.mailbox_depth_high_water[r] = runtime.mailbox(r).depth_high_water();
     report.mailbox_delivered[r] = runtime.mailbox(r).delivered();
   }
+  report.faults_injected.assign(static_cast<std::size_t>(nranks),
+                                FaultCounters{});
+  if (runtime.faults_enabled_) {
+    for (int s = 0; s < nranks; ++s)
+      for (int d = 0; d < nranks; ++d)
+        report.faults_injected[static_cast<std::size_t>(s)] +=
+            runtime.channel(s, d).injected;
+  }
+  report.aborted = runtime.aborted() || first_abort != nullptr;
 
+  // Rethrow precedence: the watchdog verdict names the root cause (peer
+  // failures under a stall are downstream symptoms), then the first primary
+  // failure, then — so an aborted job can never masquerade as success — the
+  // first CommAborted itself.
+  if (watchdog_failure) std::rethrow_exception(watchdog_failure);
   if (first_failure) std::rethrow_exception(first_failure);
+  if (first_abort) std::rethrow_exception(first_abort);
   return report;
 }
 

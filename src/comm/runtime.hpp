@@ -1,15 +1,27 @@
 // Thread-backed job runtime: spawns N ranks, each running the same function
 // with its own Comm — the moral equivalent of `mpirun -np N`.
+//
+// The runtime is also the transport: Comm hands frames to `deliver`, which
+// sequences them per (source, dest) channel, applies the seeded fault plan
+// (drop / duplicate / reorder / corrupt / stall), and keeps a bounded send
+// log per channel so receivers can pull retransmits (the moral equivalent of
+// a NIC-level retransmit queue — a blocked sender thread never has to
+// service control traffic itself). A watchdog thread turns rank stalls into
+// a typed CommFault diagnosis instead of a ctest hang.
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "comm/comm.hpp"
 #include "comm/counters.hpp"
+#include "comm/fault.hpp"
 #include "comm/mailbox.hpp"
 
 namespace dinfomap::comm {
@@ -23,6 +35,13 @@ class Runtime {
     /// total messages delivered (includes self-delivery).
     std::vector<std::size_t> mailbox_depth_high_water;
     std::vector<std::uint64_t> mailbox_delivered;
+    /// Faults the plan injected, per *source* rank (all zero without a plan).
+    std::vector<FaultCounters> faults_injected;
+    /// True when the job aborted (even if every rank's own failure was a
+    /// secondary CommAborted — see Runtime::run's rethrow rules).
+    bool aborted = false;
+    /// Rank the watchdog convicted of stalling; -1 when it never fired.
+    int stalled_rank = -1;
   };
 
   using RankFn = std::function<void(Comm&)>;
@@ -34,11 +53,32 @@ class Runtime {
     /// the full pipeline with chaos on and compare.
     unsigned chaos_max_delay_us = 0;
     std::uint64_t chaos_seed = 1;
+
+    /// Seeded transport faults (see comm/fault.hpp). Recovery is transparent:
+    /// results must stay bit-identical to the fault-free run.
+    FaultPlan faults;
+    /// Receiver recovery knobs, active only when `faults.any()`. A recv
+    /// charges one retry per retransmit request; the budget only limits
+    /// *provable* losses (a frame the send log can still answer for, or a
+    /// channel that has evicted history) — a merely slow sender is waited on
+    /// patiently, because the watchdog owns liveness.
+    int max_recv_retries = 12;
+    unsigned retry_backoff_us = 200;  ///< first timeout; doubles, capped 20 ms
+    std::size_t retransmit_window = 4096;  ///< frames retained per channel
+
+    /// Per-rank watchdog: when > 0, a monitor thread aborts the job with a
+    /// CommFault naming the stalled rank once *no* unfinished rank has made
+    /// transport progress for this long. 0 disables. Must exceed the longest
+    /// compute gap between comm calls of the job.
+    unsigned watchdog_timeout_ms = 0;
   };
 
   /// Run `fn` on `nranks` ranks; blocks until all complete. If any rank
   /// throws, the runtime poisons every mailbox (unblocking peers), joins, and
-  /// rethrows the first exception. Returns per-rank comm counters.
+  /// rethrows — a watchdog verdict first, then the first non-abort failure,
+  /// then (when the job aborted with no recorded primary cause) the first
+  /// CommAborted, so an aborted job can never report success. Returns
+  /// per-rank comm counters.
   static JobReport run(int nranks, const RankFn& fn);
   static JobReport run(int nranks, const RankFn& fn, const Options& options);
 
@@ -46,15 +86,92 @@ class Runtime {
   Mailbox& mailbox(int rank);
   void abort();
   [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  [[nodiscard]] const Options& options() const { return options_; }
+  [[nodiscard]] bool faults_enabled() const { return faults_enabled_; }
+
+  /// Transport entry point: frame, roll the fault dice, and deliver into
+  /// `dest`'s mailbox (self-sends bypass injection — a local copy cannot be
+  /// lost). May sleep (chaos / stall) and may deliver zero, one, or several
+  /// frames.
+  void deliver(int src, int dest, int tag, std::span<const std::byte> data);
+
+  /// Outcome of a receiver's retransmit request against the src→dst log.
+  enum class Retransmit {
+    kRedelivered,  ///< a pristine unconsumed match was re-delivered
+    kNoneSafe,     ///< nothing matched and the log has never evicted: the
+                   ///< frame was simply never sent yet — keep waiting
+    kNoneEvicted,  ///< nothing matched but history was evicted: the loss may
+                   ///< be unprovable — charge the retry budget
+  };
+  /// Re-deliver the lowest-seq logged frame on src→dst matching `tag` whose
+  /// seq is not in `consumed`. `src == kAnySource` scans every channel into
+  /// `dst` (consumed sets indexed by source rank).
+  Retransmit request_retransmit(
+      int src, int dst, int tag,
+      const std::vector<std::unordered_set<std::uint64_t>>& consumed);
+  /// Re-deliver the exact frame `seq` of src→dst (corruption repair);
+  /// false when the frame left the window — unrecoverable.
+  bool request_retransmit_seq(int src, int dst, std::uint64_t seq);
+  /// Lowest logged unconsumed seq on src→dst matching `tag`, or ~0 when the
+  /// log holds none. The receiver's gap detector: a queued frame with a
+  /// higher seq than this must not be consumed yet — an earlier frame of the
+  /// same (channel, tag) is still missing (dropped or in flight).
+  [[nodiscard]] std::uint64_t oldest_unconsumed(
+      int src, int dst, int tag,
+      const std::unordered_set<std::uint64_t>& consumed);
+
+  /// Progress/liveness hooks for the watchdog: `note_progress` on every real
+  /// transport event (send, consumed recv), `set_waiting` around blocking
+  /// receives so the watchdog can tell "blocked on a dead peer" from
+  /// "frozen mid-send".
+  void note_progress(int rank);
+  void set_waiting(int rank, bool waiting);
+
   /// Chaos hook: sleeps a seeded-random interval when chaos is enabled.
   void maybe_delay();
+  /// Delay drawn from a mixed word — 64-bit math so `max_delay_us + 1`
+  /// cannot wrap to a zero modulus at UINT_MAX (that was live UB).
+  [[nodiscard]] static std::uint64_t chaos_delay_us(std::uint64_t mixed,
+                                                    unsigned max_delay_us) {
+    return mixed % (static_cast<std::uint64_t>(max_delay_us) + 1);
+  }
 
  private:
   Runtime(int nranks, const Options& options);
 
+  /// One src→dst lane: frame sequencing, the bounded pristine send log, the
+  /// reorder hold slot, and injected-fault tallies.
+  struct Channel {
+    std::mutex mutex;
+    std::uint64_t next_seq = 0;
+    std::deque<Message> log;
+    bool evicted = false;  ///< sticky: history has been lost at least once
+    bool holding = false;
+    Message held;
+    FaultCounters injected;
+  };
+
+  struct RankState {
+    std::atomic<std::uint64_t> progress{0};
+    std::atomic<bool> waiting{false};
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> remote_sends{0};
+  };
+
+  Channel& channel(int src, int dst) {
+    return *channels_[static_cast<std::size_t>(src) * mailboxes_.size() +
+                      static_cast<std::size_t>(dst)];
+  }
+  /// Freeze this thread until the job aborts, then throw CommAborted.
+  [[noreturn]] void stall_forever(int rank);
+  void push_log(Channel& ch, const Message& m);
+
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< empty unless faults
+  std::vector<std::unique_ptr<RankState>> rank_state_;
   std::atomic<bool> aborted_{false};
   Options options_;
+  bool faults_enabled_ = false;
   std::atomic<std::uint64_t> chaos_state_;
 };
 

@@ -790,6 +790,17 @@ obs::RunReport build_run_report(const graph::Csr& graph,
   rep.add_config("plogp_memo", config.plogp_memo);
   rep.add_config("chaos_delay_us",
                  static_cast<std::uint64_t>(config.chaos_delay_us));
+  if (config.faults.any()) {
+    rep.add_config("fault_drop", config.faults.drop);
+    rep.add_config("fault_duplicate", config.faults.duplicate);
+    rep.add_config("fault_reorder", config.faults.reorder);
+    rep.add_config("fault_corrupt", config.faults.corrupt);
+    rep.add_config("fault_stall_rank", config.faults.stall_rank);
+    rep.add_config("fault_seed", static_cast<std::uint64_t>(config.faults.seed));
+  }
+  if (config.comm_watchdog_ms > 0)
+    rep.add_config("comm_watchdog_ms",
+                   static_cast<std::uint64_t>(config.comm_watchdog_ms));
   rep.graph_vertices = graph.num_vertices();
   rep.graph_edges = graph.num_edges();
   rep.num_ranks = config.num_ranks;
@@ -855,6 +866,8 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
 
   comm::Runtime::Options rt_options;
   rt_options.chaos_max_delay_us = config.chaos_delay_us;
+  rt_options.faults = config.faults;
+  rt_options.watchdog_timeout_ms = config.comm_watchdog_ms;
   auto report = comm::Runtime::run(
       p,
       [&](comm::Comm& comm) {
@@ -911,6 +924,9 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
     for (int r = 0; r < p; ++r) {
       auto* m = recorder.metrics(r);
       m->absorb(report.counters[r], "comm");
+      if (config.faults.any())
+        m->absorb(report.faults_injected[static_cast<std::size_t>(r)],
+                  "comm.faults");
       m->counter("mailbox.depth_high_water")
           .set(report.mailbox_depth_high_water[static_cast<std::size_t>(r)]);
       m->counter("mailbox.delivered")
@@ -919,6 +935,7 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
     recorder.finish_watchdog();
   }
   result.report = build_run_report(graph, config, result, recorder);
+  if (config.faults.any()) result.report.faults_injected = report.faults_injected;
   if (recorder.enabled()) {
     if (!config.obs.trace_path.empty())
       (void)recorder.trace().write(config.obs.trace_path);

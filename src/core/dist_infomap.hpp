@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/counters.hpp"
+#include "comm/fault.hpp"
 #include "core/seq_infomap.hpp"
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
@@ -77,6 +78,15 @@ struct DistInfomapConfig {
   /// protocol must produce identical results under any delivery timing —
   /// asserted by tests. 0 disables.
   unsigned chaos_delay_us = 0;
+  /// Seeded transport fault plan (drop / duplicate / reorder / corrupt /
+  /// stall — see comm/fault.hpp). Recovery must be transparent: the final
+  /// partition and MDL stay bit-identical to the fault-free run (asserted by
+  /// tests/test_comm_faults.cpp). Default: no faults.
+  comm::FaultPlan faults;
+  /// Comm-runtime watchdog timeout (ms): a rank making no transport progress
+  /// for this long aborts the job with a CommFault naming it instead of
+  /// hanging. 0 disables; use alongside `faults.stall_rank`.
+  unsigned comm_watchdog_ms = 0;
   /// Flight recorder (src/obs): per-rank tracing, metrics, and the invariant
   /// watchdog. Off by default; purely observational — enabling it must not
   /// change any result bit (asserted by the obs determinism regression).

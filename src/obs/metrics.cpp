@@ -11,6 +11,19 @@ void MetricsRegistry::absorb(const comm::CommCounters& c,
   counter(prefix + ".collective_messages").set(c.collective_messages);
   counter(prefix + ".collective_bytes").set(c.collective_bytes);
   counter(prefix + ".collective_calls").set(c.collective_calls);
+  counter(prefix + ".retransmit_requests").set(c.retransmit_requests);
+  counter(prefix + ".retransmits").set(c.retransmits);
+  counter(prefix + ".dup_frames_dropped").set(c.dup_frames_dropped);
+  counter(prefix + ".checksum_failures").set(c.checksum_failures);
+}
+
+void MetricsRegistry::absorb(const comm::FaultCounters& f,
+                             const std::string& prefix) {
+  counter(prefix + ".drops").set(f.drops);
+  counter(prefix + ".duplicates").set(f.duplicates);
+  counter(prefix + ".reorders").set(f.reorders);
+  counter(prefix + ".corruptions").set(f.corruptions);
+  counter(prefix + ".stalls").set(f.stalls);
 }
 
 void MetricsRegistry::absorb(const perf::WorkCounters& w,

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "comm/counters.hpp"
+#include "comm/fault.hpp"
 #include "perf/work_counters.hpp"
 
 namespace dinfomap::obs {
@@ -94,6 +95,8 @@ class MetricsRegistry {
 
   /// Snapshot a comm counter struct as `<prefix>.p2p_messages` etc.
   void absorb(const comm::CommCounters& c, const std::string& prefix);
+  /// Snapshot injected-fault tallies as `<prefix>.drops` etc.
+  void absorb(const comm::FaultCounters& f, const std::string& prefix);
   /// Snapshot a work counter struct as `<prefix>.arcs_scanned` etc.
   void absorb(const perf::WorkCounters& w, const std::string& prefix);
 

@@ -139,7 +139,22 @@ std::string RunReport::to_json() const {
        << ", \"p2p_bytes\": " << comm[r].p2p_bytes
        << ", \"collective_messages\": " << comm[r].collective_messages
        << ", \"collective_bytes\": " << comm[r].collective_bytes
-       << ", \"collective_calls\": " << comm[r].collective_calls << "}";
+       << ", \"collective_calls\": " << comm[r].collective_calls
+       << ", \"retransmit_requests\": " << comm[r].retransmit_requests
+       << ", \"retransmits\": " << comm[r].retransmits
+       << ", \"dup_frames_dropped\": " << comm[r].dup_frames_dropped
+       << ", \"checksum_failures\": " << comm[r].checksum_failures << "}";
+  }
+  os << "],\n";
+
+  os << "\"faults_injected\": [";
+  for (std::size_t r = 0; r < faults_injected.size(); ++r) {
+    if (r) os << ", ";
+    os << "{\"drops\": " << faults_injected[r].drops
+       << ", \"duplicates\": " << faults_injected[r].duplicates
+       << ", \"reorders\": " << faults_injected[r].reorders
+       << ", \"corruptions\": " << faults_injected[r].corruptions
+       << ", \"stalls\": " << faults_injected[r].stalls << "}";
   }
   os << "],\n";
 

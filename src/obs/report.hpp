@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "comm/counters.hpp"
+#include "comm/fault.hpp"
 #include "obs/watchdog.hpp"
 #include "perf/work_counters.hpp"
 
@@ -67,6 +68,9 @@ struct RunReport {
   std::array<std::vector<perf::WorkCounters>, 2> stage_work;
 
   std::vector<comm::CommCounters> comm;  ///< indexed by rank
+
+  /// Faults the plan injected, indexed by source rank (empty without a plan).
+  std::vector<comm::FaultCounters> faults_injected;
 
   /// Per-rank metrics registry dumps, already JSON (MetricsRegistry::to_json).
   std::vector<std::string> metrics_json;

@@ -171,6 +171,41 @@ TEST(DistInfomap, RejectsRankMismatch) {
                dinfomap::ContractViolation);
 }
 
+TEST(DistInfomap, MinLabelBreaksTwoVertexBoundaryOscillation) {
+  // The §3.4 anti-bouncing scenario in miniature: two cliques joined by a
+  // single bridge, partitioned across two ranks (ownership is v mod p, so
+  // the bridge endpoints land on different ranks). In a synchronous round
+  // each bridge endpoint may greedily move into the other's module and swap
+  // forever; the minimum-label strategy (dist_infomap.cpp, boundary-move
+  // gate) must let exactly one side through so the rounds converge.
+  dg::EdgeList edges;
+  const auto clique = [&](dg::VertexId base) {
+    for (dg::VertexId i = 0; i < 6; ++i)
+      for (dg::VertexId j = i + 1; j < 6; ++j)
+        edges.push_back({base + i, base + j, 1.0});
+  };
+  clique(0);
+  clique(6);
+  edges.push_back({5, 6, 1.0});  // the bridge: 5 is odd-rank, 6 even-rank at p=2
+  const auto g = dg::build_csr(edges, 12);
+
+  auto cfg = config_for(2);
+  cfg.min_label = true;
+  const auto with = dc::distributed_infomap(g, cfg);
+  EXPECT_LT(with.stage1_rounds, cfg.max_rounds)
+      << "min_label on: rounds must converge, not run to the cap";
+  EXPECT_EQ(with.num_modules(), 2u);
+  EXPECT_LT(with.codelength, with.singleton_codelength);
+
+  // With the strategy off the protocol must still terminate (the round cap
+  // and round_theta bound any residual bouncing) and produce a valid result.
+  cfg.min_label = false;
+  const auto without = dc::distributed_infomap(g, cfg);
+  EXPECT_LE(without.stage1_rounds, cfg.max_rounds);
+  EXPECT_EQ(without.assignment.size(), g.num_vertices());
+  EXPECT_LT(without.codelength, without.singleton_codelength);
+}
+
 TEST(DistInfomap, MinLabelAblationStillConverges) {
   const auto gg = gen::lfr_lite({}, 37);
   const auto g = dg::build_csr(gg.edges, gg.num_vertices);
