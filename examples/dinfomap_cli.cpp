@@ -42,7 +42,7 @@ int usage() {
                "usage:\n"
                "  dinfomap_cli generate <lfr|ba|rmat|sbm|ring|er> <out.txt> [seed]\n"
                "  dinfomap_cli cluster <edges.txt> <out.clu> [--algo seq|dist|louvain|lpa|relaxmap]\n"
-               "                [--ranks N] [--seed S] [--tree out.tree]\n"
+               "                [--ranks N] [--threads T] [--seed S] [--tree out.tree]\n"
                "                [--trace out.trace.json] [--report out.report.json]  (dist only)\n"
                "                [--faults drop=P,dup=P,reorder=P,corrupt=P[,stall=R][,seed=S]]\n"
                "                [--watchdog-ms N]  (dist only; e.g. --faults drop=0.01,dup=0.01)\n"
@@ -119,12 +119,14 @@ int cmd_cluster(int argc, char** argv) {
   std::string trace_out;
   std::string report_out;
   int ranks = 4;
+  int threads = 1;
   std::uint64_t seed = 42;
   std::string fault_spec;
   unsigned watchdog_ms = 0;
   for (int i = 4; i + 1 < argc; i += 2) {
     if (!std::strcmp(argv[i], "--algo")) algo = argv[i + 1];
     else if (!std::strcmp(argv[i], "--ranks")) ranks = std::atoi(argv[i + 1]);
+    else if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(argv[i + 1]);
     else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(argv[i + 1], nullptr, 10);
     else if (!std::strcmp(argv[i], "--tree")) tree_out = argv[i + 1];
     else if (!std::strcmp(argv[i], "--trace")) trace_out = argv[i + 1];
@@ -142,6 +144,7 @@ int cmd_cluster(int argc, char** argv) {
   if (algo == "seq") {
     core::InfomapConfig cfg;
     cfg.seed = seed;
+    cfg.num_threads = threads;
     const auto r = core::sequential_infomap(g, cfg);
     assignment = r.assignment;
     std::printf("sequential Infomap: L = %.6f, %u modules\n", r.codelength,
@@ -153,6 +156,7 @@ int cmd_cluster(int argc, char** argv) {
   } else if (algo == "dist") {
     core::DistInfomapConfig cfg;
     cfg.num_ranks = ranks;
+    cfg.threads_per_rank = threads;
     cfg.seed = seed;
     if (!fault_spec.empty()) {
       cfg.faults.seed = seed;  // default the fault stream to the run seed
@@ -197,6 +201,7 @@ int cmd_cluster(int argc, char** argv) {
   } else if (algo == "louvain") {
     core::LouvainConfig cfg;
     cfg.seed = seed;
+    cfg.num_threads = threads;
     const auto r = core::louvain(g, cfg);
     assignment = r.assignment;
     std::printf("Louvain: Q = %.6f\n", r.modularity);
@@ -208,7 +213,7 @@ int cmd_cluster(int argc, char** argv) {
     std::printf("label-flow (p=%d): L = %.6f\n", ranks, r.codelength);
   } else if (algo == "relaxmap") {
     core::RelaxMapConfig cfg;
-    cfg.num_threads = ranks;
+    cfg.num_threads = threads > 1 ? threads : ranks;
     cfg.seed = seed;
     const auto r = core::relaxmap(g, cfg);
     assignment = r.assignment;

@@ -12,11 +12,13 @@
 // allgather), so CommCounters reflect realistic message/byte volumes.
 #pragma once
 
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <numeric>
 #include <span>
 #include <string>
+#include <tuple>
 #include <type_traits>
 #include <unordered_set>
 #include <vector>
@@ -235,6 +237,39 @@ class Comm {
     return typed;
   }
 
+  /// Coalesced personalized all-to-all over heterogeneous record streams:
+  /// the per-destination frame concatenates every stream behind a u64
+  /// element count ([n1][T1 × n1][n2][T2 × n2]…), so K logically separate
+  /// alltoallv rounds ride one collective — one barrier's worth of latency
+  /// and one set of per-message framing instead of K. Returns the unpacked
+  /// inboxes as a tuple of per-source vectors, in stream order.
+  template <typename... Ts>
+  [[nodiscard]] std::tuple<std::vector<std::vector<Ts>>...> alltoallv_packed(
+      const std::vector<std::vector<Ts>>&... out) {
+    static_assert(sizeof...(Ts) >= 2, "use alltoallv for a single stream");
+    static_assert((std::is_trivially_copyable_v<Ts> && ...));
+    const auto check_shape = [this](std::size_t boxes) {
+      DINFOMAP_REQUIRE_MSG(static_cast<int>(boxes) == size_,
+                           "alltoallv_packed: need one outbox per rank");
+    };
+    (check_shape(out.size()), ...);
+    std::vector<std::vector<std::byte>> raw(static_cast<std::size_t>(size_));
+    for (std::size_t r = 0; r < raw.size(); ++r)
+      (pack_stream(raw[r], std::span<const Ts>(out[r])), ...);
+    auto in = alltoallv_bytes(raw);
+    std::tuple<std::vector<std::vector<Ts>>...> result;
+    std::apply([&](auto&... boxes) { (boxes.resize(in.size()), ...); }, result);
+    for (std::size_t r = 0; r < in.size(); ++r) {
+      std::size_t cursor = 0;
+      std::apply([&](auto&... boxes) { (unpack_stream(in[r], cursor, boxes[r]), ...); },
+                 result);
+      DINFOMAP_REQUIRE_MSG(cursor == in[r].size(),
+                           "alltoallv_packed: trailing bytes in frame from rank "
+                               << r);
+    }
+    return result;
+  }
+
   /// Allreduce of a single value with a built-in op. Reduction order is
   /// rank order on every rank, so floating-point results are deterministic
   /// and identical everywhere.
@@ -288,6 +323,31 @@ class Comm {
     std::vector<T> out(bytes.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
     return out;
+  }
+
+  /// One stream of a packed frame: u64 element count, then the raw elements.
+  template <typename T>
+  static void pack_stream(std::vector<std::byte>& buf, std::span<const T> data) {
+    const std::uint64_t n = data.size();
+    const auto* header = reinterpret_cast<const std::byte*>(&n);
+    buf.insert(buf.end(), header, header + sizeof(n));
+    auto b = as_bytes(data);
+    buf.insert(buf.end(), b.begin(), b.end());
+  }
+  template <typename T>
+  static void unpack_stream(const std::vector<std::byte>& buf,
+                            std::size_t& cursor, std::vector<T>& out) {
+    DINFOMAP_REQUIRE_MSG(cursor + sizeof(std::uint64_t) <= buf.size(),
+                         "alltoallv_packed: truncated stream header");
+    std::uint64_t n = 0;
+    std::memcpy(&n, buf.data() + cursor, sizeof(n));
+    cursor += sizeof(n);
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(T);
+    DINFOMAP_REQUIRE_MSG(cursor + bytes <= buf.size(),
+                         "alltoallv_packed: truncated stream payload");
+    out.resize(static_cast<std::size_t>(n));
+    if (n != 0) std::memcpy(out.data(), buf.data() + cursor, bytes);
+    cursor += bytes;
   }
 
   template <typename T>

@@ -47,7 +47,13 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
     if (mod == cur) continue;
     const NeighborFlow& e = *nbflow_.find(mod);
     auto it = modules_.find(mod);
-    if (it == modules_.end()) continue;  // not yet synced; skip this round
+    if (it == modules_.end()) {
+      // Candidate module not yet synced into the local table; the vertex
+      // cannot consider it this round. Counted (not silent) so the invariant
+      // watchdog can flag pathological skip rates.
+      ++skipped_unsynced_round_;
+      continue;
+    }
     // Anti-bouncing (§3.4, minimum-label strategy of Lu et al.): in a
     // synchronous round two vertices on different ranks can swap into each
     // other's modules and oscillate forever. On alternating rounds a move
@@ -96,6 +102,8 @@ std::uint64_t DistRank::find_best_modules(bool with_delegates,
   PhaseScope scope(*this, Phase::kFindBestModule);
   std::vector<std::uint32_t> order = movable_;
   util::deterministic_shuffle(order, rng);
+  if (pool_ != nullptr)
+    return find_best_modules_parallel(with_delegates, order, proposals);
 
   std::uint64_t moves = 0;
   std::vector<std::uint8_t> dirty_flag(verts_.size(), 0);
@@ -119,6 +127,185 @@ std::uint64_t DistRank::find_best_modules(bool with_delegates,
       }
     }
   }
+  return moves;
+}
+
+bool DistRank::select_best_cached(std::uint32_t li, const GatherSpan& span,
+                                  const std::vector<CachedFlow>& entries,
+                                  BestMove& best) {
+  const LocalVertex& lv = verts_[li];
+  const ModuleId cur = lv.module;
+  auto cur_it = modules_.find(cur);
+  DINFOMAP_REQUIRE_MSG(cur_it != modules_.end(),
+                       "vertex's own module missing from local table");
+
+  double best_delta = -cfg_.move_epsilon;
+  ModuleId best_target = cur;
+  MoveOutcome best_outcome;
+
+  // Exact replica of best_move_for's candidate loop over the cached gather:
+  // entries are in the accumulator's first-touch (= arc) order, so every
+  // floating-point operation, skip condition, and tie-break happens in the
+  // same sequence a fresh serial scan would produce.
+  for (std::uint32_t i = 0; i < span.count; ++i) {
+    const CachedFlow& e = entries[span.begin + i];
+    const ModuleId mod = e.mod;
+    if (mod == cur) continue;
+    auto it = modules_.find(mod);
+    if (it == modules_.end()) {
+      ++skipped_unsynced_round_;
+      continue;
+    }
+    if (cfg_.min_label && (round_index_ % 2 == 0) && mod > cur && e.boundary)
+      continue;
+    MoveDelta d;
+    d.p_u = lv.node_flow;
+    d.f_u = lv.out_flow;
+    d.f_to_old = span.f_to_old;
+    d.f_to_new = e.flow;
+    d.old_stats = cur_it->second;
+    d.new_stats = it->second;
+    d.q_total = q_total_;
+    const MoveOutcome out = eval_move(d);
+    ++wk(Phase::kFindBestModule).delta_evals;
+    if (out.delta_codelength >= -cfg_.move_epsilon) continue;
+    if (out.delta_codelength < best_delta - 1e-15 ||
+        (out.delta_codelength < best_delta + 1e-15 && mod < best_target)) {
+      best_delta = out.delta_codelength;
+      best_target = mod;
+      best_outcome = out;
+    }
+  }
+  if (best_target == cur) return false;
+  best.target = best_target;
+  best.delta_l = best_delta;
+  best.outcome = best_outcome;
+  return true;
+}
+
+void DistRank::note_pool_dispatch(Phase ph) {
+  std::uint64_t arcs = 0;
+  for (auto& ts : scratch_) {
+    arcs += ts.arcs_scanned;
+    ts.arcs_scanned = 0;
+  }
+  wk(ph).arcs_scanned += arcs;
+  if (metrics_ == nullptr) return;
+  metrics_->counter("pool.tasks")
+      .inc(static_cast<std::uint64_t>(pool_->num_threads()));
+  metrics_->counter("pool.dispatches").inc();
+  const auto& secs = pool_->last_slot_seconds();
+  double max_s = 0;
+  double sum_s = 0;
+  for (double s : secs) {
+    max_s = std::max(max_s, s);
+    sum_s += s;
+  }
+  if (sum_s > 0) {
+    const double mean = sum_s / static_cast<double>(secs.size());
+    metrics_->histogram("pool.imbalance_pct")
+        .observe(static_cast<std::uint64_t>(max_s / mean * 100.0));
+  }
+  std::size_t bytes = 0;
+  for (const auto& ts : scratch_) bytes += ts.memory_bytes();
+  metrics_->gauge("pool.scratch_bytes").set(static_cast<double>(bytes));
+}
+
+std::uint64_t DistRank::find_best_modules_parallel(
+    bool with_delegates, const std::vector<std::uint32_t>& order,
+    std::vector<HubProposal>& proposals) {
+  // --- propose (parallel) -------------------------------------------------
+  // Each slot gathers neighbor flows for its contiguous chunk of the
+  // shuffled order against the frozen pass-start module assignment. Only
+  // slot-local scratch is written; verts_/arcs_/modules_ are read-only here.
+  // Clear every slot's output up front: slots whose chunk is empty are never
+  // dispatched and must not leak a previous pass's spans into the commit.
+  for (auto& ts : scratch_) {
+    if (ts.nbflow.capacity() < level_n_) ts.nbflow.reset(level_n_);
+    ts.entries.clear();
+    ts.spans.clear();
+  }
+  {
+    obs::SpanScope span(trace_buf_, "parallel_for");
+    pool_->parallel_for(order.size(), [&](int slot, std::size_t b,
+                                          std::size_t e) {
+      ThreadScratch& ts = scratch_[static_cast<std::size_t>(slot)];
+      for (std::size_t pos = b; pos < e; ++pos) {
+        const std::uint32_t li = order[pos];
+        const bool is_hub = verts_[li].kind == Kind::kDelegate;
+        if (is_hub && !with_delegates) continue;
+        if (is_hub && cfg_.exact_hub_moves) continue;
+        const ModuleId cur = verts_[li].module;
+        ts.nbflow.clear();
+        for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
+          const LocalVertex& nb = verts_[arcs_[a].target];
+          NeighborFlow& nf = ts.nbflow[nb.module];
+          nf.flow += arcs_[a].flow;
+          if (nb.kind != Kind::kOwned) nf.boundary = 1;
+          ++ts.arcs_scanned;
+        }
+        if (ts.nbflow.empty()) continue;  // isolated vertex; never movable
+        GatherSpan sp;
+        sp.pos = pos;
+        sp.li = li;
+        sp.begin = static_cast<std::uint32_t>(ts.entries.size());
+        sp.count = static_cast<std::uint32_t>(ts.nbflow.size());
+        sp.f_to_old = ts.nbflow.value_or(cur, {}).flow;
+        for (const ModuleId mod : ts.nbflow.keys()) {
+          const NeighborFlow& nf = *ts.nbflow.find(mod);
+          ts.entries.push_back({mod, nf.flow, nf.boundary});
+        }
+        ts.spans.push_back(sp);
+      }
+    });
+  }
+  note_pool_dispatch(Phase::kFindBestModule);
+
+  // --- commit (serial, deterministic order) -------------------------------
+  // Chunks are contiguous, so walking slots in index order replays the exact
+  // shuffled vertex order. A cached gather stays valid until a neighbor of
+  // the vertex commits a move; committed movers stamp their arc targets,
+  // which covers every local reader because movers are owned vertices and
+  // owned vertices carry their full local adjacency (graph symmetry).
+  if (stale_stamp_.size() != verts_.size()) {
+    stale_stamp_.assign(verts_.size(), 0);
+    pass_epoch_ = 0;
+  }
+  ++pass_epoch_;
+
+  std::uint64_t moves = 0;
+  std::vector<std::uint8_t> dirty_flag(verts_.size(), 0);
+  for (std::uint32_t li : dirty_owned_) dirty_flag[li] = 1;
+
+  for (const ThreadScratch& ts : scratch_) {
+    for (const GatherSpan& sp : ts.spans) {
+      const std::uint32_t li = sp.li;
+      BestMove mv;
+      bool found;
+      if (stale_stamp_[li] == pass_epoch_) {
+        ++stale_rescans_;
+        found = best_move_for(li, mv);  // fresh serial rescan
+      } else {
+        found = select_best_cached(li, sp, ts.entries, mv);
+      }
+      if (!found) continue;
+      if (verts_[li].kind == Kind::kDelegate) {
+        proposals.push_back(
+            {verts_[li].global, comm_.rank(), mv.target, mv.delta_l});
+      } else {
+        apply_local_move(li, mv);
+        ++moves;
+        for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a)
+          stale_stamp_[arcs_[a].target] = pass_epoch_;
+        if (!dirty_flag[li]) {
+          dirty_flag[li] = 1;
+          dirty_owned_.push_back(li);
+        }
+      }
+    }
+  }
+  if (metrics_ != nullptr)
+    metrics_->counter("pool.stale_rescans").set(stale_rescans_);
   return moves;
 }
 
@@ -180,22 +367,27 @@ std::uint64_t DistRank::broadcast_delegates_exact() {
   const int r = comm_.rank();
 
   // Ship each local hub's per-module flow partials (with the sender's
-  // post-sync module stats attached) to the hub's owner.
+  // post-sync module stats attached) to the hub's owner. The per-hub gather
+  // is embarrassingly parallel (each hub's accumulation is slot-local and
+  // module tables are frozen); per-destination record order is preserved by
+  // merging the contiguous hub chunks in slot order.
   std::vector<std::vector<HubFlowRecord>> out(p);
-  if (nbflow_.capacity() < level_n_) nbflow_.reset(level_n_);
-  for (std::uint32_t li : hubs_) {
+  const auto scan_hub = [&](std::uint32_t li,
+                            util::SparseAccumulator<ModuleId, NeighborFlow>& acc,
+                            std::uint64_t& arcs,
+                            std::vector<std::vector<HubFlowRecord>>& sink) {
     const LocalVertex& hv = verts_[li];
-    nbflow_.clear();
+    acc.clear();
     for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
-      nbflow_[verts_[arcs_[a].target].module].flow += arcs_[a].flow;
-      ++wk(Phase::kBroadcastDelegates).arcs_scanned;
+      acc[verts_[arcs_[a].target].module].flow += arcs_[a].flow;
+      ++arcs;
     }
     const int dest = owner_of(hv.global);
-    for (const ModuleId mod : nbflow_.keys()) {
+    for (const ModuleId mod : acc.keys()) {
       HubFlowRecord rec;
       rec.hub = hv.global;
       rec.module = mod;
-      rec.flow = nbflow_.find(mod)->flow;
+      rec.flow = acc.find(mod)->flow;
       auto it = modules_.find(mod);
       if (it != modules_.end()) {
         rec.sum_pr = it->second.sum_pr;
@@ -204,8 +396,36 @@ std::uint64_t DistRank::broadcast_delegates_exact() {
       } else {
         rec.num_members = -1;  // stats unknown to the sender
       }
-      out[dest].push_back(rec);
+      sink[static_cast<std::size_t>(dest)].push_back(rec);
     }
+  };
+  if (pool_ != nullptr) {
+    for (auto& ts : scratch_) {  // pre-clear: empty chunks are not dispatched
+      if (ts.nbflow.capacity() < level_n_) ts.nbflow.reset(level_n_);
+      ts.hub_out.resize(static_cast<std::size_t>(p));
+      for (auto& v : ts.hub_out) v.clear();
+    }
+    {
+      obs::SpanScope span(trace_buf_, "parallel_for");
+      pool_->parallel_for(hubs_.size(), [&](int slot, std::size_t b,
+                                            std::size_t e) {
+        ThreadScratch& ts = scratch_[static_cast<std::size_t>(slot)];
+        for (std::size_t i = b; i < e; ++i)
+          scan_hub(hubs_[i], ts.nbflow, ts.arcs_scanned, ts.hub_out);
+      });
+    }
+    for (auto& ts : scratch_) {
+      for (int dest = 0; dest < p; ++dest) {
+        auto& src = ts.hub_out[static_cast<std::size_t>(dest)];
+        out[dest].insert(out[dest].end(), src.begin(), src.end());
+      }
+    }
+    note_pool_dispatch(Phase::kBroadcastDelegates);
+  } else {
+    if (nbflow_.capacity() < level_n_) nbflow_.reset(level_n_);
+    std::uint64_t arcs = 0;
+    for (std::uint32_t li : hubs_) scan_hub(li, nbflow_, arcs, out);
+    wk(Phase::kBroadcastDelegates).arcs_scanned += arcs;
   }
   auto incoming = comm_.alltoallv(out);
 
@@ -362,32 +582,96 @@ void DistRank::swap_boundary_info() {
   if (partial_acc_.capacity() < level_n_) partial_acc_.reset(level_n_);
   partial_acc_.clear();
   const int r = comm_.rank();
-  for (const auto& lv : verts_) {
-    const bool controlled =
-        lv.kind == Kind::kOwned ||
-        (lv.kind == Kind::kDelegate && owner_of(lv.global) == r);
-    if (controlled) {
+  if (pool_ != nullptr) {
+    // Parallel scan, serial reduce: each slot emits its chunk's individual
+    // (module, contribution) records; the rank thread replays them in slot
+    // order. Chunks are contiguous, so the replay performs the exact adds of
+    // the serial loops in the exact order — per-slot *subtotals* would
+    // re-associate the floating-point sums and break bit-identity across
+    // thread counts. The parallel phase absorbs the traversal, module loads,
+    // and boundary filtering; only the (far fewer) surviving adds serialize.
+    for (auto& ts : scratch_) {  // pre-clear: empty chunks are not dispatched
+      ts.vertex_stream.clear();
+      ts.arc_stream.clear();
+      ts.interest_stream.clear();
+    }
+    {
+      obs::SpanScope span(trace_buf_, "parallel_for");
+      pool_->parallel_for(verts_.size(), [&](int slot, std::size_t b,
+                                             std::size_t e) {
+        ThreadScratch& ts = scratch_[static_cast<std::size_t>(slot)];
+        for (std::size_t li = b; li < e; ++li) {
+          const LocalVertex& lv = verts_[li];
+          const bool controlled =
+              lv.kind == Kind::kOwned ||
+              (lv.kind == Kind::kDelegate && owner_of(lv.global) == r);
+          if (controlled) {
+            ModulePartial mp;
+            mp.mod_id = lv.module;
+            mp.sum_pr = lv.node_flow;
+            mp.num_members = 1;
+            ts.vertex_stream.push_back(mp);
+          }
+          const ModuleId mu = lv.module;
+          for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
+            const ModuleId mv = verts_[arcs_[a].target].module;
+            if (mu == mv) continue;
+            ModulePartial mp;
+            mp.mod_id = mu;
+            mp.exit_pr = arcs_[a].flow;
+            ts.arc_stream.push_back(mp);
+          }
+          ts.interest_stream.push_back(lv.module);
+        }
+      });
+    }
+    note_pool_dispatch(Phase::kSwapBoundaryInfo);
+    const auto replay = [&](const ModulePartial& rec) {
+      ModulePartial& mp = partial_acc_[rec.mod_id];
+      mp.mod_id = rec.mod_id;
+      mp.sum_pr += rec.sum_pr;
+      mp.exit_pr += rec.exit_pr;
+      mp.num_members += rec.num_members;
+    };
+    for (const auto& ts : scratch_)
+      for (const ModulePartial& rec : ts.vertex_stream) replay(rec);
+    for (const auto& ts : scratch_)
+      for (const ModulePartial& rec : ts.arc_stream) replay(rec);
+    // Zero partials double as interest declarations for every module any
+    // local vertex currently references.
+    for (const auto& ts : scratch_)
+      for (const ModuleId m : ts.interest_stream) {
+        ModulePartial& mp = partial_acc_[m];
+        mp.mod_id = m;  // no-op unless this touch created the entry
+      }
+  } else {
+    for (const auto& lv : verts_) {
+      const bool controlled =
+          lv.kind == Kind::kOwned ||
+          (lv.kind == Kind::kDelegate && owner_of(lv.global) == r);
+      if (controlled) {
+        ModulePartial& mp = partial_acc_[lv.module];
+        mp.mod_id = lv.module;
+        mp.sum_pr += lv.node_flow;
+        mp.num_members += 1;
+      }
+    }
+    for (std::uint32_t li = 0; li < verts_.size(); ++li) {
+      const ModuleId mu = verts_[li].module;
+      for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
+        const ModuleId mv = verts_[arcs_[a].target].module;
+        if (mu == mv) continue;
+        ModulePartial& mp = partial_acc_[mu];
+        mp.mod_id = mu;
+        mp.exit_pr += arcs_[a].flow;
+      }
+    }
+    // Zero partials double as interest declarations for every module any
+    // local vertex currently references.
+    for (const auto& lv : verts_) {
       ModulePartial& mp = partial_acc_[lv.module];
-      mp.mod_id = lv.module;
-      mp.sum_pr += lv.node_flow;
-      mp.num_members += 1;
+      mp.mod_id = lv.module;  // no-op unless this touch created the entry
     }
-  }
-  for (std::uint32_t li = 0; li < verts_.size(); ++li) {
-    const ModuleId mu = verts_[li].module;
-    for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
-      const ModuleId mv = verts_[arcs_[a].target].module;
-      if (mu == mv) continue;
-      ModulePartial& mp = partial_acc_[mu];
-      mp.mod_id = mu;
-      mp.exit_pr += arcs_[a].flow;
-    }
-  }
-  // Zero partials double as interest declarations for every module any local
-  // vertex currently references.
-  for (const auto& lv : verts_) {
-    ModulePartial& mp = partial_acc_[lv.module];
-    mp.mod_id = lv.module;  // no-op unless this touch created the entry
   }
 
   std::vector<std::vector<ModulePartial>> to_home(p);
@@ -501,6 +785,7 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
     sample.codelength = codelength_;
     sample.moves = rr.global_moves;
     sample.rank_work = wk(Phase::kFindBestModule).arcs_scanned - arcs0;
+    sample.skipped_unsynced = skipped_unsynced_round_;
     recorder_->record_round(comm_.rank(), sample);
     if (trace_buf_ != nullptr) {
       trace_buf_->counter("codelength", codelength_);
@@ -509,9 +794,12 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
     }
     if (metrics_ != nullptr) {
       metrics_->histogram("round.moves").observe(rr.global_moves);
+      metrics_->counter("moves.skipped_unsynced").inc(skipped_unsynced_round_);
       sample_table_metrics();
     }
   }
+  skipped_unsynced_total_ += skipped_unsynced_round_;
+  skipped_unsynced_round_ = 0;
   ++round_index_;
   return rr;
 }
@@ -566,8 +854,10 @@ VertexId DistRank::merge_level() {
     info_out[cu % static_cast<VertexId>(p)].push_back({cu, 0, stats.sum_pr});
   }
 
-  // 4. Projection: each level-0 vertex's coarse id advances by asking the
-  //    owner of its current vertex for that vertex's module.
+  // 4. Projection queries (each level-0 vertex's coarse id advances by
+  //    asking the owner of its current vertex for that vertex's module) ride
+  //    the same packed exchange as the coarse arcs and node flows — one
+  //    collective where three back-to-back alltoallv rounds used to run.
   std::vector<std::vector<ProjectionQuery>> queries(p);
   std::vector<std::vector<std::size_t>> query_slot(p);  // index into proj_
   for (std::size_t i = 0; i < proj_.size(); ++i) {
@@ -575,28 +865,54 @@ VertexId DistRank::merge_level() {
     queries[dest].push_back({proj_[i]});
     query_slot[dest].push_back(i);
   }
-  auto queries_in = comm_.alltoallv(queries);
+  obs::SpanScope redist_span(trace_buf_, "Redistribute");
+  auto [queries_in, coarse_in, info_in] =
+      comm_.alltoallv_packed(queries, coarse_out, info_out);
+
+  // Answer against the *pre-rebuild* state, and register each querier's
+  // interest with the answered vertex's new 1D owner (dense % p, computable
+  // here) so the final projection becomes a single unsolicited push.
   std::vector<std::vector<ProjectionAnswer>> answers(p);
+  std::vector<std::vector<ProjectionInterest>> interest_out(p);
   for (int src = 0; src < p; ++src) {
     answers[src].reserve(queries_in[src].size());
     for (const ProjectionQuery& q : queries_in[src]) {
       auto it = index_.find(q.current);
       DINFOMAP_REQUIRE_MSG(it != index_.end(),
                            "projection query for non-owned vertex");
-      answers[src].push_back({dense.at(verts_[it->second].module)});
+      const VertexId next = dense.at(verts_[it->second].module);
+      answers[src].push_back({next});
+      interest_out[next % static_cast<VertexId>(p)].push_back({next, src});
     }
   }
-  auto answers_in = comm_.alltoallv(answers);
+  // Many level-0 vertices project onto the same coarse vertex; one
+  // registration per (vertex, rank) pair suffices for the final push.
+  for (auto& box : interest_out) {
+    std::sort(box.begin(), box.end(),
+              [](const ProjectionInterest& a, const ProjectionInterest& b) {
+                return a.vertex != b.vertex ? a.vertex < b.vertex
+                                            : a.rank < b.rank;
+              });
+    box.erase(std::unique(box.begin(), box.end(),
+                          [](const ProjectionInterest& a,
+                             const ProjectionInterest& b) {
+                            return a.vertex == b.vertex && a.rank == b.rank;
+                          }),
+              box.end());
+  }
+  auto [answers_in, interest_in] = comm_.alltoallv_packed(answers, interest_out);
   for (int src = 0; src < p; ++src) {
     DINFOMAP_REQUIRE(answers_in[src].size() == query_slot[src].size());
     for (std::size_t j = 0; j < answers_in[src].size(); ++j)
       proj_[query_slot[src][j]] = answers_in[src][j].next;
   }
+  proj_subscribers_.clear();
+  for (const auto& batch : interest_in)
+    proj_subscribers_.insert(proj_subscribers_.end(), batch.begin(),
+                             batch.end());
+  if (metrics_ != nullptr) metrics_->counter("comm.packed_exchanges").inc(2);
 
-  // 5. Ship and rebuild.
-  obs::SpanScope redist_span(trace_buf_, "Redistribute");
-  auto coarse_in = comm_.alltoallv(coarse_out);
-  auto info_in = comm_.alltoallv(info_out);
+  // 5. Rebuild from the shipped streams.
 
   std::vector<CoarseArc> triples;
   for (auto& batch : coarse_in)
@@ -715,30 +1031,32 @@ void DistRank::execute() {
   {
     obs::SpanScope proj_span(trace_buf_, "FinalProjection");
     const int p = comm_.size();
-    std::vector<std::vector<ProjectionQuery>> queries(p);
-    std::vector<std::vector<std::size_t>> slot(p);
-    for (std::size_t i = 0; i < proj_.size(); ++i) {
-      const int dest = owner_of(proj_[i]);
-      queries[dest].push_back({proj_[i]});
-      slot[dest].push_back(i);
+    // Interest was registered with each coarse vertex's owner during the last
+    // merge (stage 1 always merges once), so owners push final modules
+    // unsolicited — one exchange where the query/answer pair used to take two.
+    std::vector<std::vector<FinalModuleRecord>> push(p);
+    for (const ProjectionInterest& sub : proj_subscribers_) {
+      auto it = index_.find(sub.vertex);
+      DINFOMAP_REQUIRE_MSG(it != index_.end(),
+                           "final-projection interest for non-owned vertex");
+      push[sub.rank].push_back(
+          {sub.vertex, 0, verts_[it->second].module});
     }
-    auto queries_in = comm_.alltoallv(queries);
-    std::vector<std::vector<ProjectionAnswer>> answers(p);
-    for (int src = 0; src < p; ++src) {
-      for (const ProjectionQuery& q : queries_in[src]) {
-        auto it = index_.find(q.current);
-        DINFOMAP_REQUIRE(it != index_.end());
-        answers[src].push_back(
-            {static_cast<VertexId>(verts_[it->second].module)});
-      }
-    }
-    auto answers_in = comm_.alltoallv(answers);
+    auto pushed_in = comm_.alltoallv(push);
+    std::unordered_map<VertexId, ModuleId> module_of;
+    module_of.reserve(proj_.size());
+    for (const auto& batch : pushed_in)
+      for (const FinalModuleRecord& rec : batch)
+        module_of.emplace(rec.vertex, rec.module);
     final_assignment_.clear();
     final_assignment_.reserve(owned0_.size());
-    for (int src = 0; src < comm_.size(); ++src)
-      for (std::size_t j = 0; j < answers_in[src].size(); ++j)
-        final_assignment_.emplace_back(owned0_[slot[src][j]],
-                                       answers_in[src][j].next);
+    for (std::size_t i = 0; i < proj_.size(); ++i) {
+      auto it = module_of.find(proj_[i]);
+      DINFOMAP_REQUIRE_MSG(it != module_of.end(),
+                           "no pushed module for projected vertex");
+      final_assignment_.emplace_back(owned0_[i],
+                                     static_cast<VertexId>(it->second));
+    }
   }
 }
 
@@ -775,6 +1093,7 @@ obs::RunReport build_run_report(const graph::Csr& graph,
                                 const obs::Recorder& recorder) {
   obs::RunReport rep;
   rep.add_config("num_ranks", config.num_ranks);
+  rep.add_config("threads_per_rank", config.threads_per_rank);
   rep.add_config("degree_threshold",
                  static_cast<std::uint64_t>(config.degree_threshold));
   rep.add_config("theta", config.theta);

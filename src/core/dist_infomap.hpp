@@ -38,6 +38,12 @@ inline constexpr std::array<const char*, kNumPhases> kPhaseNames = {
 
 struct DistInfomapConfig {
   int num_ranks = 4;
+  /// Worker threads per rank for the O(V+E) hot loops (move search, hub flow
+  /// scan, swap aggregation). 1 = the exact single-threaded code path; any
+  /// value produces bit-identical partitions and codelengths (the threaded
+  /// path proposes in parallel but commits serially in the deterministic
+  /// vertex order — see DESIGN.md §10).
+  int threads_per_rank = 1;
   /// Hub threshold d_high; 0 → the paper's default d_high = num_ranks.
   graph::EdgeIndex degree_threshold = 0;
   /// Outer improvement threshold θ.

@@ -16,7 +16,10 @@
 #include "util/flat_map.hpp"
 #include "util/random.hpp"
 #include "util/sparse_accumulator.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+
+#include <memory>
 
 namespace dinfomap::core::detail {
 
@@ -65,6 +68,9 @@ class DistRank {
   const std::vector<std::pair<VertexId, VertexId>>& final_assignment() const {
     return final_assignment_;
   }
+  /// Move-search candidates skipped because their module was not yet in the
+  /// local table (whole run; see moves.skipped_unsynced metric).
+  std::uint64_t skipped_unsynced() const { return skipped_unsynced_total_; }
 
  private:
   struct LocalVertex {
@@ -128,6 +134,37 @@ class DistRank {
   bool best_move_for(std::uint32_t li, BestMove& best);
 
   void apply_local_move(std::uint32_t li, const BestMove& mv);
+
+  // ---- intra-rank thread parallelism (threads_per_rank > 1) --------------
+  /// One cached neighbor-flow entry from the parallel propose phase: the
+  /// per-module flow gather of best_move_for, frozen against the pass-start
+  /// snapshot of the module assignment.
+  struct CachedFlow {
+    ModuleId mod = 0;
+    double flow = 0;
+    std::uint8_t boundary = 0;
+  };
+  /// One proposed vertex: its position in the shuffled order plus the slice
+  /// of the slot's `entries` cache holding its gathered neighbor flows.
+  struct GatherSpan {
+    std::size_t pos = 0;      ///< index into the shuffled order
+    std::uint32_t li = 0;
+    std::uint32_t begin = 0;  ///< first entry in the slot's cache
+    std::uint32_t count = 0;
+    double f_to_old = 0;      ///< flow into the vertex's own module
+  };
+  /// Parallel propose / serial commit move pass — bit-identical to the
+  /// serial find_best_modules loop for any thread count (DESIGN.md §10).
+  std::uint64_t find_best_modules_parallel(bool with_delegates,
+                                           const std::vector<std::uint32_t>& order,
+                                           std::vector<HubProposal>& proposals);
+  /// Candidate argmin over a cached gather; exact replica of the serial
+  /// candidate loop in best_move_for (same FP ops, same tie-breaking).
+  bool select_best_cached(std::uint32_t li, const GatherSpan& span,
+                          const std::vector<CachedFlow>& entries, BestMove& best);
+  /// Flight-recorder epilogue for one pool dispatch (tasks, imbalance,
+  /// scratch bytes); folds per-slot arc counts into the phase counters.
+  void note_pool_dispatch(Phase ph);
 
   /// ΔL evaluation routed through the plogp memo when enabled (exact either
   /// way; the flag keeps a memo-free reference path selectable).
@@ -212,6 +249,48 @@ class DistRank {
   util::SparseAccumulator<ModuleId, ModulePartial> partial_acc_;
   PlogpMemo plogp_memo_;
 
+  /// Intra-rank worker pool (threads_per_rank > 1; null selects the exact
+  /// single-threaded code paths).
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Per-slot scratch arena, persistent across rounds and levels. A slot
+  /// owns scratch_[slot] exclusively during a dispatch; the rank thread
+  /// merges the outputs serially in slot order afterwards.
+  struct ThreadScratch {
+    util::SparseAccumulator<ModuleId, NeighborFlow> nbflow;
+    std::vector<CachedFlow> entries;
+    std::vector<GatherSpan> spans;
+    std::uint64_t arcs_scanned = 0;
+    /// swap_boundary_info: individual (module, contribution) records from
+    /// the vertex / arc / interest scans, replayed serially in slot order so
+    /// the floating-point accumulation order matches the serial scan
+    /// bit-for-bit (per-slot subtotals would re-associate the sums).
+    std::vector<ModulePartial> vertex_stream;
+    std::vector<ModulePartial> arc_stream;
+    std::vector<ModuleId> interest_stream;
+    /// broadcast_delegates_exact: per-destination hub flow records.
+    std::vector<std::vector<HubFlowRecord>> hub_out;
+    [[nodiscard]] std::size_t memory_bytes() const {
+      return nbflow.memory_bytes() + entries.capacity() * sizeof(CachedFlow) +
+             spans.capacity() * sizeof(GatherSpan) +
+             (vertex_stream.capacity() + arc_stream.capacity()) *
+                 sizeof(ModulePartial) +
+             interest_stream.capacity() * sizeof(ModuleId);
+    }
+  };
+  std::vector<ThreadScratch> scratch_;
+  /// Commit-phase staleness: stale_stamp_[li] == pass_epoch_ marks a vertex
+  /// whose cached gather was invalidated by a neighbor's committed move.
+  std::vector<std::uint32_t> stale_stamp_;
+  std::uint32_t pass_epoch_ = 0;
+  /// Gathers invalidated at commit time and recomputed serially (diagnostic).
+  std::uint64_t stale_rescans_ = 0;
+
+  /// modules_.find misses in the move search (candidate module not yet
+  /// synced locally → vertex skipped this round). Previously silent; now
+  /// counted so the invariant watchdog can flag pathological skip rates.
+  std::uint64_t skipped_unsynced_round_ = 0;
+  std::uint64_t skipped_unsynced_total_ = 0;
+
   double q_total_ = 0;
   double codelength_ = 0;
   double singleton_codelength_ = 0;
@@ -233,6 +312,10 @@ class DistRank {
   /// Level-0 vertices owned by this rank and their current coarse vertex.
   std::vector<VertexId> owned0_;
   std::vector<VertexId> proj_;
+  /// (coarse vertex we own, rank projecting onto it) — registered during the
+  /// latest merge's packed exchange so the final projection is a single
+  /// unsolicited push instead of a query/answer round trip.
+  std::vector<ProjectionInterest> proj_subscribers_;
 
   std::vector<OuterIterationInfo> trace_;
   std::vector<double> round_mdl_;

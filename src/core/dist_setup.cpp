@@ -16,6 +16,10 @@ DistRank::DistRank(comm::Comm& comm, const partition::ArcPartition& part,
     trace_buf_ = recorder_->track(comm_.rank());
     metrics_ = recorder_->metrics(comm_.rank());
   }
+  if (cfg_.threads_per_rank > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(cfg_.threads_per_rank);
+    scratch_.resize(static_cast<std::size_t>(cfg_.threads_per_rank));
+  }
   obs::SpanScope span(trace_buf_, "Setup");
   setup_stage1(part);
 }

@@ -98,4 +98,20 @@ struct ProjectionAnswer {
   graph::VertexId next = 0;  ///< its coarse vertex at the next level
 };
 
+/// Interest registration piggybacked on the merge exchange: "rank `rank`
+/// projects level-0 vertices onto coarse vertex `vertex`; push its final
+/// module there". Lets the final projection run as one push instead of a
+/// query/answer round trip.
+struct ProjectionInterest {
+  graph::VertexId vertex = 0;
+  std::int32_t rank = 0;
+};
+
+/// The final-projection push: coarse `vertex` ended the run in `module`.
+struct FinalModuleRecord {
+  graph::VertexId vertex = 0;
+  std::uint32_t pad_ = 0;
+  ModuleId module = 0;
+};
+
 }  // namespace dinfomap::core

@@ -1,9 +1,9 @@
 #include "core/relaxmap.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <numeric>
-#include <thread>
 #include <unordered_map>
 
 #include "core/coarsen.hpp"
@@ -13,6 +13,7 @@
 #include "util/check.hpp"
 #include "util/random.hpp"
 #include "util/sparse_accumulator.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace dinfomap::core {
@@ -144,25 +145,30 @@ RelaxMapResult relaxmap(const graph::Csr& graph, const RelaxMapConfig& config) {
       codelength_of_partition(level0, result.assignment);
 
   double prev = result.singleton_codelength;
+  // One persistent pool for the whole run: stripes were previously fresh
+  // std::threads per pass, paying a spawn/join per inner pass. Slot s runs
+  // stripe s; passes with fewer vertices than threads shrink the stripe
+  // count and leave the extra slots idle.
+  util::ThreadPool pool(config.num_threads);
+  std::vector<std::uint64_t> slot_moves(
+      static_cast<std::size_t>(pool.num_threads()), 0);
   for (int level = 0; level < config.max_outer_iterations; ++level) {
     SharedLevel shared;
     shared.init(fg);
 
     for (int pass = 0; pass < config.max_inner_passes; ++pass) {
-      std::atomic<std::uint64_t> moves{0};
       const int t_count =
           std::min<int>(config.num_threads, static_cast<int>(fg.num_vertices()));
-      std::vector<std::thread> threads;
-      threads.reserve(t_count);
-      for (int t = 0; t < t_count; ++t) {
-        threads.emplace_back([&, t] {
-          moves.fetch_add(
-              stripe_pass(fg, shared, t, t_count, config.move_epsilon));
-        });
-      }
-      for (auto& th : threads) th.join();
+      std::fill(slot_moves.begin(), slot_moves.end(), 0);
+      pool.run_slots([&](int slot) {
+        if (slot >= t_count) return;
+        slot_moves[static_cast<std::size_t>(slot)] =
+            stripe_pass(fg, shared, slot, t_count, config.move_epsilon);
+      });
+      std::uint64_t moves = 0;
+      for (const auto m : slot_moves) moves += m;
       shared.refresh_q_total();
-      if (moves.load() == 0) break;
+      if (moves == 0) break;
     }
 
     CoarsenResult coarse = coarsen(fg, shared.module_of);

@@ -20,6 +20,11 @@ struct RoundSample {
   double codelength = 0;      ///< exact global L after the round
   std::uint64_t moves = 0;    ///< global move count of the round
   std::uint64_t rank_work = 0;  ///< this rank's arcs scanned during the round
+  /// Move candidates this rank skipped because the target module was not yet
+  /// synced into its local table. A few per round are normal right after
+  /// module churn; a persistently high rate means the swap protocol is
+  /// starving the move search.
+  std::uint64_t skipped_unsynced = 0;
 };
 
 /// A detected invariant violation. `rank < 0` means "global" (derived from
@@ -43,6 +48,13 @@ struct WatchdogOptions {
   /// Rounds whose mean per-rank work is below this many arcs are too small
   /// for a skew verdict and are skipped.
   std::uint64_t min_skew_work = 1024;
+  /// Flag a rank's round when more than this fraction of its scanned arcs
+  /// were unsynced-module skips (the rank is mostly unable to evaluate its
+  /// candidates — the swap protocol is starving it).
+  double skip_rate_threshold = 0.5;
+  /// Rounds with fewer skips than this are below the noise floor for a
+  /// skip-rate verdict.
+  std::uint64_t min_skip_samples = 256;
 };
 
 /// Analyze per-rank round streams (`streams[r]` is rank r's samples, all the

@@ -79,6 +79,13 @@ class SparseAccumulator {
   [[nodiscard]] bool empty() const { return touched_.empty(); }
   [[nodiscard]] std::size_t capacity() const { return values_.size(); }
 
+  /// Resident bytes of the dense scratch (per-thread arena accounting).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return values_.capacity() * sizeof(V) +
+           stamp_.capacity() * sizeof(std::uint64_t) +
+           touched_.capacity() * sizeof(K);
+  }
+
  private:
   std::vector<V> values_;
   std::vector<std::uint64_t> stamp_;

@@ -1,0 +1,107 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace dinfomap::util {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)),
+      errors_(static_cast<std::size_t>(num_threads_)),
+      slot_seconds_(static_cast<std::size_t>(num_threads_), 0.0) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int slot = 1; slot < num_threads_; ++slot)
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_inline(const std::function<void(int)>& fn) {
+  for (int slot = 0; slot < num_threads_; ++slot) {
+    Timer t;
+    fn(slot);
+    slot_seconds_[static_cast<std::size_t>(slot)] = t.seconds();
+  }
+}
+
+void ThreadPool::run_slots(const std::function<void(int)>& fn) {
+  ++dispatches_;
+  if (num_threads_ == 1) {
+    Timer t;
+    fn(0);
+    slot_seconds_[0] = t.seconds();
+    return;
+  }
+  // Nested dispatch (a slot re-entering the pool) would wait on workers that
+  // are waiting on it; degrade to inline serial execution — same slots, same
+  // order, same results.
+  if (active_.exchange(true, std::memory_order_acquire)) {
+    run_inline(fn);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    pending_ = num_threads_ - 1;
+    std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  {
+    Timer t;
+    try {
+      fn(0);
+    } catch (...) {
+      errors_[0] = std::current_exception();
+    }
+    slot_seconds_[0] = t.seconds();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  active_.store(false, std::memory_order_release);
+
+  for (const auto& e : errors_)
+    if (e) std::rethrow_exception(e);
+}
+
+void ThreadPool::worker_loop(int slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    Timer t;
+    try {
+      (*job)(slot);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(slot)] = std::current_exception();
+    }
+    slot_seconds_[static_cast<std::size_t>(slot)] = t.seconds();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace dinfomap::util

@@ -1,0 +1,96 @@
+// Deterministic intra-rank thread parallelism for the O(V+E) hot loops.
+//
+// A ThreadPool owns `num_threads - 1` persistent workers (the calling thread
+// always executes slot 0), dispatched with *static* slot assignment: every
+// invocation runs exactly one task per slot, and parallel_for cuts [0, n)
+// into `num_threads` contiguous chunks, chunk s on slot s. Static chunking is
+// what makes thread-level parallelism composable with this codebase's
+// bit-reproducibility contract: a chunked computation whose per-slot outputs
+// are merged in slot order replays the exact serial iteration (and hence
+// floating-point accumulation) order, for any thread count.
+//
+// The pool is rank-local — with ranks-as-threads (comm::Runtime), a p-rank
+// run with t threads per rank holds p pools of t-1 workers each. Workers are
+// reused across rounds and levels; one dispatch costs two mutex handoffs,
+// which is noise against the O(V/p + E/p) chunks it carries.
+//
+// Exceptions thrown inside a slot are captured and rethrown on the calling
+// thread (lowest slot wins) after all slots finish. Nested use from inside a
+// running slot is detected and degrades to inline serial execution of all
+// slots on the calling thread — same results, no deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dinfomap::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; `num_threads <= 1` means no workers
+  /// (every run_slots call executes inline on the caller).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  /// Invoke `fn(slot)` once per slot in [0, num_threads). The caller runs
+  /// slot 0; workers run the rest concurrently. Returns after every slot
+  /// finished; the first (lowest-slot) captured exception is rethrown.
+  void run_slots(const std::function<void(int)>& fn);
+
+  /// Static-chunk loop: `fn(slot, begin, end)` with [begin, end) the slot's
+  /// contiguous chunk of [0, n). Empty chunks (n < num_threads) are skipped.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    const auto t = static_cast<std::size_t>(num_threads_);
+    run_slots([&](int slot) {
+      const auto s = static_cast<std::size_t>(slot);
+      const std::size_t begin = n * s / t;
+      const std::size_t end = n * (s + 1) / t;
+      if (begin < end) fn(slot, begin, end);
+    });
+  }
+
+  /// Wall seconds each slot spent in the most recent run_slots invocation
+  /// (imbalance diagnostics for the flight recorder).
+  [[nodiscard]] const std::vector<double>& last_slot_seconds() const {
+    return slot_seconds_;
+  }
+
+  /// Cumulative run_slots invocations (each dispatches num_threads tasks).
+  [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
+
+ private:
+  void worker_loop(int slot);
+  void run_inline(const std::function<void(int)>& fn);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per dispatch, under mutex_
+  int pending_ = 0;               ///< workers still running the current job
+  bool stop_ = false;
+
+  /// Nested-use guard: set while a dispatch is in flight so a slot that
+  /// re-enters the pool runs inline instead of deadlocking on its own job.
+  std::atomic<bool> active_{false};
+
+  std::vector<std::exception_ptr> errors_;  ///< per slot
+  std::vector<double> slot_seconds_;        ///< per slot, last dispatch
+  std::uint64_t dispatches_ = 0;
+};
+
+}  // namespace dinfomap::util
