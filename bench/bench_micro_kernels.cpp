@@ -100,6 +100,8 @@ double gather_unordered_fresh(const core::FlowGraph& fg,
       flow_to[mods[nb.target]] += nb.weight;
       if ((nb.target & 3) == 0) boundary[mods[nb.target]] = true;
     }
+    // dlint:allow(float-accum-order): anti-DCE checksum replicating the
+    // pre-flat-accumulator kernel; its value is never compared bitwise.
     for (const auto& [m, f] : flow_to) checksum += f + (boundary.count(m) ? 1 : 0);
   }
   return checksum;
@@ -117,6 +119,8 @@ double gather_unordered_reused(const core::FlowGraph& fg,
       flow_to[mods[nb.target]] += nb.weight;
       if ((nb.target & 3) == 0) boundary[mods[nb.target]] = true;
     }
+    // dlint:allow(float-accum-order): anti-DCE checksum replicating the
+    // pre-flat-accumulator kernel; its value is never compared bitwise.
     for (const auto& [m, f] : flow_to) checksum += f + (boundary.count(m) ? 1 : 0);
   }
   return checksum;

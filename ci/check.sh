@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# ci/check.sh — the pre-merge gate (ROADMAP.md, DESIGN.md §11).
+#
+#   ci/check.sh quick   # warnings-as-errors build, dlint, clang-tidy*, tier-1 ctest
+#   ci/check.sh full    # quick + ASan+UBSan full suite + TSan threaded suites
+#
+# *clang-tidy and -Wthread-safety need clang; on gcc-only machines those legs
+#  degrade to a logged skip rather than a failure, so the script runs
+#  everywhere the toolchain does.
+#
+# Every leg builds into its own directory under build-ci/ so a plain dev
+# build/ is never clobbered. Exit is non-zero on the first failing leg.
+set -euo pipefail
+
+mode="${1:-quick}"
+case "$mode" in
+  quick|full) ;;
+  *) echo "usage: $0 [quick|full]" >&2; exit 2 ;;
+esac
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+ci_root="${root}/build-ci"
+mkdir -p "$ci_root"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+configure_build() {
+  # configure_build <dir> <cmake-args...>
+  local dir="$1"; shift
+  cmake -S "$root" -B "$dir" "$@" >"$dir.configure.log" 2>&1 \
+    || { tail -40 "$dir.configure.log"; return 1; }
+  cmake --build "$dir" -j "$jobs" >"$dir.build.log" 2>&1 \
+    || { tail -60 "$dir.build.log"; return 1; }
+}
+
+# --- Leg 1: warnings-as-errors build (gcc or clang; clang adds
+# -Wthread-safety through the dinfomap_warnings target). ------------------
+step "werror build (-Wall -Wextra -Wpedantic -Wshadow as errors)"
+werror_dir="$ci_root/werror"
+mkdir -p "$werror_dir"
+configure_build "$werror_dir" -DCMAKE_BUILD_TYPE=Release -DDINFOMAP_WERROR=ON
+
+# --- Leg 2: dlint over everything we ship. -------------------------------
+step "dlint (determinism & concurrency rules)"
+"$werror_dir/tools/dlint/dlint" --root "$root" src tests bench examples
+
+# --- Leg 3: clang-tidy when available (the CMake target self-skips). -----
+step "clang-tidy (bugprone-*, concurrency-*, performance-*)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build "$werror_dir" --target tidy
+else
+  echo "clang-tidy not installed here; leg skipped (runs on clang CI hosts)"
+fi
+
+# --- Leg 4: tier-1 tests on the werror build. ----------------------------
+step "tier-1 ctest"
+ctest --test-dir "$werror_dir" --output-on-failure -j "$jobs"
+
+if [ "$mode" = "quick" ]; then
+  step "quick gate passed"
+  exit 0
+fi
+
+# --- Leg 5 (full): ASan+UBSan over the whole suite. ----------------------
+# -fno-sanitize-recover is wired in CMake, so any UBSan hit is a hard fail.
+step "ASan+UBSan full suite"
+asan_dir="$ci_root/asan-ubsan"
+mkdir -p "$asan_dir"
+configure_build "$asan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDINFOMAP_SANITIZE=address,undefined
+ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs"
+
+# --- Leg 6 (full): TSan on the concurrency suites. -----------------------
+# Scope: the comm substrate and thread-pool tests. RelaxMap is excluded by
+# repo convention — its module reads are racy by design (published
+# consistency model; see the SharedLevel comment in src/core/relaxmap.cpp).
+step "TSan (comm-faults + threads suites, RelaxMap excluded)"
+tsan_dir="$ci_root/tsan"
+mkdir -p "$tsan_dir"
+configure_build "$tsan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDINFOMAP_SANITIZE=thread
+ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
+  -L 'comm-faults|threads' -E RelaxMap
+
+step "full gate passed"

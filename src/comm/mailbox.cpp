@@ -12,7 +12,7 @@ bool matches(const Message& m, int source, int tag) {
 
 void Mailbox::deliver(Message message) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (poisoned_) throw CommAborted("deliver to poisoned mailbox");
     queue_.push_back(std::move(message));
     ++delivered_;
@@ -22,7 +22,7 @@ void Mailbox::deliver(Message message) {
 }
 
 Message Mailbox::recv(int source, int tag) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
     auto it = std::find_if(queue_.begin(), queue_.end(),
@@ -32,7 +32,7 @@ Message Mailbox::recv(int source, int tag) {
       queue_.erase(it);
       return out;
     }
-    cv_.wait(lock);
+    lock.wait(cv_);
   }
 }
 
@@ -40,7 +40,7 @@ std::optional<Message> Mailbox::try_recv_for(int source, int tag,
                                              std::chrono::microseconds timeout,
                                              bool by_min_seq) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
     auto best = queue_.end();
@@ -55,7 +55,7 @@ std::optional<Message> Mailbox::try_recv_for(int source, int tag,
       queue_.erase(best);
       return out;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (lock.wait_until(cv_, deadline) == std::cv_status::timeout) {
       if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
       return std::nullopt;
     }
@@ -63,31 +63,31 @@ std::optional<Message> Mailbox::try_recv_for(int source, int tag,
 }
 
 bool Mailbox::probe(int source, int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(),
                      [&](const Message& m) { return matches(m, source, tag); });
 }
 
 void Mailbox::poison() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     poisoned_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t Mailbox::pending() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t Mailbox::depth_high_water() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return depth_high_water_;
 }
 
 std::uint64_t Mailbox::delivered() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return delivered_;
 }
 

@@ -6,11 +6,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
 #include "comm/message.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dinfomap::comm {
 
@@ -26,11 +27,11 @@ class CommAborted : public std::runtime_error {
 class Mailbox {
  public:
   /// Enqueue (called by the sender's thread). Throws CommAborted if poisoned.
-  void deliver(Message message);
+  void deliver(Message message) DI_EXCLUDES(mutex_);
 
   /// Block until a message matching (source|kAnySource, tag) arrives; remove
   /// and return it. Throws CommAborted if the runtime is shutting down.
-  Message recv(int source, int tag);
+  Message recv(int source, int tag) DI_EXCLUDES(mutex_);
 
   /// Timed variant for the recovery layer: wait up to `timeout` for a match,
   /// returning nullopt on expiry so the caller can request a retransmit. With
@@ -39,30 +40,30 @@ class Mailbox {
   /// reorders deliveries. Throws CommAborted if poisoned.
   std::optional<Message> try_recv_for(int source, int tag,
                                       std::chrono::microseconds timeout,
-                                      bool by_min_seq);
+                                      bool by_min_seq) DI_EXCLUDES(mutex_);
 
   /// Non-blocking probe: true if a matching message is queued.
-  bool probe(int source, int tag);
+  bool probe(int source, int tag) DI_EXCLUDES(mutex_);
 
   /// Wake all blocked receivers with CommAborted; subsequent deliver/recv throw.
-  void poison();
+  void poison() DI_EXCLUDES(mutex_);
 
   /// Number of queued (undelivered) messages — used by shutdown diagnostics.
-  std::size_t pending() ;
+  std::size_t pending() DI_EXCLUDES(mutex_);
 
   /// Largest queue depth ever observed (flight-recorder backlog signal: a
   /// rank whose inbox grows deep is the straggler its peers wait on).
-  std::size_t depth_high_water();
+  std::size_t depth_high_water() DI_EXCLUDES(mutex_);
   /// Total messages ever delivered into this mailbox.
-  std::uint64_t delivered();
+  std::uint64_t delivered() DI_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
+  util::Mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool poisoned_ = false;
-  std::size_t depth_high_water_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::deque<Message> queue_ DI_GUARDED_BY(mutex_);
+  bool poisoned_ DI_GUARDED_BY(mutex_) = false;
+  std::size_t depth_high_water_ DI_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_ DI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dinfomap::comm

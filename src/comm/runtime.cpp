@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "util/check.hpp"
@@ -96,7 +95,7 @@ void Runtime::deliver(int src, int dest, int tag,
   if (src == plan.stall_rank && nsent >= plan.stall_after_sends) {
     {
       Channel& ch = channel(src, dest);
-      std::lock_guard<std::mutex> lock(ch.mutex);
+      util::MutexLock lock(ch.mutex);
       ch.injected.stalls += 1;
     }
     stall_forever(src);  // throws CommAborted once the watchdog pulls the cord
@@ -108,7 +107,7 @@ void Runtime::deliver(int src, int dest, int tag,
   std::vector<Message> out;
   {
     Channel& ch = channel(src, dest);
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    util::MutexLock lock(ch.mutex);
     m.seq = ch.next_seq++;
     m.checksum =
         frame_checksum(src, tag, m.seq, m.payload.data(), m.payload.size());
@@ -177,7 +176,7 @@ Runtime::Retransmit Runtime::request_retransmit(
     Message copy;
     bool found = false;
     {
-      std::lock_guard<std::mutex> lock(ch.mutex);
+      util::MutexLock lock(ch.mutex);
       evicted = evicted || ch.evicted;
       const auto& seen = consumed[static_cast<std::size_t>(s)];
       // Lowest unconsumed seq first: redelivery preserves sender order.
@@ -202,7 +201,7 @@ std::uint64_t Runtime::oldest_unconsumed(
     const std::unordered_set<std::uint64_t>& consumed) {
   Channel& ch = channel(src, dst);
   std::uint64_t oldest = ~std::uint64_t{0};
-  std::lock_guard<std::mutex> lock(ch.mutex);
+  util::MutexLock lock(ch.mutex);
   for (const Message& f : ch.log)
     if (f.tag == tag && consumed.count(f.seq) == 0 && f.seq < oldest)
       oldest = f.seq;
@@ -214,7 +213,7 @@ bool Runtime::request_retransmit_seq(int src, int dst, std::uint64_t seq) {
   Message copy;
   bool found = false;
   {
-    std::lock_guard<std::mutex> lock(ch.mutex);
+    util::MutexLock lock(ch.mutex);
     for (const Message& f : ch.log) {
       if (f.seq == seq) {
         copy = f;
@@ -243,7 +242,7 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
   JobReport report;
   report.counters.resize(nranks);
 
-  std::mutex failure_mutex;
+  util::Mutex failure_mutex;
   std::exception_ptr first_failure;     // first non-abort root cause
   std::exception_ptr first_abort;       // a rank's own failure *was* CommAborted
   std::exception_ptr watchdog_failure;  // stalled-rank verdict
@@ -265,13 +264,13 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
         // if this CommAborted came from user code rather than a poisoned
         // mailbox, nobody else will unblock the peers.
         {
-          std::lock_guard<std::mutex> lock(failure_mutex);
+          util::MutexLock lock(failure_mutex);
           if (!first_abort) first_abort = std::current_exception();
         }
         runtime.abort();
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(failure_mutex);
+          util::MutexLock lock(failure_mutex);
           if (!first_failure) first_failure = std::current_exception();
         }
         LOG_WARN << "rank " << r << " failed; aborting job";
@@ -338,7 +337,7 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
           }
         }
         {
-          std::lock_guard<std::mutex> lock(failure_mutex);
+          util::MutexLock lock(failure_mutex);
           if (!watchdog_failure)
             watchdog_failure = std::make_exception_ptr(CommFault(
                 "watchdog: rank " + std::to_string(convicted) +
@@ -369,10 +368,14 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
   report.faults_injected.assign(static_cast<std::size_t>(nranks),
                                 FaultCounters{});
   if (runtime.faults_enabled_) {
+    // Every rank thread has joined, but the lane counters are lock-protected
+    // state and the analysis (rightly) has no concept of "quiescent now".
     for (int s = 0; s < nranks; ++s)
-      for (int d = 0; d < nranks; ++d)
-        report.faults_injected[static_cast<std::size_t>(s)] +=
-            runtime.channel(s, d).injected;
+      for (int d = 0; d < nranks; ++d) {
+        Channel& ch = runtime.channel(s, d);
+        util::MutexLock lock(ch.mutex);
+        report.faults_injected[static_cast<std::size_t>(s)] += ch.injected;
+      }
   }
   report.aborted = runtime.aborted() || first_abort != nullptr;
 

@@ -15,7 +15,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -23,6 +22,8 @@
 #include "comm/counters.hpp"
 #include "comm/fault.hpp"
 #include "comm/mailbox.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dinfomap::comm {
 
@@ -140,15 +141,18 @@ class Runtime {
   Runtime(int nranks, const Options& options);
 
   /// One src→dst lane: frame sequencing, the bounded pristine send log, the
-  /// reorder hold slot, and injected-fault tallies.
+  /// reorder hold slot, and injected-fault tallies. Everything a lane holds
+  /// is touched by both the sender's thread and receivers pulling
+  /// retransmits, so every field is guarded by the lane mutex.
   struct Channel {
-    std::mutex mutex;
-    std::uint64_t next_seq = 0;
-    std::deque<Message> log;
-    bool evicted = false;  ///< sticky: history has been lost at least once
-    bool holding = false;
-    Message held;
-    FaultCounters injected;
+    util::Mutex mutex;
+    std::uint64_t next_seq DI_GUARDED_BY(mutex) = 0;
+    std::deque<Message> log DI_GUARDED_BY(mutex);
+    /// Sticky: history has been lost at least once.
+    bool evicted DI_GUARDED_BY(mutex) = false;
+    bool holding DI_GUARDED_BY(mutex) = false;
+    Message held DI_GUARDED_BY(mutex);
+    FaultCounters injected DI_GUARDED_BY(mutex);
   };
 
   struct RankState {
@@ -164,7 +168,7 @@ class Runtime {
   }
   /// Freeze this thread until the job aborts, then throw CommAborted.
   [[noreturn]] void stall_forever(int rank);
-  void push_log(Channel& ch, const Message& m);
+  void push_log(Channel& ch, const Message& m) DI_REQUIRES(ch.mutex);
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Channel>> channels_;  ///< empty unless faults

@@ -8,6 +8,7 @@
 #include "core/mapequation.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sorted.hpp"
 #include "util/sparse_accumulator.hpp"
 
 namespace dinfomap::core {
@@ -321,7 +322,9 @@ double directed_codelength(const DiCsr& graph,
   }
   CodelengthTerms terms;
   for (double p : visit_rate) terms.node_term += plogp(p);
-  for (const auto& [id, m] : mods) {
+  // Sorted module order: this FP reduction must not depend on hash layout.
+  for (const VertexId id : util::sorted_keys(mods)) {
+    const ModuleStats& m = mods.at(id);
     terms.q_total += m.exit_pr;
     terms.sum_plogp_q += plogp(m.exit_pr);
     terms.sum_plogp_q_plus_p += plogp(m.exit_pr + m.sum_pr);

@@ -8,6 +8,7 @@
 #include "core/dist_internal.hpp"
 #include "partition/metrics.hpp"
 #include "util/check.hpp"
+#include "util/sorted.hpp"
 
 namespace dinfomap::core::detail {
 
@@ -450,7 +451,10 @@ std::uint64_t DistRank::broadcast_delegates_exact() {
   }
 
   std::vector<HubProposal> decisions;
-  for (auto& [hub, flows] : hub_flows) {
+  // Sorted hub order keeps the decision stream (and the allgathered payload
+  // layout) independent of hash layout.
+  for (const VertexId hub : util::sorted_keys(hub_flows)) {
+    auto& flows = hub_flows.at(hub);
     DINFOMAP_REQUIRE_MSG(owner_of(hub) == r, "hub flows sent to wrong owner");
     auto it = index_.find(hub);
     DINFOMAP_REQUIRE_MSG(it != index_.end(), "owner does not hold its hub");
@@ -463,6 +467,9 @@ std::uint64_t DistRank::broadcast_delegates_exact() {
 
     double best_delta = -cfg_.move_epsilon;
     ModuleId best_target = cur;
+    // dlint:allow(unordered-iter): candidate scan is order-insensitive — the
+    // min-label tie-break inside the epsilon band picks the same winner for
+    // any iteration order (ICPP'18 §3.4 anti-bouncing argument).
     for (const auto& [mod, cand] : flows) {
       if (mod == cur) continue;
       ModuleStats stats;

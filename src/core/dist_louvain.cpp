@@ -1,6 +1,5 @@
 #include "core/dist_louvain.hpp"
 
-#include <mutex>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,7 +9,9 @@
 #include "core/flowgraph.hpp"
 #include "quality/metrics.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/random.hpp"
+#include "util/sorted.hpp"
 #include "util/timer.hpp"
 
 namespace dinfomap::core {
@@ -62,7 +63,7 @@ class LouvainRank {
         if (ghosts.insert(nb.target).second) wanted[owner].push_back(nb.target);
       }
     }
-    for (VertexId g : ghosts) community_[g] = g;
+    for (VertexId g : util::sorted_elems(ghosts)) community_[g] = g;
     auto requests = comm_.alltoallv(wanted);
     for (int src = 0; src < p; ++src)
       for (VertexId v : requests[src]) subscribers_[v].push_back(src);
@@ -93,6 +94,9 @@ class LouvainRank {
         const double base = f_old - p_u * (sigma_cur - p_u);
         double best_gain = cfg_.min_gain;
         VertexId best = cur;
+        // dlint:allow(unordered-iter): candidate scan is order-insensitive
+        // — the min-label tie-break inside the epsilon band picks the same
+        // winner for any iteration order (anti-bouncing argument, §3.4).
         for (const auto& [c, f] : flow_to) {
           if (c == cur) continue;
           // Anti-swap: on even rounds only label-decreasing remote moves
@@ -144,11 +148,15 @@ class LouvainRank {
     std::unordered_map<VertexId, double> partial;
     for (VertexId u : owned_) partial[community_.at(u)] += fg_.node_flow[u];
     // Declarations for every referenced community.
+    // dlint:allow(unordered-iter): keys-only pass feeding try_emplace into
+    // another map — no FP reduction, no ordering escapes this statement.
     for (const auto& [v, c] : community_) partial.try_emplace(c, 0.0);
 
+    // Sorted community order: the wire layout (and the home rank's FP
+    // accumulation order over it) must not depend on hash layout.
     std::vector<std::vector<MassPartial>> to_home(p);
-    for (const auto& [c, sigma] : partial)
-      to_home[c % static_cast<VertexId>(p)].push_back({c, sigma});
+    for (const VertexId c : util::sorted_keys(partial))
+      to_home[c % static_cast<VertexId>(p)].push_back({c, partial.at(c)});
     auto partials_in = comm_.alltoallv(to_home);
 
     std::unordered_map<VertexId, double> homed;
@@ -160,8 +168,8 @@ class LouvainRank {
       }
     }
     std::vector<std::vector<MassTotal>> reply(p);
-    for (const auto& [c, sigma] : homed)
-      for (int dest : interest.at(c)) reply[dest].push_back({c, sigma});
+    for (const VertexId c : util::sorted_keys(homed))
+      for (int dest : interest.at(c)) reply[dest].push_back({c, homed.at(c)});
     auto totals_in = comm_.alltoallv(reply);
     sigma_.clear();
     for (const auto& batch : totals_in)
@@ -194,7 +202,7 @@ DistLouvainResult distributed_louvain(const graph::Csr& graph,
 
   for (int lv = 0; lv < config.max_levels; ++lv) {
     std::vector<VertexId> labels(level.num_vertices());
-    std::mutex sink_mutex;
+    util::Mutex sink_mutex;
     int level_rounds = 0;
 
     auto report = comm::Runtime::run(config.num_ranks, [&](comm::Comm& comm) {
@@ -209,7 +217,7 @@ DistLouvainResult distributed_louvain(const graph::Csr& graph,
       for (VertexId v : rank.owned()) mine.push_back({v, rank.community_of(v)});
       auto gathered =
           comm.gatherv(0, mine);
-      std::lock_guard<std::mutex> lock(sink_mutex);
+      util::MutexLock lock(sink_mutex);
       result.work_per_rank[comm.rank()] += rank.work();
       level_rounds = std::max(level_rounds, rank.rounds());
       if (comm.rank() == 0) {

@@ -1,7 +1,6 @@
 #include "core/labelflow.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
@@ -11,7 +10,9 @@
 #include "core/flowgraph.hpp"
 #include "core/seq_infomap.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 #include "util/random.hpp"
+#include "util/sorted.hpp"
 #include "util/timer.hpp"
 
 namespace dinfomap::core {
@@ -62,7 +63,8 @@ class LpaRank {
         if (seen.insert(nb.target).second) wanted[owner].push_back(nb.target);
       }
     }
-    for (VertexId v : seen) labels_[v] = v;  // ghost labels start as singleton
+    // Ghost labels start as singleton.
+    for (VertexId v : util::sorted_elems(seen)) labels_[v] = v;
     auto requests = comm_.alltoallv(wanted);
     subscribers_.assign(p, {});
     for (int src = 0; src < p; ++src)
@@ -92,6 +94,8 @@ class LpaRank {
         // ties cascade one label across bridges and collapse the clustering.
         const VertexId current = labels_.at(u);
         double best_w = 0;
+        // dlint:allow(unordered-iter): FP max is order-insensitive (no
+        // accumulation), and every candidate is visited exactly once.
         for (const auto& [lbl, w] : weight_to) {
           ++work_.delta_evals;
           if (w > best_w) best_w = w;
@@ -101,6 +105,8 @@ class LpaRank {
         const double cur_w = cur_it != weight_to.end() ? cur_it->second : 0.0;
         if (cur_w < best_w - 1e-15) {
           std::vector<VertexId> winners;
+          // dlint:allow(unordered-iter): winners are sorted below before the
+          // seeded pick, so collection order cannot escape.
           for (const auto& [lbl, w] : weight_to)
             if (w > best_w - 1e-15) winners.push_back(lbl);
           std::sort(winners.begin(), winners.end());
@@ -159,7 +165,7 @@ LabelFlowResult distributed_labelflow(const graph::Csr& graph, int num_ranks,
 
   for (int lv = 0; lv < config.max_levels; ++lv) {
     std::vector<VertexId> final_labels(level.num_vertices());
-    std::mutex sink_mutex;
+    util::Mutex sink_mutex;
     int level_rounds = 0;
 
     auto report = comm::Runtime::run(num_ranks, [&](comm::Comm& comm) {
@@ -174,7 +180,7 @@ LabelFlowResult distributed_labelflow(const graph::Csr& graph, int num_ranks,
       for (VertexId v : rank.owned()) mine.push_back({v, rank.label_of(v)});
       auto gathered = comm.gatherv_bytes(
           0, std::as_bytes(std::span<const LabelUpdate>(mine)));
-      std::lock_guard<std::mutex> lock(sink_mutex);
+      util::MutexLock lock(sink_mutex);
       result.work_per_rank[comm.rank()] += rank.work();
       level_rounds = std::max(level_rounds, rank.rounds());
       if (comm.rank() == 0) {

@@ -9,6 +9,7 @@
 #include "graph/builder.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sorted.hpp"
 #include "util/sparse_accumulator.hpp"
 #include "util/thread_pool.hpp"
 
@@ -359,7 +360,10 @@ InfomapResult sequential_infomap(const graph::Csr& graph,
       sub_cfg.coarse_tune = false;
       // Submodule problems are tiny; per-subcall pools would be all churn.
       sub_cfg.num_threads = 1;
-      for (const auto& [mod, verts] : members) {
+      // Sorted module order: submodule labels (and the downstream contraction)
+      // must not depend on hash layout.
+      for (const VertexId mod : util::sorted_keys(members)) {
+        const std::vector<VertexId>& verts = members.at(mod);
         if (verts.size() <= 2) {
           for (VertexId v : verts) sub[v] = next_label;
           ++next_label;
@@ -500,7 +504,9 @@ double codelength_of_partition(const FlowGraph& fg,
   }
   CodelengthTerms terms;
   terms.node_term = fg.node_term;
-  for (const auto& [id, m] : mods) {
+  // Sorted module order: this FP reduction must not depend on hash layout.
+  for (const VertexId id : util::sorted_keys(mods)) {
+    const ModuleStats& m = mods.at(id);
     terms.q_total += m.exit_pr;
     terms.sum_plogp_q += plogp(m.exit_pr);
     terms.sum_plogp_q_plus_p += plogp(m.exit_pr + m.sum_pr);

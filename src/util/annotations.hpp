@@ -1,0 +1,60 @@
+// Clang thread-safety annotation macros (DESIGN.md §11).
+//
+// The project's concurrency rules — which mutex guards which member, which
+// functions must (or must not) be called with a lock held — are encoded with
+// these macros so `clang -Wthread-safety` checks them statically. Under any
+// other compiler they expand to nothing; the annotated code stays portable.
+//
+// Conventions:
+//  - Every lock-protected member carries DI_GUARDED_BY(its_mutex).
+//  - Locks are taken through scoped guards (util::MutexLock, or a local
+//    DI_SCOPED_CAPABILITY type); bare .lock()/.unlock() pairs are banned by
+//    the dlint `raw-mutex-lock` rule, not just by convention.
+//  - Public methods that take a lock internally carry DI_EXCLUDES(mutex) so
+//    re-entrant misuse is a compile error under clang.
+//  - DI_NO_THREAD_SAFETY_ANALYSIS is reserved for by-design racy reads
+//    (RelaxMap's consistency model) and each use must carry a comment
+//    justifying it.
+#pragma once
+
+#if defined(__clang__)
+#define DI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DI_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex or spinlock).
+#define DI_CAPABILITY(x) DI_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define DI_SCOPED_CAPABILITY DI_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member is only read/written with the named capability held.
+#define DI_GUARDED_BY(x) DI_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define DI_PT_GUARDED_BY(x) DI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability (function does not acquire it).
+#define DI_REQUIRES(...) DI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define DI_ACQUIRE(...) DI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability held on entry.
+#define DI_RELEASE(...) DI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when returning the given value.
+#define DI_TRY_ACQUIRE(...) \
+  DI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (function acquires it internally).
+#define DI_EXCLUDES(...) DI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define DI_RETURN_CAPABILITY(x) DI_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: suppress analysis for one function. Reserved for by-design
+/// data races; every use needs a justifying comment.
+#define DI_NO_THREAD_SAFETY_ANALYSIS \
+  DI_THREAD_ANNOTATION(no_thread_safety_analysis)

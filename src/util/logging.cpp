@@ -3,15 +3,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dinfomap::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;           // guards stderr interleaving and the sink
-LogSink g_sink;               // under g_mutex
+Mutex g_mutex;  // serializes stderr interleaving and guards the sink
+LogSink g_sink DI_GUARDED_BY(g_mutex);
 thread_local int t_rank = -1;
 
 const char* tag(LogLevel level) {
@@ -37,7 +39,7 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   g_sink = std::move(sink);
 }
 
@@ -47,7 +49,7 @@ int thread_rank() { return t_rank; }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (g_sink) {
     g_sink(level, message);
     return;

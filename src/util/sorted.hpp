@@ -1,0 +1,40 @@
+// Deterministic iteration over unordered containers (DESIGN.md §11).
+//
+// Iterating a std::unordered_{map,set} in hash order is the project's most
+// common nondeterminism source: the order is stable for one binary but not
+// across standard libraries, and any floating-point reduction or message
+// layout it feeds silently loses the bit-reproducibility contract. The dlint
+// `unordered-iter` rule bans such loops in order-sensitive directories;
+// these helpers are the sanctioned fix — materialize the keys, sort, then
+// index back into the container.
+//
+// Cost: one O(n log n) sort per loop. Use on per-round / per-level
+// aggregation paths; per-vertex hot loops should use util::SparseAccumulator
+// (insertion-ordered) instead.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace dinfomap::util {
+
+/// Keys of a map-like container, ascending. `for (auto k : sorted_keys(m))`
+/// replaces `for (auto& [k, v] : m)` where the body re-reads `m.at(k)`.
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& item : map) keys.push_back(item.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Elements of a set-like container, ascending.
+template <typename Set>
+[[nodiscard]] std::vector<typename Set::key_type> sorted_elems(const Set& set) {
+  std::vector<typename Set::key_type> elems(set.begin(), set.end());
+  std::sort(elems.begin(), elems.end());
+  return elems;
+}
+
+}  // namespace dinfomap::util

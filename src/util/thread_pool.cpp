@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -49,7 +49,7 @@ void ThreadPool::run_slots(const std::function<void(int)>& fn) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     pending_ = num_threads_ - 1;
     std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
@@ -68,8 +68,9 @@ void ThreadPool::run_slots(const std::function<void(int)>& fn) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    lock.wait(done_cv_,
+              [this]() DI_REQUIRES(mutex_) { return pending_ == 0; });
     job_ = nullptr;
   }
   active_.store(false, std::memory_order_release);
@@ -83,8 +84,10 @@ void ThreadPool::worker_loop(int slot) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      lock.wait(start_cv_, [&]() DI_REQUIRES(mutex_) {
+        return stop_ || generation_ != seen;
+      });
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -97,7 +100,7 @@ void ThreadPool::worker_loop(int slot) {
     }
     slot_seconds_[static_cast<std::size_t>(slot)] = t.seconds();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --pending_;
     }
     done_cv_.notify_one();

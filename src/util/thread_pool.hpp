@@ -25,9 +25,11 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dinfomap::util {
 
@@ -76,18 +78,23 @@ class ThreadPool {
   int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  util::Mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;  ///< bumped per dispatch, under mutex_
-  int pending_ = 0;               ///< workers still running the current job
-  bool stop_ = false;
+  const std::function<void(int)>* job_ DI_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ DI_GUARDED_BY(mutex_) = 0;  ///< bumped per dispatch
+  /// Workers still running the current job.
+  int pending_ DI_GUARDED_BY(mutex_) = 0;
+  bool stop_ DI_GUARDED_BY(mutex_) = false;
 
   /// Nested-use guard: set while a dispatch is in flight so a slot that
   /// re-enters the pool runs inline instead of deadlocking on its own job.
   std::atomic<bool> active_{false};
 
+  /// Per-slot outputs, intentionally outside mutex_: each slot writes only
+  /// its own element, and the dispatch handshake (generation bump →
+  /// pending_ drain, both under mutex_) orders those writes against the
+  /// caller's reads.
   std::vector<std::exception_ptr> errors_;  ///< per slot
   std::vector<double> slot_seconds_;        ///< per slot, last dispatch
   std::uint64_t dispatches_ = 0;

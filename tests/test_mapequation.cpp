@@ -13,6 +13,7 @@
 #include "graph/gen/generators.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
+#include "util/sorted.hpp"
 
 namespace dc = dinfomap::core;
 namespace dg = dinfomap::graph;
@@ -134,7 +135,10 @@ TEST_P(DeltaConsistency, IncrementalMatchesRecompute) {
       for (const auto& nb : fg.csr.neighbors(v))
         if (mods[nb.target] != mods[v]) s.exit_pr += nb.weight;
     }
-    for (const auto& [id, s] : stats) d.q_total += s.exit_pr;
+    // Sorted so the reference q_total is reduced in a fixed order — the
+    // incremental path it is compared against is order-stable too.
+    for (const dg::VertexId id : dinfomap::util::sorted_keys(stats))
+      d.q_total += stats.at(id).exit_pr;
     d.old_stats = stats.at(cur);
     d.new_stats = stats.at(target);
 

@@ -1,0 +1,621 @@
+// dlint — determinism & concurrency lint for the dinfomap tree (DESIGN.md §11).
+//
+// A single-binary, token/regex-level checker for the nondeterminism and
+// locking mistakes PRs 1–4 each had to hunt down by hand. No libclang: every
+// rule works on comment- and string-stripped source text, so it runs in
+// milliseconds over the whole tree and gates CI (ci/check.sh, `ctest -L lint`).
+//
+// Rules (each named, each suppressible per-line):
+//   unordered-iter    range-for / iterator loop over std::unordered_{map,set}
+//                     in order-sensitive dirs (src/core, src/comm,
+//                     src/quality). Hash order is stable per binary but not
+//                     across standard libraries; anything it feeds — FP
+//                     reductions, message layouts, label assignment — silently
+//                     breaks the bit-reproducibility contract. Fix with
+//                     util::sorted_keys / util::sorted_elems, or justify.
+//   raw-rng           rand()/srand()/std::random_device/std::mt19937 outside
+//                     src/util/random.* — all randomness must flow from the
+//                     seeded util::Xoshiro256 / derive_seed plumbing.
+//   wall-clock        time()/std::chrono::system_clock outside src/util/timer.hpp
+//                     and src/obs — wall time in algorithm code is a hidden
+//                     input; steady_clock via util::Timer is fine.
+//   raw-mutex-lock    manual .lock()/.unlock() member calls — use a scoped
+//                     guard (util::MutexLock, std::lock_guard); a throw
+//                     between the pair leaks the lock.
+//   float-accum-order `+=` inside a loop iterating an unordered container
+//                     (any dir) — the classic hash-order FP reduction.
+//
+// Suppression: `// dlint:allow(<rule>): <why>` on the flagged line, or in a
+// comment block immediately above it. The "why" is mandatory by convention
+// (reviewed, not parsed).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  bool json = false;
+  bool list_rules = false;
+  std::string root;
+  std::vector<std::string> order_dirs = {"src/core", "src/comm", "src/quality"};
+  std::vector<std::string> paths;
+};
+
+const char* kRuleCatalog[][2] = {
+    {"unordered-iter",
+     "hash-order iteration over std::unordered_{map,set} in order-sensitive "
+     "dirs"},
+    {"raw-rng", "raw RNG outside src/util/random.*"},
+    {"wall-clock", "wall-clock time outside src/util/timer.hpp and src/obs"},
+    {"raw-mutex-lock", "manual .lock()/.unlock() instead of a scoped guard"},
+    {"float-accum-order", "`+=` accumulation inside an unordered-container loop"},
+};
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool path_contains_dir(const std::string& path, const std::string& dir) {
+  const std::string needle = dir.back() == '/' ? dir : dir + "/";
+  if (path.find("/" + needle) != std::string::npos) return true;
+  return path.rfind(needle, 0) == 0;  // relative path starting with the dir
+}
+
+/// Blank out comments, string literals, and char literals, preserving line
+/// structure (every stripped char becomes a space). Rules then cannot fire on
+/// text inside comments or strings; allow-markers are read from raw lines.
+std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
+  std::vector<std::string> out(lines.size());
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& in = lines[li];
+    std::string& res = out[li];
+    res.assign(in.size(), ' ');
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const char c = in[i];
+      switch (state) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+            i = in.size();  // rest of line is a comment
+          } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && i + 1 < in.size() && in[i + 1] == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     in[i - 1])) &&
+                                 in[i - 1] != '_'))) {
+            const auto paren = in.find('(', i + 2);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + in.substr(i + 2, paren - (i + 2)) + "\"";
+              state = State::kRawString;
+              res[i] = 'R';
+              i = paren;
+            } else {
+              res[i] = c;  // malformed; treat as code
+            }
+          } else if (c == '"') {
+            state = State::kString;
+          } else if (c == '\'') {
+            state = State::kChar;
+          } else {
+            res[i] = c;
+          }
+          break;
+        }
+        case State::kBlockComment:
+          if (c == '*' && i + 1 < in.size() && in[i + 1] == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+          }
+          break;
+        case State::kRawString: {
+          const auto end = in.find(raw_delim, i);
+          if (end != std::string::npos) {
+            i = end + raw_delim.size() - 1;
+            state = State::kCode;
+          } else {
+            i = in.size();
+          }
+          break;
+        }
+      }
+    }
+    // Line-based states that cannot span lines.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+  }
+  return out;
+}
+
+bool is_blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c); });
+}
+
+/// Per-line allowed rules: a `dlint:allow(rule)` marker suppresses findings on
+/// its own line; markers on pure-comment lines roll forward onto the next
+/// line that carries code.
+std::vector<std::vector<std::string>> collect_allows(
+    const std::vector<std::string>& raw, const std::vector<std::string>& code) {
+  static const std::regex allow_re(R"(dlint:allow\(([a-z-]+)\))");
+  std::vector<std::vector<std::string>> allows(raw.size());
+  std::vector<std::string> pending;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::vector<std::string> here;
+    for (std::sregex_iterator it(raw[i].begin(), raw[i].end(), allow_re), end;
+         it != end; ++it)
+      here.push_back((*it)[1]);
+    if (is_blank(code[i])) {
+      // Comment-only (or empty) line: markers wait for the next code line.
+      pending.insert(pending.end(), here.begin(), here.end());
+    } else {
+      allows[i] = std::move(pending);
+      pending.clear();
+      allows[i].insert(allows[i].end(), here.begin(), here.end());
+    }
+  }
+  return allows;
+}
+
+bool allowed(const std::vector<std::vector<std::string>>& allows,
+             std::size_t line_idx, const std::string& rule) {
+  if (line_idx >= allows.size()) return false;
+  const auto& v = allows[line_idx];
+  return std::find(v.begin(), v.end(), rule) != v.end();
+}
+
+/// Names declared as std::unordered_{map,set,...} anywhere in the file.
+/// Scope-insensitive on purpose: a false positive costs one allow-comment, a
+/// false negative costs a nondeterminism bug.
+std::vector<std::string> unordered_names(const std::vector<std::string>& code) {
+  std::vector<std::string> names;
+  // Join so declarations spanning lines still parse.
+  std::string all;
+  for (const auto& l : code) {
+    all += l;
+    all += '\n';
+  }
+  static const std::string kTag = "unordered_";
+  for (std::size_t pos = all.find(kTag); pos != std::string::npos;
+       pos = all.find(kTag, pos + kTag.size())) {
+    std::size_t p = pos + kTag.size();
+    // Accept map/set/multimap/multiset.
+    const char* kinds[] = {"multimap", "multiset", "map", "set"};
+    bool matched = false;
+    for (const char* k : kinds) {
+      const std::size_t n = std::string(k).size();
+      if (all.compare(p, n, k) == 0) {
+        p += n;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) continue;
+    while (p < all.size() && std::isspace(static_cast<unsigned char>(all[p])))
+      ++p;
+    if (p >= all.size() || all[p] != '<') continue;
+    int depth = 0;
+    while (p < all.size()) {
+      if (all[p] == '<') ++depth;
+      else if (all[p] == '>') {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++p;
+    }
+    if (p >= all.size()) continue;
+    ++p;  // past closing '>'
+    while (p < all.size() &&
+           (std::isspace(static_cast<unsigned char>(all[p])) || all[p] == '&' ||
+            all[p] == '*'))
+      ++p;
+    std::size_t q = p;
+    while (q < all.size() && (std::isalnum(static_cast<unsigned char>(all[q])) ||
+                              all[q] == '_'))
+      ++q;
+    if (q > p) {
+      std::string name = all.substr(p, q - p);
+      if (name != "const" && name != "return" &&
+          std::find(names.begin(), names.end(), name) == names.end())
+        names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// Final identifier component of a range-for's iterable expression, or ""
+/// when the expression is a call / index / temporary we do not track.
+std::string iterable_name(std::string expr) {
+  while (!expr.empty() &&
+         std::isspace(static_cast<unsigned char>(expr.back())))
+    expr.pop_back();
+  if (expr.empty()) return "";
+  const char last = expr.back();
+  if (last == ')' || last == ']' || last == '>') return "";  // call/index/temp
+  std::size_t q = expr.size();
+  while (q > 0 && (std::isalnum(static_cast<unsigned char>(expr[q - 1])) ||
+                   expr[q - 1] == '_'))
+    --q;
+  return expr.substr(q);
+}
+
+/// [first, last] line range of the statement/block controlled by a `for`
+/// whose header closes on `header_end`. Used by float-accum-order.
+std::pair<std::size_t, std::size_t> loop_body_range(
+    const std::vector<std::string>& code, std::size_t header_end,
+    std::size_t close_pos) {
+  int brace = 0;
+  bool seen_brace = false;
+  for (std::size_t li = header_end; li < code.size(); ++li) {
+    const std::string& l = code[li];
+    for (std::size_t i = li == header_end ? close_pos : 0; i < l.size(); ++i) {
+      if (l[i] == ';' && !seen_brace && brace == 0 && i > close_pos)
+        return {header_end, li};  // single-statement body
+      if (l[i] == '{') {
+        ++brace;
+        seen_brace = true;
+      } else if (l[i] == '}') {
+        --brace;
+        if (seen_brace && brace == 0) return {header_end, li};
+      }
+    }
+    if (!seen_brace && li > header_end && !is_blank(l)) {
+      // Single statement on the following line(s): run to its ';'.
+      for (std::size_t lj = li; lj < code.size(); ++lj)
+        if (code[lj].find(';') != std::string::npos) return {header_end, lj};
+      return {header_end, li};
+    }
+  }
+  return {header_end, code.size() - 1};
+}
+
+struct RangeFor {
+  std::size_t header_line;  ///< line the `for (` starts on
+  std::size_t close_line;   ///< line its `)` closes on
+  std::size_t close_pos;    ///< column of that `)`
+  std::string iterable;     ///< trailing identifier of the range expression
+};
+
+/// All range-fors (and their iterables) in the file; headers may span lines.
+std::vector<RangeFor> find_range_fors(const std::vector<std::string>& code) {
+  std::vector<RangeFor> out;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& l = code[li];
+    for (std::size_t pos = 0; (pos = l.find("for", pos)) != std::string::npos;
+         pos += 3) {
+      const bool word_start =
+          pos == 0 || (!std::isalnum(static_cast<unsigned char>(l[pos - 1])) &&
+                       l[pos - 1] != '_');
+      const std::size_t after = pos + 3;
+      const bool word_end =
+          after >= l.size() ||
+          (!std::isalnum(static_cast<unsigned char>(l[after])) &&
+           l[after] != '_');
+      if (!word_start || !word_end) continue;
+      std::size_t p = after;
+      std::size_t pl = li;
+      auto cur = [&]() -> const std::string& { return code[pl]; };
+      auto advance = [&]() -> bool {
+        ++p;
+        while (pl < code.size() && p >= cur().size()) {
+          ++pl;
+          p = 0;
+          if (pl - li > 4) return false;  // header spanning >5 lines: give up
+        }
+        return pl < code.size();
+      };
+      while (pl < code.size() && (p >= cur().size() ||
+             std::isspace(static_cast<unsigned char>(cur()[p])))) {
+        if (p < cur().size() &&
+            !std::isspace(static_cast<unsigned char>(cur()[p])))
+          break;
+        if (!advance()) break;
+      }
+      if (pl >= code.size() || p >= cur().size() || cur()[p] != '(') continue;
+      // Collect the parenthesized header.
+      int depth = 0;
+      std::string header;
+      std::size_t close_line = pl, close_pos = p;
+      bool closed = false;
+      while (pl < code.size()) {
+        const char c = cur()[p];
+        if (c == '(') ++depth;
+        if (c == ')') {
+          --depth;
+          if (depth == 0) {
+            close_line = pl;
+            close_pos = p;
+            closed = true;
+            break;
+          }
+        }
+        header += c;
+        if (!advance()) break;
+      }
+      if (!closed) continue;
+      header += '\n';
+      // Range-for: a top-level ':' not part of '::'.
+      std::size_t colon = std::string::npos;
+      int d2 = 0;
+      for (std::size_t i = 1; i + 1 < header.size(); ++i) {
+        const char c = header[i];
+        if (c == '(' || c == '<' || c == '[') ++d2;
+        if (c == ')' || c == '>' || c == ']') --d2;
+        if (c == ':' && d2 == 0 && header[i - 1] != ':' &&
+            header[i + 1] != ':') {
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      out.push_back({li, close_line, close_pos,
+                     iterable_name(header.substr(colon + 1))});
+    }
+  }
+  return out;
+}
+
+void scan_file(const std::string& display_path, const Options& opt,
+               std::vector<Finding>& findings, std::size_t& io_errors) {
+  std::ifstream in(display_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "dlint: cannot read " << display_path << "\n";
+    ++io_errors;
+    return;
+  }
+  std::vector<std::string> raw;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    raw.push_back(line);
+  }
+  const std::vector<std::string> code = strip_source(raw);
+  const auto allows = collect_allows(raw, code);
+  const std::string npath = normalize(display_path);
+
+  auto report = [&](std::size_t line_idx, const char* rule,
+                    const std::string& message) {
+    if (allowed(allows, line_idx, rule)) return;
+    findings.push_back({display_path, line_idx + 1, rule, message});
+  };
+
+  // ---- raw-rng ----------------------------------------------------------
+  if (npath.find("src/util/random.") == std::string::npos) {
+    static const std::regex rng_re(
+        R"(\b(rand|srand|rand_r|drand48)\s*\(|std::random_device|std::mt19937|std::minstd_rand|std::default_random_engine)");
+    for (std::size_t i = 0; i < code.size(); ++i)
+      if (std::regex_search(code[i], rng_re))
+        report(i, "raw-rng",
+               "raw RNG; all randomness must come from util::Xoshiro256 / "
+               "util::derive_seed (src/util/random.*)");
+  }
+
+  // ---- wall-clock -------------------------------------------------------
+  if (npath.find("src/util/timer.hpp") == std::string::npos &&
+      npath.find("src/obs/") == std::string::npos) {
+    static const std::regex clock_re(
+        R"(\btime\s*\(|std::chrono::system_clock|\bgettimeofday\s*\(|\blocaltime\s*\(|\bgmtime\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i)
+      if (std::regex_search(code[i], clock_re))
+        report(i, "wall-clock",
+               "wall-clock time is a hidden input; use util::Timer "
+               "(steady_clock) or keep it in src/obs");
+  }
+
+  // ---- raw-mutex-lock ---------------------------------------------------
+  {
+    static const std::regex lock_re(R"((\.|->)\s*(lock|unlock)\s*\(\s*\))");
+    for (std::size_t i = 0; i < code.size(); ++i)
+      if (std::regex_search(code[i], lock_re))
+        report(i, "raw-mutex-lock",
+               "manual lock()/unlock(); use a scoped guard "
+               "(util::MutexLock / std::lock_guard) — a throw between the "
+               "pair leaks the lock");
+  }
+
+  // ---- unordered-iter & float-accum-order -------------------------------
+  const std::vector<std::string> names = unordered_names(code);
+  if (!names.empty()) {
+    const bool order_sensitive =
+        std::any_of(opt.order_dirs.begin(), opt.order_dirs.end(),
+                    [&](const std::string& d) {
+                      return path_contains_dir(npath, d);
+                    });
+    const auto tracked = [&](const std::string& n) {
+      return std::find(names.begin(), names.end(), n) != names.end();
+    };
+
+    for (const RangeFor& rf : find_range_fors(code)) {
+      if (rf.iterable.empty() || !tracked(rf.iterable)) continue;
+      if (order_sensitive)
+        report(rf.header_line, "unordered-iter",
+               "hash-order iteration over unordered container '" +
+                   rf.iterable +
+                   "'; use util::sorted_keys/sorted_elems or justify with "
+                   "dlint:allow(unordered-iter)");
+      const auto [first, last] =
+          loop_body_range(code, rf.close_line, rf.close_pos);
+      for (std::size_t li = first; li <= last && li < code.size(); ++li) {
+        const std::string& l = code[li];
+        for (std::size_t p = 0; (p = l.find("+=", p)) != std::string::npos;
+             p += 2) {
+          // Skip ++ and compound tokens that merely contain "+=".
+          if (p > 0 && (l[p - 1] == '+' || l[p - 1] == '<' || l[p - 1] == '>'))
+            continue;
+          report(li, "float-accum-order",
+                 "accumulation inside a loop over unordered container '" +
+                     rf.iterable +
+                     "' runs in hash order; sort the keys first");
+          break;
+        }
+      }
+    }
+
+    // Iterator-style loops: for (auto it = m.begin(); ...)
+    if (order_sensitive) {
+      for (std::size_t i = 0; i < code.size(); ++i) {
+        const std::string& l = code[i];
+        const auto fpos = l.find("for");
+        if (fpos == std::string::npos) continue;
+        static const std::regex it_re(R"((\w+)\s*\.\s*c?begin\s*\(\s*\))");
+        std::smatch m;
+        std::string tail = l.substr(fpos);
+        if (std::regex_search(tail, m, it_re) && tracked(m[1]))
+          report(i, "unordered-iter",
+                 "hash-order iterator loop over unordered container '" +
+                     std::string(m[1]) + "'");
+      }
+    }
+  }
+}
+
+void collect_paths(const fs::path& p, std::vector<std::string>& files,
+                   std::size_t& io_errors) {
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) {
+    std::vector<std::string> batch;
+    for (auto it = fs::recursive_directory_iterator(
+             p, fs::directory_options::skip_permission_denied, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+          ext == ".cxx")
+        batch.push_back(it->path().string());
+    }
+    std::sort(batch.begin(), batch.end());  // deterministic scan order
+    files.insert(files.end(), batch.begin(), batch.end());
+  } else if (fs::exists(p, ec)) {
+    files.push_back(p.string());
+  } else {
+    std::cerr << "dlint: no such path: " << p.string() << "\n";
+    ++io_errors;
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::cerr
+      << "usage: dlint [--json] [--root DIR] [--order-dirs a,b,...] "
+         "[--list-rules] <file|dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage();
+      opt.root = argv[i];
+    } else if (arg == "--order-dirs") {
+      if (++i >= argc) return usage();
+      opt.order_dirs.clear();
+      std::stringstream ss(argv[i]);
+      for (std::string d; std::getline(ss, d, ',');)
+        if (!d.empty()) opt.order_dirs.push_back(normalize(d));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dlint: unknown flag " << arg << "\n";
+      return usage();
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  if (opt.list_rules) {
+    for (const auto& r : kRuleCatalog)
+      std::cout << r[0] << "\t" << r[1] << "\n";
+    return 0;
+  }
+  if (opt.paths.empty()) return usage();
+
+  std::vector<std::string> files;
+  std::size_t io_errors = 0;
+  for (const auto& p : opt.paths) {
+    fs::path fp(p);
+    if (!opt.root.empty() && fp.is_relative()) fp = fs::path(opt.root) / fp;
+    collect_paths(fp, files, io_errors);
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& f : files) scan_file(f, opt, findings, io_errors);
+
+  if (opt.json) {
+    std::cout << "{\"version\":1,\"files_scanned\":" << files.size()
+              << ",\"findings\":[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i ? "," : "") << "{\"file\":\"" << json_escape(f.file)
+                << "\",\"line\":" << f.line << ",\"rule\":\"" << f.rule
+                << "\",\"message\":\"" << json_escape(f.message) << "\"}";
+    }
+    std::cout << "],\"count\":" << findings.size() << "}\n";
+  } else {
+    for (const Finding& f : findings)
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    std::cerr << "dlint: " << findings.size() << " finding(s), "
+              << files.size() << " file(s) scanned\n";
+  }
+  if (io_errors > 0) return 2;
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Must-not-fire (float-accum-order): accumulation over ordered containers,
+// and an unordered loop with no accumulation inside it.
+#include <unordered_set>
+#include <vector>
+
+double total(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+bool any_negative(const std::unordered_set<int>& xs) {
+  for (int x : xs)
+    if (x < 0) return true;
+  return false;
+}

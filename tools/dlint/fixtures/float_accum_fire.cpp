@@ -1,0 +1,13 @@
+// Must-fire (float-accum-order): `+=` accumulation inside a loop over an
+// unordered container. This file is OUTSIDE the order-sensitive dirs, so
+// unordered-iter itself stays silent — the accumulation rule applies
+// everywhere because hash-order FP reduction is wrong in any directory.
+#include <unordered_map>
+
+double total_flow(const std::unordered_map<long, double>& flow) {
+  double sum = 0.0;
+  for (const auto& [node, f] : flow) {
+    sum += f;
+  }
+  return sum;
+}

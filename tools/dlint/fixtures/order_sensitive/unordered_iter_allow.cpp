@@ -1,0 +1,18 @@
+// Must-not-fire: the same loops as unordered_iter_fire.cpp, each suppressed
+// with a justified dlint:allow marker (same-line and comment-block-above).
+#include <unordered_map>
+#include <unordered_set>
+
+int count_keys(const std::unordered_map<int, double>& weights) {
+  int n = 0;
+  for (const auto& [key, value] : weights) ++n;  // dlint:allow(unordered-iter): keys-only count, order cannot escape. dlint:allow(float-accum-order): integer count.
+  return n;
+}
+
+bool contains_even(const std::unordered_set<int>& members) {
+  // dlint:allow(unordered-iter): early-exit membership scan; the answer is
+  // independent of visit order.
+  for (int m : members)
+    if (m % 2 == 0) return true;
+  return false;
+}

@@ -1,0 +1,21 @@
+// Must-not-fire: iteration over ordered containers only, plus comment/string
+// stripping checks — the commented-out loop and the string literal below must
+// not trigger any rule.
+#include <map>
+#include <string>
+#include <vector>
+
+double sum_values_sorted(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : weights) total += value;
+  return total;
+}
+
+double sum_vector(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+// for (const auto& [k, v] : some_unordered_map) total += v;   <- comment
+const char* kDoc = "for (auto x : some_unordered_map) mutex.lock();";

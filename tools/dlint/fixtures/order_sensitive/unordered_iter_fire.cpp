@@ -1,0 +1,11 @@
+// Must-fire: hash-order range-for over an unordered_map in an
+// order-sensitive directory (simulated via --order-dirs order_sensitive).
+#include <unordered_map>
+
+double sum_values(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, value] : weights) {
+    total += value;
+  }
+  return total;
+}

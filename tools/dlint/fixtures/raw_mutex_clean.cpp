@@ -1,0 +1,21 @@
+// Must-not-fire (raw-mutex-lock): scoped guards, plus calls that merely
+// resemble lock() — try_lock(), lock_shared-style names, and a lock() inside
+// a string literal.
+#include <mutex>
+
+std::mutex m;
+int counter = 0;
+
+void bump() {
+  std::lock_guard<std::mutex> guard(m);
+  ++counter;
+}
+
+bool try_bump() {
+  if (!m.try_lock()) return false;
+  ++counter;
+  m.unlock();  // dlint:allow(raw-mutex-lock): paired with try_lock above; no throwing code between.
+  return true;
+}
+
+const char* kHint = "call m.lock() before touching counter";

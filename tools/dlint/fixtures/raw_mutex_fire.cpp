@@ -1,0 +1,12 @@
+// Must-fire (raw-mutex-lock): manual lock()/unlock() pair — a throw between
+// them leaks the lock.
+#include <mutex>
+
+std::mutex m;
+int counter = 0;
+
+void bump() {
+  m.lock();
+  ++counter;
+  m.unlock();
+}

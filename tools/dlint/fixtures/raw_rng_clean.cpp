@@ -1,0 +1,19 @@
+// Must-not-fire (raw-rng): randomness drawn from the project's seeded RNG.
+// Identifiers that merely contain "rand" (operand, random_walk) must not trip
+// the word-boundary match.
+#include <cstdint>
+
+namespace util {
+struct Xoshiro256 {
+  explicit Xoshiro256(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ += 0x9e3779b97f4a7c15ull; }
+  std::uint64_t state_;
+};
+}  // namespace util
+
+int roll(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const int operand = 6;
+  const auto random_walk = rng.next();
+  return static_cast<int>(random_walk % operand);
+}

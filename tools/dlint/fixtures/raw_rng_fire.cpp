@@ -1,0 +1,9 @@
+// Must-fire (raw-rng): unseeded / ad-hoc randomness outside src/util/random.*.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen() % 6u) + rand() % 6;
+}

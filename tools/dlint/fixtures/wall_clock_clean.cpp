@@ -1,0 +1,12 @@
+// Must-not-fire (wall-clock): steady_clock is fine (it measures duration,
+// not calendar time), and identifiers like runtime/lifetime must not trip the
+// word-boundary match. The phrase "wall time (seconds)" in this comment must
+// be stripped before matching.
+#include <chrono>
+
+double elapsed(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  const double runtime =
+      std::chrono::duration<double>(now - start).count();
+  return runtime;
+}

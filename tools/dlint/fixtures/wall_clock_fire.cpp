@@ -1,0 +1,9 @@
+// Must-fire (wall-clock): wall time read in algorithm code.
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<long>(time(nullptr));
+}
