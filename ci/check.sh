@@ -72,15 +72,17 @@ configure_build "$asan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs"
 
 # --- Leg 6 (full): TSan on the concurrency suites. -----------------------
-# Scope: the comm substrate and thread-pool tests. RelaxMap is excluded by
+# Scope: the comm substrate, thread-pool, and async-engine tests (the async
+# worklist drain is single-threaded per rank, but its reconciliation sweeps
+# share the pooled hot loops). RelaxMap is excluded by
 # repo convention — its module reads are racy by design (published
 # consistency model; see the SharedLevel comment in src/core/relaxmap.cpp).
-step "TSan (comm-faults + threads suites, RelaxMap excluded)"
+step "TSan (comm-faults + threads + async suites, RelaxMap excluded)"
 tsan_dir="$ci_root/tsan"
 mkdir -p "$tsan_dir"
 configure_build "$tsan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDINFOMAP_SANITIZE=thread
 ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-  -L 'comm-faults|threads' -E RelaxMap
+  -L 'comm-faults|threads|async' -E RelaxMap
 
 step "full gate passed"

@@ -46,6 +46,8 @@ int usage() {
                "                [--trace out.trace.json] [--report out.report.json]  (dist only)\n"
                "                [--faults drop=P,dup=P,reorder=P,corrupt=P[,stall=R][,seed=S]]\n"
                "                [--watchdog-ms N]  (dist only; e.g. --faults drop=0.01,dup=0.01)\n"
+               "                [--active-set]  (dist only: exact pruning of unchanged vertices)\n"
+               "                [--async [--async-max-lag K]]  (dist only: priority-worklist engine)\n"
                "  dinfomap_cli eval <edges.txt> <a.clu> <b.clu>\n"
                "  dinfomap_cli partition-stats <edges.txt> <ranks>\n");
   return 2;
@@ -123,16 +125,35 @@ int cmd_cluster(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::string fault_spec;
   unsigned watchdog_ms = 0;
-  for (int i = 4; i + 1 < argc; i += 2) {
-    if (!std::strcmp(argv[i], "--algo")) algo = argv[i + 1];
-    else if (!std::strcmp(argv[i], "--ranks")) ranks = std::atoi(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(argv[i + 1]);
-    else if (!std::strcmp(argv[i], "--seed")) seed = std::strtoull(argv[i + 1], nullptr, 10);
-    else if (!std::strcmp(argv[i], "--tree")) tree_out = argv[i + 1];
-    else if (!std::strcmp(argv[i], "--trace")) trace_out = argv[i + 1];
-    else if (!std::strcmp(argv[i], "--report")) report_out = argv[i + 1];
-    else if (!std::strcmp(argv[i], "--faults")) fault_spec = argv[i + 1];
-    else if (!std::strcmp(argv[i], "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+  bool active_set = false;
+  bool use_async = false;
+  int async_max_lag = 4;
+  // Boolean switches consume one token, valued flags consume two.
+  for (int i = 4; i < argc;) {
+    const char* flag = argv[i];
+    if (!std::strcmp(flag, "--active-set")) {
+      active_set = true;
+      ++i;
+      continue;
+    }
+    if (!std::strcmp(flag, "--async")) {
+      use_async = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();  // every remaining flag takes a value
+    const char* value = argv[i + 1];
+    i += 2;
+    if (!std::strcmp(flag, "--algo")) algo = value;
+    else if (!std::strcmp(flag, "--ranks")) ranks = std::atoi(value);
+    else if (!std::strcmp(flag, "--threads")) threads = std::atoi(value);
+    else if (!std::strcmp(flag, "--seed")) seed = std::strtoull(value, nullptr, 10);
+    else if (!std::strcmp(flag, "--tree")) tree_out = value;
+    else if (!std::strcmp(flag, "--trace")) trace_out = value;
+    else if (!std::strcmp(flag, "--report")) report_out = value;
+    else if (!std::strcmp(flag, "--faults")) fault_spec = value;
+    else if (!std::strcmp(flag, "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
+    else if (!std::strcmp(flag, "--async-max-lag")) async_max_lag = std::atoi(value);
     else return usage();
   }
 
@@ -158,6 +179,9 @@ int cmd_cluster(int argc, char** argv) {
     cfg.num_ranks = ranks;
     cfg.threads_per_rank = threads;
     cfg.seed = seed;
+    cfg.active_set = active_set;
+    cfg.async = use_async;
+    cfg.async_max_lag = async_max_lag;
     if (!fault_spec.empty()) {
       cfg.faults.seed = seed;  // default the fault stream to the run seed
       if (!parse_fault_spec(fault_spec, &cfg.faults)) return usage();

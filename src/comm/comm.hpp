@@ -253,6 +253,7 @@ class Comm {
                            "alltoallv_packed: need one outbox per rank");
     };
     (check_shape(out.size()), ...);
+    counters_.packed_streams += sizeof...(Ts);
     std::vector<std::vector<std::byte>> raw(static_cast<std::size_t>(size_));
     for (std::size_t r = 0; r < raw.size(); ++r)
       (pack_stream(raw[r], std::span<const Ts>(out[r])), ...);

@@ -13,6 +13,9 @@ struct CommCounters {
   std::uint64_t collective_messages = 0;  ///< transport messages inside collectives
   std::uint64_t collective_bytes = 0;
   std::uint64_t collective_calls = 0;     ///< user-level collective invocations
+  std::uint64_t packed_streams = 0;       ///< typed streams coalesced into
+                                          ///< packed collectives (alltoallv_packed);
+                                          ///< streams ÷ calls ≈ collectives saved
 
   // Receiver-side recovery events (nonzero only under fault injection; the
   // run report uses them to prove a fault plan actually fired and was healed).
@@ -29,6 +32,7 @@ struct CommCounters {
     collective_messages += other.collective_messages;
     collective_bytes += other.collective_bytes;
     collective_calls += other.collective_calls;
+    packed_streams += other.packed_streams;
     retransmit_requests += other.retransmit_requests;
     retransmits += other.retransmits;
     dup_frames_dropped += other.dup_frames_dropped;

@@ -1,6 +1,8 @@
 // Distributed Infomap rounds (Alg. 2), information swapping (Alg. 3),
 // distributed merging (§3.5), and the job driver.
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <unordered_set>
 
@@ -12,9 +14,100 @@
 
 namespace dinfomap::core::detail {
 
+namespace {
+
+/// Absolute slack added to the active-set margin bound: the analytic q-drift
+/// bound holds over the reals, while the ΔL sums are evaluated in floating
+/// point. Every intermediate is O(1), so a few hundred ulps of 1.0 dominates
+/// the accumulated rounding; margins below this never prune (conservative).
+constexpr double kFpSlack = 1e-13;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Move search
 // ---------------------------------------------------------------------------
+
+bool DistRank::min_label_yields(ModuleId cur, ModuleId target) {
+  // §3.4 anti-bouncing, per-pair deterministic variant. The original
+  // minimum-label strategy gated larger-label boundary moves on the parity
+  // of a shared round counter — a hidden global input that stops being
+  // meaningful when vertices are evaluated at different effective times
+  // (active-set pruning, async drains). Replace the counter with a
+  // *consistent orientation* over the module pair: a boundary move yields
+  // iff it goes into the smaller module (by flow mass, ties broken by the
+  // label order). Of any conflicting pair of swaps exactly one
+  // direction is admissible at a time — the order is total, so oscillation
+  // cannot sustain and there are no preference cycles — and the decision is
+  // a pure function of state every rank holds identically (module stats are
+  // exact after each sync, and inside a round/epoch every rank applies the
+  // same deterministic updates). Unlike a fixed random orientation, sizing
+  // the order by mass keeps consolidation alive: when a move into a smaller
+  // module is blocked, the reverse merge — the small module's members
+  // absorbing into the large one — is the admissible direction, and that is
+  // the direction greedy map-equation search favors anyway.
+  const auto it_c = modules_.find(cur);
+  const auto it_t = modules_.find(target);
+  DINFOMAP_REQUIRE_MSG(it_c != modules_.end() && it_t != modules_.end(),
+                       "min-label guard consulted for an unsynced module");
+  // Singleton endpoints never yield: during the consolidation phase every
+  // greedy merge should be admissible (this is where the old free rounds did
+  // their work), and a conflicting same-round pair of singleton moves is a
+  // relabeling, not a codelength oscillation.
+  if (it_c->second.num_members <= 1 || it_t->second.num_members <= 1)
+    return false;
+  const double sc = it_c->second.sum_pr;
+  const double st = it_t->second.sum_pr;
+  if (st != sc) return st < sc;  // yield on moves into the smaller module
+  return target > cur;           // mass tie: yield away from the smaller label
+}
+
+void DistRank::ensure_activity_state() {
+  if (assign_stamp_.size() != verts_.size()) {
+    clock_ = 1;
+    assign_stamp_.assign(verts_.size(), 1);
+    last_eval_.assign(verts_.size(), 0);
+    last_margin_.assign(verts_.size(), 0.0);
+    last_q_.assign(verts_.size(), 0.0);
+  }
+  if (stat_stamp_.size() != level_n_) stat_stamp_.assign(level_n_, 1);
+}
+
+bool DistRank::can_prune(std::uint32_t li) const {
+  const std::uint64_t le = last_eval_[li];
+  if (le == 0) return false;                 // never evaluated at this level
+  if (assign_stamp_[li] > le) return false;  // we moved (or were moved)
+  // The min-label guard needs no dedicated staleness state: its verdict is a
+  // pure function of the (cur, candidate) module pair and the candidate's
+  // boundary flag, and both are functions of vertex assignments already
+  // covered by the stamp checks below.
+  const LocalVertex& lv = verts_[li];
+  const ModuleId cur = lv.module;
+  if (cur >= stat_stamp_.size() || stat_stamp_[cur] > le) return false;
+  for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
+    const std::uint32_t t = arcs_[a].target;
+    if (assign_stamp_[t] > le) return false;  // candidate set changed
+    const ModuleId m = verts_[t].module;
+    if (m >= stat_stamp_.size() || stat_stamp_[m] > le) return false;
+  }
+  // The candidate set, every candidate's statistics, and our own module are
+  // bitwise what the last evaluation saw; only the global q_total may have
+  // drifted. Identical q reproduces the evaluation bit-for-bit; otherwise
+  // the recorded rejection margin must dominate the worst-case ΔL shift:
+  // q enters ΔL only through plogp(q+δq) − plogp(q) with |δq| ≤ 2·f_u, so by
+  // the mean-value theorem |Δ(q1) − Δ(q0)| ≤ |q1−q0|·max|log2(1+δq/q*)|, and
+  // for qlo ≥ 4·f_u (⇒ |δq/q*| ≤ ½, where |log2(1+x)| ≤ 2|x|/ln2 < 2.89|x|)
+  // 6·f_u/qlo over-covers the derivative. Below that q regime the bound is
+  // invalid and the vertex is simply re-evaluated.
+  const double q0 = last_q_[li];
+  const double q1 = q_total_;
+  if (q1 == q0) return true;
+  const double f_u = lv.out_flow;
+  const double qlo = q0 < q1 ? q0 : q1;
+  if (!(qlo >= 4.0 * f_u)) return false;
+  const double shift = (q1 > q0 ? q1 - q0 : q0 - q1) * 6.0 * f_u / qlo;
+  return last_margin_[li] > shift + kFpSlack;
+}
 
 bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
   const LocalVertex& lv = verts_[li];
@@ -43,6 +136,10 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
   double best_delta = -cfg_.move_epsilon;
   ModuleId best_target = cur;
   MoveOutcome best_outcome;
+  // Smallest rejection distance over the evaluated candidates; the activity
+  // tracker records it so a later round can prove the rejection still holds
+  // under bounded q-drift without re-evaluating (see can_prune).
+  double reject_margin = std::numeric_limits<double>::infinity();
 
   for (const ModuleId mod : nbflow_.keys()) {
     if (mod == cur) continue;
@@ -57,12 +154,11 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
     }
     // Anti-bouncing (§3.4, minimum-label strategy of Lu et al.): in a
     // synchronous round two vertices on different ranks can swap into each
-    // other's modules and oscillate forever. On alternating rounds a move
-    // into a *boundary* module is only allowed toward a smaller label — of
-    // any conflicting pair exactly one side moves; the free rounds in
-    // between let blocked vertices correct course.
-    if (cfg_.min_label && (round_index_ % 2 == 0) && mod > cur && e.boundary)
-      continue;
+    // other's modules and oscillate forever. For any (cur, target) pair of
+    // *boundary* modules one fixed direction yields (min_label_yields) — of
+    // any conflicting pair exactly one side moves; blocked merges remain
+    // reachable from the yielding side or at the next level.
+    if (cfg_.min_label && e.boundary && min_label_yields(cur, mod)) continue;
     MoveDelta d;
     d.p_u = lv.node_flow;
     d.f_u = lv.out_flow;
@@ -73,7 +169,12 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
     d.q_total = q_total_;
     const MoveOutcome out = eval_move(d);
     ++wk(Phase::kFindBestModule).delta_evals;
-    if (out.delta_codelength >= -cfg_.move_epsilon) continue;
+    if (out.delta_codelength >= -cfg_.move_epsilon) {
+      const double m = out.delta_codelength + cfg_.move_epsilon;
+      if (m < reject_margin) reject_margin = m;
+      continue;
+    }
+    reject_margin = 0.0;  // an accepting candidate exists; never prune on margin
     if (out.delta_codelength < best_delta - 1e-15 ||
         (out.delta_codelength < best_delta + 1e-15 && mod < best_target)) {
       best_delta = out.delta_codelength;
@@ -81,7 +182,9 @@ bool DistRank::best_move_for(std::uint32_t li, BestMove& best) {
       best_outcome = out;
     }
   }
-  if (best_target == cur) return false;
+  const bool found = best_target != cur;
+  note_evaluated(li, found, reject_margin);
+  if (!found) return false;
   best.target = best_target;
   best.delta_l = best_delta;
   best.outcome = best_outcome;
@@ -93,6 +196,15 @@ void DistRank::apply_local_move(std::uint32_t li, const BestMove& mv) {
   modules_[lv.module] = mv.outcome.old_after;
   modules_[mv.target] = mv.outcome.new_after;
   q_total_ += mv.outcome.delta_q_total;
+  if (track_activity_) {
+    // One event: the vertex changed assignment and both module tables
+    // changed statistics. All three share the tick so the relative order of
+    // stamps vs evaluations is identical in serial and parallel commits.
+    const std::uint64_t t = tick();
+    stamp_assign(li, t);
+    stamp_stats(lv.module, t);
+    stamp_stats(mv.target, t);
+  }
   lv.module = mv.target;
   wk(Phase::kOther).module_updates += 2;
 }
@@ -110,10 +222,16 @@ std::uint64_t DistRank::find_best_modules(bool with_delegates,
   std::vector<std::uint8_t> dirty_flag(verts_.size(), 0);
   for (std::uint32_t li : dirty_owned_) dirty_flag[li] = 1;
 
+  const bool prune = track_activity_ && cfg_.active_set;
   for (std::uint32_t li : order) {
     const bool is_hub = verts_[li].kind == Kind::kDelegate;
     if (is_hub && !with_delegates) continue;
     if (is_hub && cfg_.exact_hub_moves) continue;  // handled by the exact phase
+    if (prune && !is_hub && can_prune(li)) {
+      ++pruned_round_;
+      ++wk(Phase::kFindBestModule).pruned_evals;
+      continue;
+    }
     BestMove mv;
     if (!best_move_for(li, mv)) continue;
     if (is_hub) {
@@ -143,11 +261,12 @@ bool DistRank::select_best_cached(std::uint32_t li, const GatherSpan& span,
   double best_delta = -cfg_.move_epsilon;
   ModuleId best_target = cur;
   MoveOutcome best_outcome;
+  double reject_margin = std::numeric_limits<double>::infinity();
 
   // Exact replica of best_move_for's candidate loop over the cached gather:
   // entries are in the accumulator's first-touch (= arc) order, so every
-  // floating-point operation, skip condition, and tie-break happens in the
-  // same sequence a fresh serial scan would produce.
+  // floating-point operation, skip condition, margin update, and tie-break
+  // happens in the same sequence a fresh serial scan would produce.
   for (std::uint32_t i = 0; i < span.count; ++i) {
     const CachedFlow& e = entries[span.begin + i];
     const ModuleId mod = e.mod;
@@ -157,8 +276,7 @@ bool DistRank::select_best_cached(std::uint32_t li, const GatherSpan& span,
       ++skipped_unsynced_round_;
       continue;
     }
-    if (cfg_.min_label && (round_index_ % 2 == 0) && mod > cur && e.boundary)
-      continue;
+    if (cfg_.min_label && e.boundary && min_label_yields(cur, mod)) continue;
     MoveDelta d;
     d.p_u = lv.node_flow;
     d.f_u = lv.out_flow;
@@ -169,7 +287,12 @@ bool DistRank::select_best_cached(std::uint32_t li, const GatherSpan& span,
     d.q_total = q_total_;
     const MoveOutcome out = eval_move(d);
     ++wk(Phase::kFindBestModule).delta_evals;
-    if (out.delta_codelength >= -cfg_.move_epsilon) continue;
+    if (out.delta_codelength >= -cfg_.move_epsilon) {
+      const double m = out.delta_codelength + cfg_.move_epsilon;
+      if (m < reject_margin) reject_margin = m;
+      continue;
+    }
+    reject_margin = 0.0;
     if (out.delta_codelength < best_delta - 1e-15 ||
         (out.delta_codelength < best_delta + 1e-15 && mod < best_target)) {
       best_delta = out.delta_codelength;
@@ -177,7 +300,9 @@ bool DistRank::select_best_cached(std::uint32_t li, const GatherSpan& span,
       best_outcome = out;
     }
   }
-  if (best_target == cur) return false;
+  const bool found = best_target != cur;
+  note_evaluated(li, found, reject_margin);
+  if (!found) return false;
   best.target = best_target;
   best.delta_l = best_delta;
   best.outcome = best_outcome;
@@ -226,6 +351,7 @@ std::uint64_t DistRank::find_best_modules_parallel(
     ts.entries.clear();
     ts.spans.clear();
   }
+  const bool prune = track_activity_ && cfg_.active_set;
   {
     obs::SpanScope span(trace_buf_, "parallel_for");
     pool_->parallel_for(order.size(), [&](int slot, std::size_t b,
@@ -236,6 +362,19 @@ std::uint64_t DistRank::find_best_modules_parallel(
         const bool is_hub = verts_[li].kind == Kind::kDelegate;
         if (is_hub && !with_delegates) continue;
         if (is_hub && cfg_.exact_hub_moves) continue;
+        if (prune && !is_hub && can_prune(li)) {
+          // Pass-start stamps say the last evaluation still stands. Emit a
+          // gather-free marker span; the commit re-checks against the live
+          // stamps (activation is monotone within a round, so a vertex that
+          // is prunable at pass start can only *lose* that status by commit
+          // time — in which case the commit falls back to a fresh rescan).
+          GatherSpan sp;
+          sp.pos = pos;
+          sp.li = li;
+          sp.pruned = 1;
+          ts.spans.push_back(sp);
+          continue;
+        }
         const ModuleId cur = verts_[li].module;
         ts.nbflow.clear();
         for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
@@ -283,7 +422,15 @@ std::uint64_t DistRank::find_best_modules_parallel(
       const std::uint32_t li = sp.li;
       BestMove mv;
       bool found;
-      if (stale_stamp_[li] == pass_epoch_) {
+      if (sp.pruned) {
+        if (can_prune(li)) {  // live stamps: same verdict the serial sweep makes
+          ++pruned_round_;
+          ++wk(Phase::kFindBestModule).pruned_evals;
+          continue;
+        }
+        ++stale_rescans_;
+        found = best_move_for(li, mv);  // a commit this round re-activated it
+      } else if (stale_stamp_[li] == pass_epoch_) {
         ++stale_rescans_;
         found = best_move_for(li, mv);  // fresh serial rescan
       } else {
@@ -331,6 +478,12 @@ std::uint64_t DistRank::apply_hub_winners(const std::vector<HubProposal>& winner
     auto& new_m = modules_[win.target];
     new_m.sum_pr += lv.node_flow;
     new_m.num_members += 1;
+    if (track_activity_) {
+      const std::uint64_t t = tick();
+      stamp_assign(it->second, t);
+      stamp_stats(lv.module, t);
+      stamp_stats(win.target, t);
+    }
     lv.module = win.target;
     wk(Phase::kBroadcastDelegates).module_updates += 2;
   }
@@ -569,6 +722,8 @@ void DistRank::swap_boundary_info() {
       }
       auto it = index_.find(rec.vertex);
       if (it == index_.end()) continue;
+      if (track_activity_ && verts_[it->second].module != rec.info.mod_id)
+        stamp_assign(it->second, tick());
       verts_[it->second].module = rec.info.mod_id;
       if (modules_.count(rec.info.mod_id)) continue;  // existing module
       if (rec.info.is_sent) continue;                 // stats already shipped
@@ -578,6 +733,7 @@ void DistRank::swap_boundary_info() {
       stats.num_members = static_cast<std::uint64_t>(
           std::max<std::int32_t>(rec.info.num_members, 0));
       modules_.emplace(rec.info.mod_id, stats);
+      if (track_activity_) stamp_stats(rec.info.mod_id, tick());
       ++wk(Phase::kSwapBoundaryInfo).module_updates;
     }
   }
@@ -716,7 +872,13 @@ void DistRank::swap_boundary_info() {
   // and drift — §3.4's predicted failure. (The home aggregation above still
   // runs either way; merging and the reported L need it.)
   if (cfg_.whole_module_swap) {
+    if (track_activity_) std::swap(modules_, prev_modules_);
     modules_.clear();
+    // One tick for the whole table refresh; a module only gets the stamp if
+    // the authoritative statistics differ bitwise from what the table held
+    // before (vanished modules need no stamp: a module vanishes only when
+    // its last local member moved away, and that assignment was stamped).
+    const std::uint64_t t = track_activity_ ? tick() : 0;
     for (const auto& batch : replies_in) {
       for (const ModuleInfo& info : batch) {
         if (info.num_members <= 0) continue;  // module died this round
@@ -725,6 +887,14 @@ void DistRank::swap_boundary_info() {
         stats.exit_pr = info.exit_pr;
         stats.num_members = static_cast<std::uint64_t>(info.num_members);
         modules_.emplace(info.mod_id, stats);
+        if (track_activity_) {
+          auto prev = prev_modules_.find(info.mod_id);
+          const bool changed = prev == prev_modules_.end() ||
+                               prev->second.sum_pr != stats.sum_pr ||
+                               prev->second.exit_pr != stats.exit_pr ||
+                               prev->second.num_members != stats.num_members;
+          if (changed) stamp_stats(info.mod_id, t);
+        }
         ++wk(Phase::kSwapBoundaryInfo).module_updates;
       }
     }
@@ -775,6 +945,7 @@ void DistRank::sample_table_metrics() {
 
 DistRank::RoundResult DistRank::round(bool with_delegates,
                                       util::Xoshiro256& rng) {
+  if (track_activity_) ensure_activity_state();
   const std::uint64_t arcs0 = wk(Phase::kFindBestModule).arcs_scanned;
   RoundResult rr;
   std::vector<HubProposal> proposals;
@@ -793,6 +964,7 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
     sample.moves = rr.global_moves;
     sample.rank_work = wk(Phase::kFindBestModule).arcs_scanned - arcs0;
     sample.skipped_unsynced = skipped_unsynced_round_;
+    sample.pruned = pruned_round_;
     recorder_->record_round(comm_.rank(), sample);
     if (trace_buf_ != nullptr) {
       trace_buf_->counter("codelength", codelength_);
@@ -802,13 +974,390 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
     if (metrics_ != nullptr) {
       metrics_->histogram("round.moves").observe(rr.global_moves);
       metrics_->counter("moves.skipped_unsynced").inc(skipped_unsynced_round_);
+      metrics_->counter("moves.pruned").inc(pruned_round_);
       sample_table_metrics();
     }
   }
   skipped_unsynced_total_ += skipped_unsynced_round_;
   skipped_unsynced_round_ = 0;
+  pruned_round_ = 0;
   ++round_index_;
   return rr;
+}
+
+// ---------------------------------------------------------------------------
+// Async priority-worklist engine (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Worklist sentinel: priorities are non-negative (gains and flows), so any
+/// negative value marks "not queued".
+constexpr double kNotQueued = -1.0;
+
+/// Max-heap order with a deterministic tie-break: higher priority first,
+/// smaller local index on equal priority. (Generic lambda: the item type is
+/// private to DistRank and deduced at the call sites.)
+constexpr auto worklist_less = [](const auto& a, const auto& b) {
+  return a.prio < b.prio || (a.prio == b.prio && a.li > b.li);
+};
+
+}  // namespace
+
+void DistRank::worklist_activate(std::uint32_t li, double prio) {
+  double& q = queued_prio_[li];
+  if (q == kNotQueued) {
+    q = prio;
+    heap_.push_back({prio, li});
+    std::push_heap(heap_.begin(), heap_.end(), worklist_less);
+    ++wl_pushed_;
+    ++wl_live_;
+  } else if (prio > q) {
+    // Lazy deletion: leave the old entry in the heap (discarded at pop when
+    // its priority no longer matches) and push the raised one.
+    q = prio;
+    heap_.push_back({prio, li});
+    std::push_heap(heap_.begin(), heap_.end(), worklist_less);
+    ++wl_requeued_;
+  }
+}
+
+std::uint64_t DistRank::async_reconcile(bool with_delegates,
+                                        std::uint64_t local_moves_since) {
+  // Hub consensus first (stage 1 only): hubs are deliberately kept off the
+  // worklist — their move decisions need globally merged flows, so they only
+  // move at reconciliation points, through the synchronous consensus path.
+  std::uint64_t hub_moves = 0;
+  if (with_delegates) {
+    if (cfg_.exact_hub_moves) {
+      hub_moves = broadcast_delegates_exact();
+    } else {
+      std::vector<HubProposal> proposals;
+      {
+        PhaseScope scope(*this, Phase::kFindBestModule);
+        for (std::uint32_t li : hubs_) {
+          BestMove mv;
+          if (best_move_for(li, mv))
+            proposals.push_back(
+                {verts_[li].global, comm_.rank(), mv.target, mv.delta_l});
+        }
+      }
+      hub_moves = broadcast_delegates(proposals);
+    }
+  }
+  swap_boundary_info();
+  const std::uint64_t global_moves = other_update(local_moves_since, hub_moves);
+
+  // Stamp-driven reactivation: the swap stamped every module whose
+  // authoritative statistics differ from the local estimates and every ghost
+  // whose assignment moved, and other_update replaced q_total_ with the
+  // exact global value. Re-seed exactly the vertices whose last evaluation
+  // can no longer be proven current.
+  for (std::uint32_t li : movable_) {
+    if (verts_[li].kind == Kind::kDelegate) continue;
+    if (!can_prune(li)) worklist_activate(li, verts_[li].out_flow);
+  }
+  return global_moves;
+}
+
+std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
+  ensure_activity_state();
+  const int p = comm_.size();
+  recons_out = 0;
+
+  // Reverse adjacency, once per level: owned readers of every non-owned
+  // local vertex, so an incoming delta reactivates exactly the local move
+  // candidates whose neighborhoods it touched.
+  ghost_readers_.assign(verts_.size(), {});
+  for (std::uint32_t li : movable_) {
+    if (verts_[li].kind == Kind::kDelegate) continue;
+    for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
+      const std::uint32_t t = arcs_[a].target;
+      if (verts_[t].kind != Kind::kOwned) ghost_readers_[t].push_back(li);
+    }
+  }
+
+  // Seed every movable non-hub; boundary vertices get a flat bonus on top of
+  // their out-flow so the first drains work the rank frontier, where cross-
+  // rank conflicts are resolved earliest.
+  heap_.clear();
+  queued_prio_.assign(verts_.size(), kNotQueued);
+  wl_pushed_ = wl_popped_ = wl_requeued_ = wl_stale_ = 0;
+  wl_live_ = 0;
+  std::uint64_t n_movable = 0;
+  for (std::uint32_t li : movable_) {
+    if (verts_[li].kind == Kind::kDelegate) continue;
+    ++n_movable;
+    bool boundary = false;
+    for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
+      if (verts_[arcs_[a].target].kind != Kind::kOwned) {
+        boundary = true;
+        break;
+      }
+    }
+    worklist_activate(li, verts_[li].out_flow + (boundary ? 1.0 : 0.0));
+  }
+
+  // Per-epoch drain budget: enough to retire the whole seed in a handful of
+  // epochs, but small enough that priority order (not seed order) dominates
+  // which vertices move between exchanges.
+  const std::uint64_t budget = std::max<std::uint64_t>(256, n_movable);
+  const int lag = std::max(1, cfg_.async_max_lag);
+  const int max_epochs = cfg_.max_rounds * lag;
+
+  std::uint64_t level_moves = 0;
+  std::uint64_t local_since_recon = 0;
+  double recon_l_prev = codelength_;
+  bool last_was_recon = false;
+
+  // Best reconciled state seen, for the end-of-level rollback: asynchronous
+  // drains can regress the exact L (stale-statistics decisions), and a level
+  // must never *end* in a regressed state — merges are irreversible, so
+  // damage here would be locked in for every later level.
+  double best_l = codelength_;
+  std::vector<ModuleId> best_assign(verts_.size());
+  for (std::uint32_t li = 0; li < verts_.size(); ++li)
+    best_assign[li] = verts_[li].module;
+
+  for (int epoch = 0; epoch < max_epochs; ++epoch) {
+    last_was_recon = false;
+    const std::uint64_t arcs0 = wk(Phase::kFindBestModule).arcs_scanned;
+
+    // --- drain: pop by priority, move, activate local readers -------------
+    std::vector<std::vector<ModuleDeltaRecord>> delta_out(p);
+    if (dirty_flag_.size() != verts_.size())
+      dirty_flag_.assign(verts_.size(), 0);
+    for (std::uint32_t li : dirty_owned_) dirty_flag_[li] = 1;
+    std::uint64_t epoch_local_moves = 0;
+    {
+      PhaseScope scope(*this, Phase::kFindBestModule);
+      std::uint64_t drained = 0;
+      while (drained < budget && !heap_.empty()) {
+        const WorklistItem top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), worklist_less);
+        heap_.pop_back();
+        if (queued_prio_[top.li] != top.prio) {
+          ++wl_stale_;  // lazy-deleted duplicate
+          continue;
+        }
+        queued_prio_[top.li] = kNotQueued;
+        ++wl_popped_;
+        --wl_live_;
+        ++drained;
+        BestMove mv;
+        if (!best_move_for(top.li, mv)) continue;
+        const ModuleId old_mod = verts_[top.li].module;
+        apply_local_move(top.li, mv);
+        ++epoch_local_moves;
+        if (!dirty_flag_[top.li]) {
+          dirty_flag_[top.li] = 1;
+          dirty_owned_.push_back(top.li);
+        }
+        const double gain = -mv.delta_l;
+        for (std::uint32_t a = arc_off_[top.li]; a < arc_off_[top.li + 1];
+             ++a) {
+          const std::uint32_t t = arcs_[a].target;
+          if (verts_[t].kind == Kind::kOwned) worklist_activate(t, gain);
+        }
+        ModuleDeltaRecord rec;
+        rec.vertex = verts_[top.li].global;
+        rec.old_module = old_mod;
+        rec.new_module = mv.target;
+        rec.node_flow = verts_[top.li].node_flow;
+        rec.gain = gain;
+        if (auto sub = subscribers_.find(top.li); sub != subscribers_.end())
+          for (int dest : sub->second)
+            delta_out[static_cast<std::size_t>(dest)].push_back(rec);
+      }
+    }
+
+    // --- epoch exchange: one packed collective, no barrier-per-sweep ------
+    // Deltas go to the movers' subscribers; a tiny status record goes to
+    // every rank and doubles as the termination consensus (no moves anywhere
+    // ⇒ no deltas anywhere ⇒ no new activations ⇒ queues can only shrink).
+    std::uint64_t epoch_global_moves = 0;
+    std::uint64_t global_queued = 0;
+    local_since_recon += epoch_local_moves;
+    {
+      PhaseScope scope(*this, Phase::kSwapBoundaryInfo);
+      EpochStatus st;
+      st.moves = epoch_local_moves;
+      st.queued = wl_live_;
+      std::vector<std::vector<EpochStatus>> status_out(p);
+      for (int d = 0; d < p; ++d) status_out[static_cast<std::size_t>(d)].push_back(st);
+      auto [deltas_in, status_in] = comm_.alltoallv_packed(delta_out, status_out);
+      if (metrics_ != nullptr) metrics_->counter("comm.packed_exchanges").inc();
+      for (const auto& batch : status_in) {
+        for (const EpochStatus& s : batch) {
+          epoch_global_moves += s.moves;
+          global_queued += s.queued;
+        }
+      }
+      // Apply received deltas: exact ghost assignments, *estimated* module
+      // masses. Exit probabilities cannot be corrected locally (the flows
+      // crossing a remote module's boundary are not visible here), so the
+      // table intentionally runs on stale statistics until the next
+      // reconciliation rebuilds it from the authoritative homes — that is
+      // the staleness the async_max_lag budget bounds.
+      for (int src = 0; src < p; ++src) {
+        for (const ModuleDeltaRecord& rec : deltas_in[src]) {
+          auto it = index_.find(rec.vertex);
+          if (it == index_.end()) continue;
+          const std::uint32_t g = it->second;
+          if (verts_[g].module == rec.new_module) continue;
+          verts_[g].module = rec.new_module;
+          const std::uint64_t t = tick();
+          stamp_assign(g, t);
+          if (auto om = modules_.find(rec.old_module); om != modules_.end()) {
+            om->second.sum_pr -= rec.node_flow;
+            if (om->second.num_members > 0) --om->second.num_members;
+            stamp_stats(rec.old_module, t);
+          }
+          if (auto nm = modules_.find(rec.new_module); nm != modules_.end()) {
+            nm->second.sum_pr += rec.node_flow;
+            ++nm->second.num_members;
+          } else {
+            ModuleStats stats;
+            stats.sum_pr = rec.node_flow;
+            // True exit flow is unknown here (reconciliation restores it);
+            // estimate it as the mover's out-flow rather than zero — a
+            // zero-exit module prices as a perfect sink in the map equation
+            // and the drains over-merge into it.
+            stats.exit_pr = rec.node_flow;
+            stats.num_members = 1;
+            modules_.emplace(rec.new_module, stats);
+          }
+          stamp_stats(rec.new_module, t);
+          ++wk(Phase::kSwapBoundaryInfo).module_updates;
+          for (std::uint32_t reader : ghost_readers_[g])
+            worklist_activate(reader, rec.gain);
+        }
+      }
+    }
+
+    const bool quiet = epoch_global_moves == 0 && global_queued == 0;
+    const bool lag_due = (epoch + 1) % lag == 0;
+
+    // --- reconciliation / termination -------------------------------------
+    std::uint64_t recon_moves = 0;
+    bool reconciled = false;
+    if (lag_due || quiet) {
+      recon_moves = async_reconcile(with_delegates, local_since_recon);
+      level_moves += recon_moves;
+      local_since_recon = 0;
+      ++recons_out;
+      reconciled = true;
+      last_was_recon = true;
+      if (current_level_ == 0) {
+        ++stage1_rounds_;
+        round_mdl_.push_back(codelength_);
+      }
+    }
+
+    // --- flight-recorder epoch sample -------------------------------------
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      obs::RoundSample sample;
+      sample.level = current_level_;
+      sample.round = round_index_;
+      sample.codelength = codelength_;  // last reconciled L unless reconciled
+      sample.exact_mdl = reconciled;
+      sample.is_epoch = true;
+      sample.moves = reconciled ? recon_moves : epoch_global_moves;
+      sample.rank_work = wk(Phase::kFindBestModule).arcs_scanned - arcs0;
+      sample.skipped_unsynced = skipped_unsynced_round_;
+      sample.worklist_pushed = wl_pushed_;
+      sample.worklist_popped = wl_popped_;
+      sample.worklist_requeued = wl_requeued_;
+      sample.worklist_stale = wl_stale_;
+      recorder_->record_round(comm_.rank(), sample);
+      if (trace_buf_ != nullptr) {
+        trace_buf_->counter("codelength", codelength_);
+        trace_buf_->counter("worklist_live", static_cast<double>(wl_live_));
+      }
+      if (metrics_ != nullptr) {
+        metrics_->counter("worklist.pushed").inc(wl_pushed_);
+        metrics_->counter("worklist.popped").inc(wl_popped_);
+        metrics_->counter("worklist.requeued").inc(wl_requeued_);
+        metrics_->counter("worklist.stale").inc(wl_stale_);
+        metrics_->counter("moves.skipped_unsynced").inc(skipped_unsynced_round_);
+      }
+    }
+    skipped_unsynced_total_ += skipped_unsynced_round_;
+    skipped_unsynced_round_ = 0;
+    wl_pushed_ = wl_popped_ = wl_requeued_ = wl_stale_ = 0;
+    ++round_index_;
+
+    if (reconciled) {
+      if (codelength_ < best_l) {
+        best_l = codelength_;
+        for (std::uint32_t li = 0; li < verts_.size(); ++li)
+          best_assign[li] = verts_[li].module;
+      }
+      // Same stopping rules as the synchronous round loop, evaluated on the
+      // exact per-reconciliation codelengths. A quiet epoch plus a move-free
+      // reconciliation is only terminal if the post-reconciliation
+      // reactivation sweeps queued nothing anywhere: reconciliation replaces
+      // stale estimates with exact statistics, and vertices it reactivates
+      // must get one drain on that exact state before the level may close.
+      if (quiet && recon_moves == 0 &&
+          comm_.allreduce<std::uint64_t>(wl_live_, comm::ReduceOp::kSum) == 0)
+        break;
+      // Break on the first regressing reconciliation, like the synchronous
+      // loop breaks on a regressing round — running further mostly deepens
+      // level-local merging at the expense of the later levels' granularity.
+      // Ending *in* the damaged state is impossible: the rollback below
+      // restores the best reconciled state of the level.
+      if (codelength_ > recon_l_prev + cfg_.round_theta) break;
+      if (recons_out >= cfg_.min_rounds &&
+          recon_l_prev - codelength_ < cfg_.round_theta)
+        break;
+      if (recons_out >= cfg_.max_rounds) break;
+      recon_l_prev = codelength_;
+    }
+  }
+
+  // The level must end on exact state (merge_level consumes homed_); if the
+  // epoch cap fired between reconciliations, settle once more.
+  if (!last_was_recon) {
+    level_moves += async_reconcile(with_delegates, local_since_recon);
+    ++recons_out;
+    if (current_level_ == 0) {
+      ++stage1_rounds_;
+      round_mdl_.push_back(codelength_);
+    }
+    ++round_index_;
+  }
+
+  // Rollback: if the level is about to close worse than its best reconciled
+  // state, restore that state. Every rank restores from its own snapshot
+  // (taken at the same reconciliation, so globally consistent), re-ships the
+  // restored boundary assignments, and rebuilds exact statistics with one
+  // more exchange. best_l is reproduced bitwise: the same assignment yields
+  // the same home aggregation and the same reduction.
+  if (codelength_ > best_l) {
+    const std::uint64_t t = tick();
+    if (dirty_flag_.size() != verts_.size())
+      dirty_flag_.assign(verts_.size(), 0);
+    for (std::uint32_t li : dirty_owned_) dirty_flag_[li] = 1;
+    for (std::uint32_t li = 0; li < verts_.size(); ++li) {
+      if (verts_[li].module == best_assign[li]) continue;
+      verts_[li].module = best_assign[li];
+      stamp_assign(li, t);
+      if (verts_[li].kind == Kind::kOwned && !dirty_flag_[li]) {
+        dirty_flag_[li] = 1;
+        dirty_owned_.push_back(li);
+      }
+    }
+    swap_boundary_info();
+    other_update(0, 0);
+    ++recons_out;
+    if (current_level_ == 0) {
+      ++stage1_rounds_;
+      round_mdl_.push_back(codelength_);
+    }
+    ++round_index_;
+  }
+  return level_moves;
 }
 
 // ---------------------------------------------------------------------------
@@ -971,19 +1520,26 @@ void DistRank::execute() {
     info.level = 0;
     info.level_vertices = level_n_;
     info.codelength_before = codelength_;
-    for (int i = 0; i < cfg_.max_rounds; ++i) {
-      const double before = codelength_;
-      const RoundResult rr = round(/*with_delegates=*/true, rng);
-      info.moves += rr.global_moves;
-      ++info.inner_passes;
-      ++stage1_rounds_;
-      round_mdl_.push_back(codelength_);
-      if (rr.global_moves == 0) break;
-      // Conflicting synchronous moves can overshoot; stop the level rather
-      // than keep trading regressions.
-      if (codelength_ > before + cfg_.round_theta) break;
-      if (i + 1 >= cfg_.min_rounds && before - codelength_ < cfg_.round_theta)
-        break;
+    if (cfg_.async) {
+      int recons = 0;
+      info.moves += async_level(/*with_delegates=*/true, recons);
+      info.inner_passes = recons;  // stage1_rounds_/round_mdl_ updated inside
+    } else {
+      for (int i = 0; i < cfg_.max_rounds; ++i) {
+        const double before = codelength_;
+        const RoundResult rr = round(/*with_delegates=*/true, rng);
+        info.moves += rr.global_moves;
+        ++info.inner_passes;
+        ++stage1_rounds_;
+        round_mdl_.push_back(codelength_);
+        if (rr.global_moves == 0) break;
+        // Conflicting synchronous moves can overshoot; stop the level rather
+        // than keep trading regressions.
+        if (codelength_ > before + cfg_.round_theta) break;
+        if (i + 1 >= cfg_.min_rounds &&
+            before - codelength_ < cfg_.round_theta)
+          break;
+      }
     }
     info.codelength_after = codelength_;
     info.num_modules = static_cast<VertexId>(alive_modules_);
@@ -1007,15 +1563,22 @@ void DistRank::execute() {
       info.level = level;
       info.level_vertices = level_n_;
       info.codelength_before = codelength_;
-      for (int i = 0; i < cfg_.max_rounds; ++i) {
-        const double before = codelength_;
-        const RoundResult rr = round(/*with_delegates=*/false, rng);
-        info.moves += rr.global_moves;
-        ++info.inner_passes;
-        if (rr.global_moves == 0) break;
-        if (codelength_ > before + cfg_.round_theta) break;
-        if (i + 1 >= cfg_.min_rounds && before - codelength_ < cfg_.round_theta)
-          break;
+      if (cfg_.async) {
+        int recons = 0;
+        info.moves += async_level(/*with_delegates=*/false, recons);
+        info.inner_passes = recons;
+      } else {
+        for (int i = 0; i < cfg_.max_rounds; ++i) {
+          const double before = codelength_;
+          const RoundResult rr = round(/*with_delegates=*/false, rng);
+          info.moves += rr.global_moves;
+          ++info.inner_passes;
+          if (rr.global_moves == 0) break;
+          if (codelength_ > before + cfg_.round_theta) break;
+          if (i + 1 >= cfg_.min_rounds &&
+              before - codelength_ < cfg_.round_theta)
+            break;
+        }
       }
       info.codelength_after = codelength_;
       info.num_modules = static_cast<VertexId>(alive_modules_);
@@ -1076,6 +1639,7 @@ perf::WorkCounters DistRank::stage_work(int stage) const {
   perf::WorkCounters stage2;
   stage2.arcs_scanned = total.arcs_scanned - stage1.arcs_scanned;
   stage2.delta_evals = total.delta_evals - stage1.delta_evals;
+  stage2.pruned_evals = total.pruned_evals - stage1.pruned_evals;
   stage2.module_updates = total.module_updates - stage1.module_updates;
   stage2.messages = total.messages - stage1.messages;
   stage2.bytes = total.bytes - stage1.bytes;
@@ -1113,6 +1677,11 @@ obs::RunReport build_run_report(const graph::Csr& graph,
   rep.add_config("min_label", config.min_label);
   rep.add_config("whole_module_swap", config.whole_module_swap);
   rep.add_config("exact_hub_moves", config.exact_hub_moves);
+  rep.add_config("active_set", config.active_set);
+  rep.add_config("async", config.async);
+  if (config.async)
+    rep.add_config("async_max_lag",
+                   static_cast<std::uint64_t>(config.async_max_lag));
   rep.add_config("plogp_memo", config.plogp_memo);
   rep.add_config("chaos_delay_us",
                  static_cast<std::uint64_t>(config.chaos_delay_us));

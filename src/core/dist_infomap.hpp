@@ -75,6 +75,27 @@ struct DistInfomapConfig {
   /// alltoallv of (hub, module, flow) records per round; improves quality on
   /// hub-dominated graphs (see bench_ablation_hubmoves).
   bool exact_hub_moves = false;
+  /// Deterministic active-set fast path for the synchronous engine: rounds
+  /// after the first skip vertices whose neighborhood (neighbor assignments,
+  /// candidate-module statistics, own stats) is unchanged since their last
+  /// evaluation *and* whose recorded rejection margin provably survives the
+  /// global q_total drift since then (DESIGN.md §12). Same fixed point, same
+  /// bits: the partition and MDL are bit-identical to full sweeps for any
+  /// thread count (asserted by tests/test_async.cpp); skipped evaluations are
+  /// counted in the `moves.pruned` metric.
+  bool active_set = false;
+  /// Asynchronous priority-driven engine: per-rank deterministic worklist
+  /// (max-heap on (|ΔL| gain estimate, vertex id)) drained in epochs that
+  /// exchange module deltas through one packed collective instead of the
+  /// five-collective synchronous round. Bounded staleness: local module
+  /// statistics drift between reconciliations. Deterministic for a fixed
+  /// (graph, seed, num_ranks, async_max_lag); converges to an MDL within the
+  /// quality band asserted by tests (±1% of the synchronous reference).
+  bool async = false;
+  /// Staleness budget of the async engine: a reconciliation exchange (hub
+  /// consensus + whole-module swap + exact L) runs every `async_max_lag`
+  /// epochs, bounding how far rank-local statistics may diverge.
+  int async_max_lag = 4;
   /// Route the hot-path plogp calls through a per-rank memo (exact cache of
   /// x·log2(x) keyed on the bit pattern of x — results are bit-identical to
   /// the uncached path by construction; asserted under chaos by the

@@ -135,6 +135,64 @@ class DistRank {
 
   void apply_local_move(std::uint32_t li, const BestMove& mv);
 
+  // ---- event clock & active-set pruning (DESIGN.md §12) -------------------
+  /// §3.4 anti-bouncing, per-pair deterministic tiebreak: (mass, label)
+  /// defines a total order over modules and a non-singleton boundary move
+  /// yields iff it goes downhill in that order. A pure function of module
+  /// state — no shared round counter — so the decision is identical on every
+  /// rank at any time: sound under full sweeps, active-set pruning, and
+  /// async epochs alike.
+  [[nodiscard]] bool min_label_yields(ModuleId cur, ModuleId target);
+
+  /// (Re)size the stamp arrays for the current level; called lazily at the
+  /// top of every round/epoch so merge_level never has to know about them.
+  void ensure_activity_state();
+  std::uint64_t tick() { return ++clock_; }
+  void stamp_assign(std::uint32_t li, std::uint64_t t) {
+    // Bounds check covers the window between init_singleton_modules (which
+    // clears the arrays on a level change) and the next ensure_activity_state;
+    // a missed stamp there is harmless because the arrays are rebuilt with
+    // "everything active" anyway.
+    if (track_activity_ && li < assign_stamp_.size()) assign_stamp_[li] = t;
+  }
+  void stamp_stats(ModuleId m, std::uint64_t t) {
+    if (track_activity_ && m < stat_stamp_.size()) stat_stamp_[m] = t;
+  }
+  /// True when re-evaluating `li` provably reproduces its last (no-move)
+  /// outcome: no neighbor assignment, candidate-module statistic, or own
+  /// statistic changed since the last evaluation, and the recorded rejection
+  /// margin survives the global q_total drift (the margin-bound argument of
+  /// DESIGN.md §12 — this is what makes the skip *exact*, not heuristic).
+  [[nodiscard]] bool can_prune(std::uint32_t li) const;
+  /// Record the outcome of a completed evaluation of `li` for future
+  /// can_prune decisions. `margin` is the smallest rejection slack observed
+  /// across evaluated candidates (+inf when every candidate was skipped).
+  /// The min-label guard needs no extra state here: its verdict is a pure
+  /// function of the module pair, itself covered by the assignment stamps.
+  void note_evaluated(std::uint32_t li, bool found, double margin) {
+    if (!track_activity_) return;
+    last_eval_[li] = clock_;
+    last_q_[li] = q_total_;
+    last_margin_[li] = found ? 0.0 : margin;
+  }
+
+  // ---- async priority-worklist engine (DESIGN.md §12) ---------------------
+  /// Run one level's move scheduling with the async engine: epochs of
+  /// priority-ordered local drains + one packed delta exchange each, with a
+  /// full reconciliation every `async_max_lag` epochs. Returns the global
+  /// move count of the level and reports the number of reconciliations in
+  /// `recons_out`; on return the usual post-level state (exact homed_ stats,
+  /// exact L) is in place, as after a synchronous round loop.
+  std::uint64_t async_level(bool with_delegates, int& recons_out);
+  /// Push/raise `li` on the worklist with priority `prio` (lazy deletion:
+  /// stale entries are discarded at pop time).
+  void worklist_activate(std::uint32_t li, double prio);
+  /// Reconciliation: hub consensus (stage 1), whole-module swap, exact L;
+  /// then a stamp-driven sweep reactivates every vertex can_prune cannot
+  /// clear. Returns the epoch's global move count (allreduced).
+  std::uint64_t async_reconcile(bool with_delegates,
+                                std::uint64_t local_moves_since);
+
   // ---- intra-rank thread parallelism (threads_per_rank > 1) --------------
   /// One cached neighbor-flow entry from the parallel propose phase: the
   /// per-module flow gather of best_move_for, frozen against the pass-start
@@ -152,6 +210,11 @@ class DistRank {
     std::uint32_t begin = 0;  ///< first entry in the slot's cache
     std::uint32_t count = 0;
     double f_to_old = 0;      ///< flow into the vertex's own module
+    /// Active-set: can_prune held against the pass-start stamps, so no
+    /// gather was taken. The serial commit re-checks against live stamps
+    /// (activation is monotone within a round) and either skips — exactly as
+    /// the serial sweep would — or falls back to a fresh full evaluation.
+    std::uint8_t pruned = 0;
   };
   /// Parallel propose / serial commit move pass — bit-identical to the
   /// serial find_best_modules loop for any thread count (DESIGN.md §10).
@@ -290,6 +353,49 @@ class DistRank {
   /// counted so the invariant watchdog can flag pathological skip rates.
   std::uint64_t skipped_unsynced_round_ = 0;
   std::uint64_t skipped_unsynced_total_ = 0;
+
+  // ---- event clock & active-set state (cfg_.active_set || cfg_.async) -----
+  /// Master switch resolved once in the ctor; false keeps every stamp site a
+  /// dead branch and the arrays empty.
+  bool track_activity_ = false;
+  std::uint64_t clock_ = 1;  ///< per-rank monotone event clock
+  /// Per local vertex: clock at its last module-assignment change (own move,
+  /// hub winner, ghost update).
+  std::vector<std::uint64_t> assign_stamp_;
+  /// Per module id (< level_n_ — module ids are current-level vertex ids):
+  /// clock at the last statistics change visible in the local table.
+  std::vector<std::uint64_t> stat_stamp_;
+  /// Per local vertex: clock at its last completed evaluation (0 = never).
+  std::vector<std::uint64_t> last_eval_;
+  /// Rejection margin at the last no-move evaluation: min over evaluated
+  /// candidates of (ΔL + move_epsilon) — how far the best candidate was from
+  /// acceptance.
+  std::vector<double> last_margin_;
+  /// q_total_ at the last evaluation (the margin is only valid against
+  /// bounded q drift; see can_prune).
+  std::vector<double> last_q_;
+  /// Pre-swap module table kept for the refresh diff: whole_module_swap
+  /// replaces the table wholesale, and only entries that actually changed
+  /// bitwise may stamp (otherwise every module would reactivate every round
+  /// and the fast path would never prune).
+  util::FlatMap<ModuleId, ModuleStats> prev_modules_;
+  std::uint64_t pruned_round_ = 0;  ///< active-set skips this round
+
+  // ---- async worklist state (cfg_.async) ----------------------------------
+  struct WorklistItem {
+    double prio = 0;
+    std::uint32_t li = 0;
+  };
+  std::vector<WorklistItem> heap_;       ///< max-heap: (prio, smaller li) wins
+  std::vector<double> queued_prio_;      ///< per vertex; negative = not queued
+  std::vector<std::uint8_t> dirty_flag_; ///< async dedup for dirty_owned_
+  std::uint64_t wl_live_ = 0;            ///< live (non-stale) queued entries
+  /// Per local *non-owned* vertex: owned local readers (reverse adjacency),
+  /// built per level in async mode so an incoming delta for a ghost/hub can
+  /// reactivate exactly the local vertices that read it.
+  std::vector<std::vector<std::uint32_t>> ghost_readers_;
+  std::uint64_t wl_pushed_ = 0, wl_popped_ = 0, wl_requeued_ = 0,
+                wl_stale_ = 0;  ///< per-epoch worklist traffic
 
   double q_total_ = 0;
   double codelength_ = 0;

@@ -20,6 +20,9 @@ DistRank::DistRank(comm::Comm& comm, const partition::ArcPartition& part,
     pool_ = std::make_unique<util::ThreadPool>(cfg_.threads_per_rank);
     scratch_.resize(static_cast<std::size_t>(cfg_.threads_per_rank));
   }
+  // Event-clock activity tracking feeds both the active-set fast path and
+  // the async worklist; off (the default) every stamp site is a dead branch.
+  track_activity_ = cfg_.active_set || cfg_.async;
   obs::SpanScope span(trace_buf_, "Setup");
   setup_stage1(part);
 }
@@ -195,6 +198,21 @@ void DistRank::init_singleton_modules() {
   modules_.clear();
   dirty_owned_.clear();
   round_index_ = 0;
+  if (track_activity_) {
+    // Force a full activity reset at the next round/epoch: vertex and module
+    // id spaces change across levels, so stamps must not carry over (the
+    // stamp helpers bounds-check, making the window between here and the
+    // next ensure_activity_state safe).
+    assign_stamp_.clear();
+    stat_stamp_.clear();
+    last_eval_.clear();
+    prev_modules_.clear();
+    heap_.clear();
+    queued_prio_.clear();
+    dirty_flag_.clear();
+    ghost_readers_.clear();
+    wl_live_ = 0;
+  }
   for (auto& lv : verts_) {
     lv.module = lv.global;
     if (lv.kind == Kind::kGhost) continue;

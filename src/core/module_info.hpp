@@ -114,4 +114,28 @@ struct FinalModuleRecord {
   ModuleId module = 0;
 };
 
+/// Async engine: one committed move, pushed unsolicited to every subscriber
+/// of the moved vertex at the end of the epoch (same push shape as the
+/// final-projection records — subscribers were registered up front, so no
+/// query/answer round trip). Receivers update their ghost copy, adjust module
+/// mass estimates by `node_flow`, and reactivate local readers with priority
+/// `gain` (the mover's achieved |ΔL|).
+struct ModuleDeltaRecord {
+  graph::VertexId vertex = 0;
+  std::uint32_t pad_ = 0;
+  ModuleId old_module = 0;
+  ModuleId new_module = 0;
+  double node_flow = 0;
+  double gain = 0;
+};
+
+/// Async engine: per-rank epoch summary, piggybacked on the same packed
+/// exchange as the delta records (broadcast to all ranks). Global quiescence
+/// — every rank reporting zero moves and an empty worklist — is then
+/// detectable without an extra collective.
+struct EpochStatus {
+  std::uint64_t moves = 0;   ///< moves this rank committed this epoch
+  std::uint64_t queued = 0;  ///< live worklist entries after the drain
+};
+
 }  // namespace dinfomap::core

@@ -11,6 +11,7 @@ void MetricsRegistry::absorb(const comm::CommCounters& c,
   counter(prefix + ".collective_messages").set(c.collective_messages);
   counter(prefix + ".collective_bytes").set(c.collective_bytes);
   counter(prefix + ".collective_calls").set(c.collective_calls);
+  counter(prefix + ".packed_streams").set(c.packed_streams);
   counter(prefix + ".retransmit_requests").set(c.retransmit_requests);
   counter(prefix + ".retransmits").set(c.retransmits);
   counter(prefix + ".dup_frames_dropped").set(c.dup_frames_dropped);

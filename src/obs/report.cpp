@@ -31,6 +31,7 @@ std::string num(double v) {
 void append_work(std::ostream& os, const perf::WorkCounters& w) {
   os << "{\"arcs_scanned\": " << w.arcs_scanned
      << ", \"delta_evals\": " << w.delta_evals
+     << ", \"pruned_evals\": " << w.pruned_evals
      << ", \"module_updates\": " << w.module_updates
      << ", \"messages\": " << w.messages << ", \"bytes\": " << w.bytes << "}";
 }
@@ -140,6 +141,7 @@ std::string RunReport::to_json() const {
        << ", \"collective_messages\": " << comm[r].collective_messages
        << ", \"collective_bytes\": " << comm[r].collective_bytes
        << ", \"collective_calls\": " << comm[r].collective_calls
+       << ", \"packed_streams\": " << comm[r].packed_streams
        << ", \"retransmit_requests\": " << comm[r].retransmit_requests
        << ", \"retransmits\": " << comm[r].retransmits
        << ", \"dup_frames_dropped\": " << comm[r].dup_frames_dropped

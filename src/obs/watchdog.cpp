@@ -28,17 +28,28 @@ std::vector<Anomaly> analyze_rounds(
 
   // Non-monotone global MDL: L after a round should not exceed L after the
   // previous round beyond tolerance. Rank 0's stream carries the global
-  // value (identical on all ranks by the allreduce).
+  // value (identical on all ranks by the allreduce). Only exact samples
+  // enter the comparison — async drain epochs record the last reconciled L
+  // and flag it stale, and judging a stale estimate against an exact value
+  // would manufacture regressions.
   const auto& s0 = streams.front();
-  for (std::size_t i = 1; i < s0.size(); ++i) {
-    const double regression = s0[i].codelength - s0[i - 1].codelength;
-    if (regression > options.mdl_tolerance) {
-      std::ostringstream os;
-      os.precision(12);
-      os << "L rose " << s0[i - 1].codelength << " -> " << s0[i].codelength
-         << " (+" << regression << ")";
-      out.push_back({-1, s0[i].level, s0[i].round, "mdl_regression", os.str()});
+  bool have_prev = false;
+  double prev_l = 0;
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    if (!s0[i].exact_mdl) continue;
+    if (have_prev) {
+      const double regression = s0[i].codelength - prev_l;
+      if (regression > options.mdl_tolerance) {
+        std::ostringstream os;
+        os.precision(12);
+        os << "L rose " << prev_l << " -> " << s0[i].codelength << " (+"
+           << regression << ")";
+        out.push_back(
+            {-1, s0[i].level, s0[i].round, "mdl_regression", os.str()});
+      }
     }
+    have_prev = true;
+    prev_l = s0[i].codelength;
   }
 
   // Per-round work skew across ranks.
@@ -85,6 +96,44 @@ std::vector<Anomaly> analyze_rounds(
         out.push_back({static_cast<int>(r), s.level, s.round,
                        "unsynced_skip_rate", os.str()});
       }
+    }
+  }
+
+  // Async worklist thrashing: requeues dominating pops means vertices are
+  // reactivated faster than the drain retires them — the staleness budget is
+  // too loose for the graph (ranks keep invalidating each other's work).
+  for (std::size_t i = 0; i < common; ++i) {
+    for (std::size_t r = 0; r < streams.size(); ++r) {
+      const RoundSample& s = streams[r][i];
+      if (!s.is_epoch || s.worklist_popped < options.min_worklist_popped)
+        continue;
+      const double ratio = static_cast<double>(s.worklist_requeued) /
+                           static_cast<double>(s.worklist_popped);
+      if (ratio > options.worklist_thrash_ratio) {
+        std::ostringstream os;
+        os << "rank " << r << " requeued " << s.worklist_requeued
+           << " vertices against " << s.worklist_popped << " pops ("
+           << ratio << "x)";
+        out.push_back({static_cast<int>(r), s.level, s.round,
+                       "worklist_thrash", os.str()});
+      }
+    }
+  }
+
+  // Async starvation: a rank with a dead worklist while the epoch still
+  // moves many vertices globally is cut out of the priority schedule —
+  // usually a partitioning or activation-propagation problem.
+  for (std::size_t i = 0; i < common; ++i) {
+    for (std::size_t r = 0; r < streams.size(); ++r) {
+      const RoundSample& s = streams[r][i];
+      if (!s.is_epoch) continue;
+      if (s.worklist_popped != 0 || s.worklist_pushed != 0) continue;
+      if (s.moves < options.starved_min_global_moves) continue;
+      std::ostringstream os;
+      os << "rank " << r << " worklist idle while the epoch moved " << s.moves
+         << " vertices globally";
+      out.push_back({static_cast<int>(r), s.level, s.round,
+                     "starved_worklist", os.str()});
     }
   }
   return out;

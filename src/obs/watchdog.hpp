@@ -25,6 +25,22 @@ struct RoundSample {
   /// module churn; a persistently high rate means the swap protocol is
   /// starving the move search.
   std::uint64_t skipped_unsynced = 0;
+  /// Vertex evaluations the active-set fast path skipped this round (sync
+  /// engine; 0 when the fast path is off).
+  std::uint64_t pruned = 0;
+  /// True when `codelength` is an exact post-allreduce global value (every
+  /// synchronous round; async reconciliation epochs). Async drain epochs
+  /// record the last reconciled value instead and mark it stale here, so the
+  /// MDL-monotonicity rule must only compare exact samples.
+  bool exact_mdl = true;
+  /// Async engine: set on epoch samples (including reconciliation epochs) so
+  /// the worklist rules below only judge worklist-driven rounds.
+  bool is_epoch = false;
+  // Async worklist traffic of the epoch (all zero for synchronous rounds).
+  std::uint64_t worklist_pushed = 0;    ///< first-time activations enqueued
+  std::uint64_t worklist_popped = 0;    ///< live entries drained & evaluated
+  std::uint64_t worklist_requeued = 0;  ///< priority re-raises of queued vertices
+  std::uint64_t worklist_stale = 0;     ///< lazy-deletion pops discarded
 };
 
 /// A detected invariant violation. `rank < 0` means "global" (derived from
@@ -55,6 +71,19 @@ struct WatchdogOptions {
   /// Rounds with fewer skips than this are below the noise floor for a
   /// skip-rate verdict.
   std::uint64_t min_skip_samples = 256;
+  /// Async worklist thrashing: flag an epoch where a rank's
+  /// `worklist_requeued / worklist_popped` exceeds this ratio — the same
+  /// vertices keep re-entering the queue faster than they are drained, i.e.
+  /// the staleness budget is letting ranks chase each other's tails.
+  double worklist_thrash_ratio = 4.0;
+  /// Epochs draining fewer live entries than this are below the noise floor
+  /// for a thrash verdict.
+  std::uint64_t min_worklist_popped = 256;
+  /// Async starvation: flag an epoch where a rank's worklist was completely
+  /// idle (nothing popped, nothing pushed) while the epoch still moved at
+  /// least this many vertices globally — the priority schedule has starved
+  /// that rank out of useful work.
+  std::uint64_t starved_min_global_moves = 64;
 };
 
 /// Analyze per-rank round streams (`streams[r]` is rank r's samples, all the

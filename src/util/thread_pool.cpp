@@ -25,15 +25,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_inline(const std::function<void(int)>& fn) {
-  for (int slot = 0; slot < num_threads_; ++slot) {
-    Timer t;
-    fn(slot);
-    slot_seconds_[static_cast<std::size_t>(slot)] = t.seconds();
-  }
+  // Nested dispatch only: the outer job's workers are still running and
+  // still own their slot_seconds_ entries, so record no per-slot times here
+  // — the nested work is timed as part of the enclosing slot's measurement.
+  for (int slot = 0; slot < num_threads_; ++slot) fn(slot);
 }
 
 void ThreadPool::run_slots(const std::function<void(int)>& fn) {
-  ++dispatches_;
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ == 1) {
     Timer t;
     fn(0);

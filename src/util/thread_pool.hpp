@@ -69,7 +69,9 @@ class ThreadPool {
   }
 
   /// Cumulative run_slots invocations (each dispatches num_threads tasks).
-  [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
+  [[nodiscard]] std::uint64_t dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop(int slot);
@@ -97,7 +99,9 @@ class ThreadPool {
   /// caller's reads.
   std::vector<std::exception_ptr> errors_;  ///< per slot
   std::vector<double> slot_seconds_;        ///< per slot, last dispatch
-  std::uint64_t dispatches_ = 0;
+  /// Atomic because a nested dispatch increments it from inside a running
+  /// slot, concurrently with nothing else *except* another nesting slot.
+  std::atomic<std::uint64_t> dispatches_{0};
 };
 
 }  // namespace dinfomap::util

@@ -13,6 +13,19 @@
 //                     reductions, message layouts, label assignment — silently
 //                     breaks the bit-reproducibility contract. Fix with
 //                     util::sorted_keys / util::sorted_elems, or justify.
+//                     Note — shared-round-counter: the same hidden-coupling
+//                     bug also hides in *shared counters*: keying a per-pair
+//                     decision on a global round index (e.g. the old
+//                     `round_index_ & 1` tiebreak in the min-label guard)
+//                     silently couples the decision to how many rounds every
+//                     OTHER vertex has run, which breaks as soon as an engine
+//                     advances the counter differently (the async engine's
+//                     epochs vs the sync engine's rounds). Prefer verdicts
+//                     that are pure functions of the entities being compared
+//                     (see DistRank::min_label_yields). No automated rule
+//                     fires on this — counters are indistinguishable from
+//                     legitimate state at token level — so it rides here as a
+//                     review checklist item for order-sensitive dirs.
 //   raw-rng           rand()/srand()/std::random_device/std::mt19937 outside
 //                     src/util/random.* — all randomness must flow from the
 //                     seeded util::Xoshiro256 / derive_seed plumbing.
