@@ -36,7 +36,8 @@ int main() {
                 "DESIGN.md S12 (beyond the paper: async priority worklist)");
   bench::CsvSink csv("async_convergence",
                      {"dataset", "ranks", "engine", "move_evals", "pruned_evals",
-                      "rounds", "wall_ms", "final_L", "vs_sync_pct"});
+                      "rounds", "wall_ms", "final_L", "vs_sync_pct", "wait_pct",
+                      "critical_path_ms"});
   bench::JsonSink json("async");
 
   for (const char* name : {"amazon", "dblp", "ndweb", "youtube"}) {
@@ -51,6 +52,7 @@ int main() {
       for (const char* engine : {"sync-full", "sync-active-set", "async"}) {
         core::DistInfomapConfig cfg;
         cfg.num_ranks = p;
+        cfg.obs.enabled = true;  // causal profile; results are unchanged
         if (engine[0] == 's' && engine[5] == 'a') cfg.active_set = true;
         if (engine[0] == 'a') cfg.async = true;
         const auto r = core::distributed_infomap(data.csr, cfg);
@@ -61,12 +63,27 @@ int main() {
             1000.0 * (r.stage1_wall_seconds + r.stage2_wall_seconds);
         const double vs_sync =
             sync_l > 0 ? 100.0 * (r.codelength - sync_l) / sync_l : 0.0;
-        std::printf("%-3d %-16s %-12llu %-12llu %-7d %-10.1f %-10.5f %+8.2f%%\n",
+        // Wait share and critical path from the causal profile: the async
+        // engine's pitch is precisely "less time blocked at barriers", so
+        // this is the column that should drop from sync-full to async.
+        double wait_pct = 0;
+        double critical_ms = 0;
+        if (r.report.has_profile) {
+          double wait_us = 0, wall_us = 0;
+          for (const auto& rr : r.report.profile.ranks) {
+            wait_us += rr.wait_us;
+            wall_us += rr.wall_us;
+          }
+          wait_pct = wall_us > 0 ? 100.0 * wait_us / wall_us : 0.0;
+          critical_ms = r.report.profile.critical_path_us / 1000.0;
+        }
+        std::printf("%-3d %-16s %-12llu %-12llu %-7d %-10.1f %-10.5f %+8.2f%% "
+                    "wait %4.1f%%\n",
                     p, engine, static_cast<unsigned long long>(evals),
                     static_cast<unsigned long long>(pruned), r.stage1_rounds,
-                    wall, r.codelength, vs_sync);
+                    wall, r.codelength, vs_sync, wait_pct);
         csv.row(name, p, engine, evals, pruned, r.stage1_rounds, wall,
-                r.codelength, vs_sync);
+                r.codelength, vs_sync, wait_pct, critical_ms);
         json.begin_row()
             .field("dataset", name)
             .field("ranks", p)
@@ -76,7 +93,9 @@ int main() {
             .field("rounds", r.stage1_rounds)
             .field("wall_ms", wall)
             .field("final_L", r.codelength)
-            .field("vs_sync_pct", vs_sync);
+            .field("vs_sync_pct", vs_sync)
+            .field("wait_pct", wait_pct)
+            .field("critical_path_ms", critical_ms);
       }
     }
   }

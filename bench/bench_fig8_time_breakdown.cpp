@@ -17,7 +17,7 @@ int main() {
   const perf::CostModel model;
   bench::CsvSink csv("fig8_time_breakdown",
                      {"dataset", "ranks", "rounds", "find_best_ms", "bcast_ms",
-                      "swap_ms", "other_ms"});
+                      "swap_ms", "other_ms", "wait_pct", "straggler_phase"});
   bench::JsonSink json("fig8_time_breakdown");
 
   for (const char* name : {"uk2005", "webbase2001", "friendster", "uk2007"}) {
@@ -47,8 +47,26 @@ int main() {
         std::printf("%-12.3f ", per_phase_ms[ph]);
       }
       std::printf("\n");
+      // Measured-side view from the causal profile digest: how much of the
+      // wall the mean rank spent blocked, and where collective wait piles up.
+      double wait_pct = 0;
+      std::string straggler_phase = "-";
+      if (rep.has_profile) {
+        double wait = 0, wall = 0;
+        for (const auto& rr : rep.profile.ranks) {
+          wait += rr.wait_us;
+          wall += rr.wall_us;
+        }
+        wait_pct = wall > 0 ? 100.0 * wait / wall : 0.0;
+        if (!rep.profile.phases.empty())
+          straggler_phase = rep.profile.phases.front().name;  // max wait_us
+        std::printf("      profile: wait %.1f%%, critical path %.1f ms, top "
+                    "wait phase %s\n",
+                    wait_pct, rep.profile.critical_path_us / 1000.0,
+                    straggler_phase.c_str());
+      }
       csv.row(name, p, rep.stage1_rounds, per_phase_ms[0], per_phase_ms[1],
-              per_phase_ms[2], per_phase_ms[3]);
+              per_phase_ms[2], per_phase_ms[3], wait_pct, straggler_phase);
       json.begin_row()
           .field("dataset", name)
           .field("ranks", p)
@@ -57,6 +75,9 @@ int main() {
           .field("bcast_ms", per_phase_ms[1])
           .field("swap_ms", per_phase_ms[2])
           .field("other_ms", per_phase_ms[3])
+          .field("wait_pct", wait_pct)
+          .field("critical_path_ms", rep.profile.critical_path_us / 1000.0)
+          .field("straggler_phase", straggler_phase)
           .report_field("run_report", rep);
     }
   }

@@ -57,6 +57,24 @@ fi
 step "tier-1 ctest"
 ctest --test-dir "$werror_dir" --output-on-failure -j "$jobs"
 
+# --- Leg 5: bench drift vs checked-in baselines (informational). ---------
+# Reruns the engine-comparison bench and diffs its artifact against
+# bench_results/. Deterministic metrics (final_L, eval counters) must
+# reproduce bit-for-bit; timing columns get a loose band. Never fails the
+# gate — a slow or loaded machine is not a regression — but the delta table
+# lands in the CI log for humans.
+step "benchdiff vs bench_results/ baselines (informational)"
+benchdiff_tmp="$(mktemp -d)"
+if (cd "$benchdiff_tmp" && "$werror_dir/bench/bench_async_convergence" \
+      >bench.log 2>&1); then
+  "$werror_dir/tools/benchdiff/benchdiff" "$root/bench_results" \
+    "$benchdiff_tmp/bench_results" || true
+else
+  echo "bench run failed; benchdiff skipped (informational leg)"
+  tail -5 "$benchdiff_tmp/bench.log" || true
+fi
+rm -rf "$benchdiff_tmp"
+
 if [ "$mode" = "quick" ]; then
   step "quick gate passed"
   exit 0

@@ -27,6 +27,7 @@
 #include "graph/gen/generators.hpp"
 #include "graph/stats.hpp"
 #include "io/clustering_io.hpp"
+#include "obs/profile.hpp"
 #include "io/tree_io.hpp"
 #include "partition/metrics.hpp"
 #include "quality/community_stats.hpp"
@@ -44,6 +45,7 @@ int usage() {
                "  dinfomap_cli cluster <edges.txt> <out.clu> [--algo seq|dist|louvain|lpa|relaxmap]\n"
                "                [--ranks N] [--threads T] [--seed S] [--tree out.tree]\n"
                "                [--trace out.trace.json] [--report out.report.json]  (dist only)\n"
+               "                [--profile out.profile.json] [--profile-summary]  (dist only)\n"
                "                [--faults drop=P,dup=P,reorder=P,corrupt=P[,stall=R][,seed=S]]\n"
                "                [--watchdog-ms N]  (dist only; e.g. --faults drop=0.01,dup=0.01)\n"
                "                [--active-set]  (dist only: exact pruning of unchanged vertices)\n"
@@ -112,6 +114,51 @@ bool parse_fault_spec(const std::string& spec, comm::FaultPlan* plan) {
   return true;
 }
 
+// One-page causal-profile table: critical path, per-rank wall decomposition,
+// and the phases where collective wait concentrates (--profile-summary).
+void print_profile_summary(const obs::ProfileDigest& d) {
+  std::printf("\n-- causal profile (%s) --\n", d.schema.c_str());
+  std::printf("wall %.2f ms, critical path %.2f ms (%.0f%% of wall), "
+              "%llu messages",
+              d.wall_us / 1000.0, d.critical_path_us / 1000.0,
+              d.wall_us > 0 ? 100.0 * d.critical_path_us / d.wall_us : 0.0,
+              static_cast<unsigned long long>(d.messages));
+  if (d.unmatched_sends + d.unmatched_recvs > 0)
+    std::printf(" (%llu unmatched)",
+                static_cast<unsigned long long>(d.unmatched_sends +
+                                                d.unmatched_recvs));
+  std::printf("\n%-5s %10s %8s %8s %8s %7s\n", "rank", "wall ms", "wait%",
+              "comm%", "comp%", "coll ms");
+  for (const auto& rp : d.ranks) {
+    const double w = rp.wall_us > 0 ? rp.wall_us : 1.0;
+    std::printf("%-5d %10.2f %7.1f%% %7.1f%% %7.1f%% %7.2f\n", rp.rank,
+                rp.wall_us / 1000.0, 100.0 * rp.wait_us / w,
+                100.0 * rp.comm_us / w, 100.0 * rp.compute_us / w,
+                rp.collective_wait_us / 1000.0);
+  }
+  if (!d.phases.empty()) {
+    std::printf("top straggler phases (by collective wait):\n");
+    std::printf("%-18s %6s %10s %10s %9s %6s\n", "phase", "colls", "wait ms",
+                "skew ms", "straggler", "share");
+    const std::size_t top = std::min<std::size_t>(5, d.phases.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& ph = d.phases[i];
+      double caused = 0;
+      int culprit = -1;
+      for (std::size_t rr = 0; rr < ph.caused_wait_us.size(); ++rr) {
+        if (ph.caused_wait_us[rr] > caused) {
+          caused = ph.caused_wait_us[rr];
+          culprit = static_cast<int>(rr);
+        }
+      }
+      std::printf("%-18s %6llu %10.2f %10.2f %9d %5.0f%%\n", ph.name.c_str(),
+                  static_cast<unsigned long long>(ph.instances),
+                  ph.wait_us / 1000.0, ph.max_skew_us / 1000.0, culprit,
+                  ph.wait_us > 0 ? 100.0 * caused / ph.wait_us : 0.0);
+    }
+  }
+}
+
 int cmd_cluster(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string in = argv[2];
@@ -120,6 +167,8 @@ int cmd_cluster(int argc, char** argv) {
   std::string tree_out;
   std::string trace_out;
   std::string report_out;
+  std::string profile_out;
+  bool profile_summary = false;
   int ranks = 4;
   int threads = 1;
   std::uint64_t seed = 42;
@@ -141,6 +190,11 @@ int cmd_cluster(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (!std::strcmp(flag, "--profile-summary")) {
+      profile_summary = true;
+      ++i;
+      continue;
+    }
     if (i + 1 >= argc) return usage();  // every remaining flag takes a value
     const char* value = argv[i + 1];
     i += 2;
@@ -151,6 +205,7 @@ int cmd_cluster(int argc, char** argv) {
     else if (!std::strcmp(flag, "--tree")) tree_out = value;
     else if (!std::strcmp(flag, "--trace")) trace_out = value;
     else if (!std::strcmp(flag, "--report")) report_out = value;
+    else if (!std::strcmp(flag, "--profile")) profile_out = value;
     else if (!std::strcmp(flag, "--faults")) fault_spec = value;
     else if (!std::strcmp(flag, "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
     else if (!std::strcmp(flag, "--async-max-lag")) async_max_lag = std::atoi(value);
@@ -191,10 +246,12 @@ int cmd_cluster(int argc, char** argv) {
     } else if (watchdog_ms > 0) {
       cfg.comm_watchdog_ms = watchdog_ms;
     }
-    if (!trace_out.empty() || !report_out.empty()) {
+    if (!trace_out.empty() || !report_out.empty() || !profile_out.empty() ||
+        profile_summary) {
       cfg.obs.enabled = true;  // flight recorder on; results are unchanged
       cfg.obs.trace_path = trace_out;
       cfg.obs.report_path = report_out;
+      cfg.obs.profile_path = profile_out;
     }
     const auto r = core::distributed_infomap(g, cfg);
     assignment = r.assignment;
@@ -217,11 +274,15 @@ int cmd_cluster(int argc, char** argv) {
           static_cast<unsigned long long>(recovered.dup_frames_dropped),
           static_cast<unsigned long long>(recovered.checksum_failures));
     }
+    if (profile_summary && r.report.has_profile)
+      print_profile_summary(r.report.profile);
     if (!trace_out.empty())
       std::printf("trace written to %s (load at ui.perfetto.dev)\n",
                   trace_out.c_str());
     if (!report_out.empty())
       std::printf("run report written to %s\n", report_out.c_str());
+    if (!profile_out.empty())
+      std::printf("profile digest written to %s\n", profile_out.c_str());
   } else if (algo == "louvain") {
     core::LouvainConfig cfg;
     cfg.seed = seed;

@@ -6,6 +6,7 @@
 
 #include "comm/runtime.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dinfomap::comm {
 
@@ -14,11 +15,36 @@ namespace {
 /// transport message of a collective step is consumed within that step, so a
 /// window of 2^20 steps is unreachable by any stale message.
 constexpr std::uint64_t kCollectiveTagWindow = 1u << 20;
+
+/// RAII arrive/depart pair around a leaf collective's body. Null-buffer
+/// tolerant like SpanScope; the tag identifies the collective instance across
+/// ranks (next_collective_tag yields the same sequence everywhere).
+class CollectiveScope {
+ public:
+  CollectiveScope(obs::TraceBuffer* trace, const char* op, int tag)
+      : trace_(trace), op_(op), tag_(tag) {
+    if (trace_ != nullptr) trace_->collective_arrive(op_, tag_);
+  }
+  CollectiveScope(const CollectiveScope&) = delete;
+  CollectiveScope& operator=(const CollectiveScope&) = delete;
+  ~CollectiveScope() {
+    if (trace_ != nullptr) trace_->collective_depart(op_, tag_);
+  }
+
+ private:
+  obs::TraceBuffer* trace_;
+  const char* op_;
+  int tag_;
+};
 }  // namespace
 
 void Comm::set_metrics(obs::MetricsRegistry* metrics) {
   msg_bytes_hist_ =
       metrics != nullptr ? &metrics->histogram("comm.msg_bytes") : nullptr;
+}
+
+void Comm::set_trace(obs::TraceBuffer* trace) {
+  trace_ = trace != nullptr && trace->enabled() ? trace : nullptr;
 }
 
 void Comm::transport_send(int dest, int tag, std::span<const std::byte> data,
@@ -36,6 +62,11 @@ void Comm::transport_send(int dest, int tag, std::span<const std::byte> data,
       counters_.p2p_bytes += data.size();
     }
   }
+  // Stamp the flow start before handing off, so the send timestamp bounds
+  // the matching receive's from below. Self-deliveries are same-track and
+  // carry no cross-rank dependency, so they get no arrow.
+  if (trace_ != nullptr && dest != rank_)
+    trace_->flow_send(dest, tag, send_ordinals_[{dest, tag}]++);
   // The runtime is the transport: it frames the payload (seq + checksum when
   // fault injection is on), rolls the fault dice, and delivers.
   runtime_->deliver(rank_, dest, tag, data);
@@ -51,8 +82,14 @@ Message Comm::transport_recv(int source, int tag) {
     int rank;
     ~WaitClear() { rt->set_waiting(rank, false); }
   } clear{runtime_, rank_};
-  Message m = runtime_->mailbox(rank_).recv(source, tag);
+  Message m;
+  {
+    obs::SpanScope wait_span(trace_, "recv_wait");
+    m = runtime_->mailbox(rank_).recv(source, tag);
+  }
   runtime_->note_progress(rank_);
+  if (trace_ != nullptr && m.source != rank_)
+    trace_->flow_recv(m.source, m.tag, recv_ordinals_[{m.source, m.tag}]++);
   return m;
 }
 
@@ -70,6 +107,9 @@ Message Comm::recv_with_recovery(int source, int tag) {
     int rank;
     ~WaitClear() { rt->set_waiting(rank, false); }
   } clear{runtime_, rank_};
+  // The recovery loop's dedup/checksum work is negligible next to its
+  // blocking waits, so the whole loop reads as wait time in the profile.
+  obs::SpanScope wait_span(trace_, "recv_wait");
 
   for (;;) {
     auto msg = runtime_->mailbox(rank_).try_recv_for(source, tag, backoff,
@@ -127,6 +167,12 @@ Message Comm::recv_with_recovery(int source, int tag) {
         seen.insert(msg->seq);
       }
       runtime_->note_progress(rank_);
+      // Only a consumed frame gets a flow stamp — dedup-dropped duplicates
+      // and requeued gap candidates never reach this point, so the recv
+      // ordinal stays aligned with the sender's per-(channel, tag) ordinal.
+      if (trace_ != nullptr && msg->source != rank_)
+        trace_->flow_recv(msg->source, msg->tag,
+                          recv_ordinals_[{msg->source, msg->tag}]++);
       return std::move(*msg);
     }
 
@@ -187,6 +233,7 @@ void Comm::barrier() {
   // (r + 2^k) mod p and waits for (r - 2^k) mod p. All 2^k are distinct and
   // < p, so each round's partner is unique and one tag suffices.
   const int tag = next_collective_tag();
+  CollectiveScope scope(trace_, "barrier", tag);
   if (size_ == 1) return;
   for (int shift = 1; shift < size_; shift <<= 1) {
     const int to = (rank_ + shift) % size_;
@@ -199,6 +246,7 @@ void Comm::barrier() {
 void Comm::bcast_bytes(int root, std::vector<std::byte>& data) {
   DINFOMAP_REQUIRE_MSG(root >= 0 && root < size_, "bcast: root out of range");
   const int tag = next_collective_tag();
+  CollectiveScope scope(trace_, "bcast", tag);
   if (size_ == 1) return;
   const int vrank = (rank_ - root + size_) % size_;
   // Receive from parent (all non-root ranks).
@@ -226,6 +274,7 @@ std::vector<std::vector<std::byte>> Comm::gatherv_bytes(
     int root, std::span<const std::byte> mine) {
   DINFOMAP_REQUIRE_MSG(root >= 0 && root < size_, "gatherv: root out of range");
   const int tag = next_collective_tag();
+  CollectiveScope scope(trace_, "gatherv", tag);
   std::vector<std::vector<std::byte>> out;
   if (rank_ == root) {
     out.resize(size_);
@@ -281,6 +330,7 @@ std::vector<std::byte> Comm::scatterv_bytes(
     int root, const std::vector<std::vector<std::byte>>& slices) {
   DINFOMAP_REQUIRE_MSG(root >= 0 && root < size_, "scatterv: root out of range");
   const int tag = next_collective_tag();
+  CollectiveScope scope(trace_, "scatterv", tag);
   if (rank_ == root) {
     DINFOMAP_REQUIRE_MSG(static_cast<int>(slices.size()) == size_,
                          "scatterv: need one slice per rank");
@@ -298,6 +348,10 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
   DINFOMAP_REQUIRE_MSG(static_cast<int>(out.size()) == size_,
                        "alltoallv: need one outbox per rank");
   const int tag = next_collective_tag();
+  // Instrumenting only the leaf primitives (barrier, bcast, gatherv,
+  // scatterv, alltoallv) keeps the wait attribution double-count-free:
+  // allgatherv/allreduce/alltoallv_packed decompose into these.
+  CollectiveScope scope(trace_, "alltoallv", tag);
   std::vector<std::vector<std::byte>> in(size_);
   in[rank_] = out[rank_];
   for (int off = 1; off < size_; ++off) {

@@ -15,12 +15,14 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <numeric>
 #include <span>
 #include <string>
 #include <tuple>
 #include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "comm/counters.hpp"
@@ -31,6 +33,7 @@
 namespace dinfomap::obs {
 class MetricsRegistry;
 class Histogram;
+class TraceBuffer;
 }  // namespace dinfomap::obs
 
 namespace dinfomap::comm {
@@ -306,6 +309,13 @@ class Comm {
   /// Observability only — never alters what is sent or when.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attach this rank's trace track; transport sends/recvs then stamp flow
+  /// events (message arrows), blocking receives open "recv_wait" spans, and
+  /// the leaf collectives stamp per-rank arrive/depart pairs (DESIGN.md §13).
+  /// Pass nullptr to detach. Observability only — reads clocks and appends
+  /// to the single-writer buffer; never touches payloads, tags, or timing.
+  void set_trace(obs::TraceBuffer* trace);
+
  private:
   template <typename T>
   static std::span<const std::byte> as_bytes(std::span<const T> data) {
@@ -387,6 +397,16 @@ class Comm {
   CommCounters counters_;
   /// Resolved once by set_metrics so the send path pays one null check.
   obs::Histogram* msg_bytes_hist_ = nullptr;
+  /// This rank's trace track (null when tracing is off); every
+  /// instrumentation site below is a single null check.
+  obs::TraceBuffer* trace_ = nullptr;
+  /// Flow-event ordinals, only touched while tracing: the nth send on a
+  /// (dest, tag) channel pairs with the nth consumed receive on the matching
+  /// (source, tag) channel (consumption is in send order per channel both
+  /// fault-free and under recovery — see trace.hpp). std::map keeps lookups
+  /// deterministic and dlint-clean; this is never on the untraced hot path.
+  std::map<std::pair<int, int>, std::uint64_t> send_ordinals_;
+  std::map<std::pair<int, int>, std::uint64_t> recv_ordinals_;
 };
 
 }  // namespace dinfomap::comm

@@ -1120,6 +1120,7 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
     best_assign[li] = verts_[li].module;
 
   for (int epoch = 0; epoch < max_epochs; ++epoch) {
+    obs::SpanScope epoch_span(trace_buf_, "AsyncEpoch");
     last_was_recon = false;
     const std::uint64_t arcs0 = wk(Phase::kFindBestModule).arcs_scanned;
 
@@ -1731,6 +1732,10 @@ obs::RunReport build_run_report(const graph::Csr& graph,
     for (const auto& m : recorder.all_metrics())
       rep.metrics_json.push_back(m.to_json());
     rep.anomalies = recorder.anomalies();
+    if (const obs::ProfileDigest* d = recorder.profile()) {
+      rep.profile = *d;
+      rep.has_profile = true;
+    }
   }
   return rep;
 }
@@ -1767,6 +1772,7 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
       p,
       [&](comm::Comm& comm) {
         comm.set_metrics(recorder.metrics(comm.rank()));
+        comm.set_trace(recorder.track(comm.rank()));
         auto rank =
             std::make_unique<detail::DistRank>(comm, part, config, &recorder);
         rank->execute();
@@ -1827,6 +1833,9 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
       m->counter("mailbox.delivered")
           .set(report.mailbox_delivered[static_cast<std::size_t>(r)]);
     }
+    // Profile first: the digest's wall-clock window must close before the
+    // watchdog mirrors its findings into the trace as post-run instants.
+    recorder.finish_profile();
     recorder.finish_watchdog();
   }
   result.report = build_run_report(graph, config, result, recorder);
@@ -1836,6 +1845,8 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
       (void)recorder.trace().write(config.obs.trace_path);
     if (!config.obs.report_path.empty())
       (void)result.report.write(config.obs.report_path);
+    if (!config.obs.profile_path.empty() && recorder.profile() != nullptr)
+      (void)recorder.profile()->write(config.obs.profile_path);
   }
   return result;
 }

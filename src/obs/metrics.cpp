@@ -74,7 +74,9 @@ std::string MetricsRegistry::to_json() const {
     os << '"';
     append_escaped(os, name);
     os << "\": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
-       << ", \"max\": " << h.max() << ", \"buckets\": [";
+       << ", \"max\": " << h.max() << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.p50() << ", \"p90\": " << h.p90()
+       << ", \"p99\": " << h.p99() << ", \"buckets\": [";
     bool bfirst = true;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
       if (h.buckets()[static_cast<std::size_t>(b)] == 0) continue;

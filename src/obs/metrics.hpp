@@ -75,6 +75,38 @@ class Histogram {
     return count_ == 0 ? 0.0
                        : static_cast<double>(sum_) / static_cast<double>(count_);
   }
+
+  /// Approximate q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// log2 bucket holding the q·count-th sample, clamped to the observed max.
+  /// Exact when a bucket holds one distinct value (e.g. bucket 0); otherwise
+  /// accurate to the bucket's width, which is the resolution this histogram
+  /// trades for O(1) observes.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    if (count_ == 1) return static_cast<double>(max_);
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const std::uint64_t c = counts_[static_cast<std::size_t>(b)];
+      if (c == 0) continue;
+      if (static_cast<double>(cum) + static_cast<double>(c) >= target) {
+        const double lo = static_cast<double>(bucket_low(b));
+        const double hi = static_cast<double>(bucket_high(b));
+        const double frac =
+            (target - static_cast<double>(cum)) / static_cast<double>(c);
+        const double v = lo + frac * (hi - lo);
+        const double cap = static_cast<double>(max_);
+        return v < cap ? v : cap;
+      }
+      cum += c;
+    }
+    return static_cast<double>(max_);
+  }
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
   [[nodiscard]] const std::array<std::uint64_t, kNumBuckets>& buckets() const {
     return counts_;
   }

@@ -21,12 +21,30 @@ void Recorder::report_anomaly(int rank, Anomaly anomaly) {
   rank_anomalies_[static_cast<std::size_t>(rank)].push_back(std::move(anomaly));
 }
 
+void Recorder::finish_profile() {
+  if (!options_.enabled || !options_.trace) return;
+  profile_ = build_profile(trace_);
+  profile_built_ = true;
+  if (!options_.watchdog) return;
+  std::vector<Anomaly> found =
+      analyze_profile(profile_, options_.watchdog_options);
+  for (Anomaly& a : found) {
+    LOG_WARN << "watchdog: " << a.kind << " (rank " << a.rank
+             << "): " << a.detail;
+    if (TraceBuffer* t = track(a.rank < 0 ? 0 : a.rank)) t->instant("anomaly");
+    global_anomalies_.push_back(std::move(a));
+  }
+}
+
 void Recorder::finish_watchdog() {
   if (!options_.enabled || !options_.watchdog) return;
-  global_anomalies_ = analyze_rounds(rounds_, options_.watchdog_options);
-  for (const Anomaly& a : global_anomalies_)
+  std::vector<Anomaly> found = analyze_rounds(rounds_, options_.watchdog_options);
+  for (Anomaly& a : found) {
     LOG_WARN << "watchdog: " << a.kind << " (level " << a.level << ", round "
              << a.round << "): " << a.detail;
+    if (TraceBuffer* t = track(a.rank < 0 ? 0 : a.rank)) t->instant("anomaly");
+    global_anomalies_.push_back(std::move(a));
+  }
 }
 
 std::vector<Anomaly> Recorder::anomalies() const {

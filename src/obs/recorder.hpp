@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 
@@ -30,6 +31,9 @@ struct ObsOptions {
   std::string trace_path;
   /// When non-empty, the driver writes the run-report JSON here.
   std::string report_path;
+  /// When non-empty, the driver writes the standalone profile-digest JSON
+  /// here (the digest is also embedded in the run report either way).
+  std::string profile_path;
 };
 
 class Recorder {
@@ -72,6 +76,18 @@ class Recorder {
   /// instant event and onto the log as a warning.
   void report_anomaly(int rank, Anomaly anomaly);
 
+  /// Build the causal profile digest from the trace and fold the profile
+  /// watchdog rules (wait_dominated, straggler_skew) into the anomaly list.
+  /// Call once, after the job joins and BEFORE finish_watchdog(): mirrored
+  /// anomaly instants carry post-run timestamps that must not enter the
+  /// digest's wall-clock window.
+  void finish_profile();
+  /// The digest finish_profile() built, or nullptr when tracing was off or
+  /// finish_profile() has not run.
+  [[nodiscard]] const ProfileDigest* profile() const {
+    return profile_built_ ? &profile_ : nullptr;
+  }
+
   /// Run the watchdog over the recorded round stream and fold its findings
   /// into the anomaly list. Call once, after the job joins.
   void finish_watchdog();
@@ -88,6 +104,8 @@ class Recorder {
   std::vector<std::vector<RoundSample>> rounds_;
   std::vector<std::vector<Anomaly>> rank_anomalies_;
   std::vector<Anomaly> global_anomalies_;
+  bool profile_built_ = false;
+  ProfileDigest profile_;
 };
 
 }  // namespace dinfomap::obs

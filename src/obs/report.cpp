@@ -167,6 +167,16 @@ std::string RunReport::to_json() const {
   }
   os << "],\n";
 
+  os << "\"profile\": ";
+  if (has_profile) {
+    std::string p = profile.to_json();
+    while (!p.empty() && p.back() == '\n') p.pop_back();
+    os << p;
+  } else {
+    os << "null";
+  }
+  os << ",\n";
+
   os << "\"anomalies\": [";
   for (std::size_t i = 0; i < anomalies.size(); ++i) {
     const Anomaly& a = anomalies[i];

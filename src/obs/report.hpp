@@ -13,6 +13,7 @@
 
 #include "comm/counters.hpp"
 #include "comm/fault.hpp"
+#include "obs/profile.hpp"
 #include "obs/watchdog.hpp"
 #include "perf/work_counters.hpp"
 
@@ -76,6 +77,11 @@ struct RunReport {
   std::vector<std::string> metrics_json;
 
   std::vector<Anomaly> anomalies;
+
+  /// Causal profile digest (DESIGN.md §13); only meaningful when
+  /// `has_profile` — emitted as `"profile": null` otherwise.
+  ProfileDigest profile;
+  bool has_profile = false;
 
   // ---- config echo helpers ----------------------------------------------
   void add_config(const std::string& key, const std::string& value);

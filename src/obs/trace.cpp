@@ -22,6 +22,27 @@ void append_escaped(std::ostream& os, const char* s) {
   }
 }
 
+/// Deterministic 64-bit flow id from the (src, dst, tag, ordinal) tuple so
+/// the send-side "s" and recv-side "f" records bind to the same arrow.
+/// FNV-1a over the packed fields; the analyzer matches on the exact tuple,
+/// never on this hash, so a collision can only smudge the rendered arrows.
+std::uint64_t flow_id(int src, int dst, int tag, std::uint64_t ordinal) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  mix(ordinal);
+  // Keep ids under 2^53: JSON consumers parse numbers as doubles, and two
+  // full-width ids could round to the same value.
+  return h & ((std::uint64_t{1} << 48) - 1);
+}
+
 void append_event(std::ostream& os, int tid, const TraceEvent& e, bool& first) {
   const char* ph = nullptr;
   switch (e.kind) {
@@ -29,6 +50,12 @@ void append_event(std::ostream& os, int tid, const TraceEvent& e, bool& first) {
     case TraceEvent::Kind::kEnd: ph = "E"; break;
     case TraceEvent::Kind::kInstant: ph = "i"; break;
     case TraceEvent::Kind::kCounter: ph = "C"; break;
+    case TraceEvent::Kind::kFlowSend: ph = "s"; break;
+    case TraceEvent::Kind::kFlowRecv: ph = "f"; break;
+    // Collective arrive/depart render as a span named after the op, so the
+    // Perfetto view shows each collective's per-rank occupancy directly.
+    case TraceEvent::Kind::kCollectiveArrive: ph = "B"; break;
+    case TraceEvent::Kind::kCollectiveDepart: ph = "E"; break;
   }
   if (!first) os << ",\n";
   first = false;
@@ -39,6 +66,16 @@ void append_event(std::ostream& os, int tid, const TraceEvent& e, bool& first) {
   if (e.kind == TraceEvent::Kind::kInstant) os << ", \"s\": \"t\"";
   if (e.kind == TraceEvent::Kind::kCounter)
     os << ", \"args\": {\"value\": " << e.value << "}";
+  if (e.kind == TraceEvent::Kind::kFlowSend ||
+      e.kind == TraceEvent::Kind::kFlowRecv) {
+    const bool send = e.kind == TraceEvent::Kind::kFlowSend;
+    const int src = send ? tid : e.peer;
+    const int dst = send ? e.peer : tid;
+    os << ", \"cat\": \"msg\", \"id\": " << flow_id(src, dst, e.tag, e.ordinal);
+    if (!send) os << ", \"bp\": \"e\"";  // bind to the enclosing slice
+  }
+  if (e.kind == TraceEvent::Kind::kCollectiveArrive)
+    os << ", \"args\": {\"tag\": " << e.tag << "}";
   os << "}";
 }
 

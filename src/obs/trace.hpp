@@ -24,11 +24,22 @@ struct TraceEvent {
     kEnd,      ///< span close (matches the innermost open span)
     kInstant,  ///< point event (anomalies, markers)
     kCounter,  ///< sampled numeric series
+    // Causal events (DESIGN.md §13). Flow events pair the nth send on a
+    // (src, dst, tag) channel with the nth consumed receive — valid because
+    // per-(source, tag) consumption order equals send order both fault-free
+    // (FIFO mailbox) and under recovery (min-seq matching with dedup).
+    kFlowSend,          ///< message departure; peer = dest, tag + ordinal
+    kFlowRecv,          ///< message consumption; peer = source, tag + ordinal
+    kCollectiveArrive,  ///< rank enters a leaf collective; tag identifies it
+    kCollectiveDepart,  ///< rank leaves that collective
   };
   Kind kind = Kind::kInstant;
   const char* name = "";
   double ts_us = 0;   ///< microseconds since the trace epoch
   double value = 0;   ///< kCounter payload; unused otherwise
+  std::int32_t peer = -1;     ///< flow events: the other endpoint's rank
+  std::int32_t tag = -1;      ///< flow events / collectives: message tag
+  std::uint64_t ordinal = 0;  ///< flow events: per-(peer, tag) send/recv index
 };
 
 /// Single-writer event buffer for one rank (one track in the exported trace).
@@ -54,6 +65,31 @@ class TraceBuffer {
     push(TraceEvent::Kind::kCounter, name, value);
   }
 
+  /// Stamp the departure of the `ordinal`-th message this rank sends on the
+  /// (this rank → peer, tag) channel. Exported as a Perfetto flow start.
+  void flow_send(int peer, int tag, std::uint64_t ordinal) {
+    push_causal(TraceEvent::Kind::kFlowSend, "msg", peer, tag, ordinal);
+  }
+  /// Stamp the consumption of the `ordinal`-th message received on the
+  /// (peer → this rank, tag) channel. Exported as a Perfetto flow finish.
+  void flow_recv(int peer, int tag, std::uint64_t ordinal) {
+    push_causal(TraceEvent::Kind::kFlowRecv, "msg", peer, tag, ordinal);
+  }
+  /// Stamp entry/exit of a leaf collective (`op` = "barrier", "alltoallv",
+  /// …; `tag` is the collective tag, identical across ranks per call site).
+  void collective_arrive(const char* op, int tag) {
+    push_causal(TraceEvent::Kind::kCollectiveArrive, op, -1, tag, 0);
+  }
+  void collective_depart(const char* op, int tag) {
+    push_causal(TraceEvent::Kind::kCollectiveDepart, op, -1, tag, 0);
+  }
+
+  /// Append a fully caller-built event, bypassing the clock. For synthetic
+  /// traces in tests and the post-run anomaly mirror; respects `enabled`.
+  void append_raw(const TraceEvent& e) {
+    if (enabled_) events_.push_back(e);
+  }
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
 
  private:
@@ -65,6 +101,20 @@ class TraceBuffer {
     e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
                   .count();
     e.value = value;
+    events_.push_back(e);
+  }
+
+  void push_causal(TraceEvent::Kind kind, const char* name, int peer, int tag,
+                   std::uint64_t ordinal) {
+    if (!enabled_) return;
+    TraceEvent e;
+    e.kind = kind;
+    e.name = name;
+    e.ts_us = std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+                  .count();
+    e.peer = peer;
+    e.tag = tag;
+    e.ordinal = ordinal;
     events_.push_back(e);
   }
 
@@ -107,7 +157,9 @@ class Trace {
   [[nodiscard]] const TraceBuffer& track(int i) const { return tracks_[i]; }
 
   /// Chrome trace-event JSON: `{"traceEvents": [...], ...}`. Spans become
-  /// B/E pairs, instants "i", counters "C".
+  /// B/E pairs, instants "i", counters "C", flow sends/recvs "s"/"f" (the
+  /// message arrows between rank tracks), and collective arrive/depart pairs
+  /// render as B/E spans named after the collective op.
   [[nodiscard]] std::string to_chrome_json() const;
 
   /// Write to_chrome_json() to `path`; returns false (and logs a warning) on

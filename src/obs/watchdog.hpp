@@ -84,6 +84,21 @@ struct WatchdogOptions {
   /// least this many vertices globally — the priority schedule has starved
   /// that rank out of useful work.
   std::uint64_t starved_min_global_moves = 64;
+
+  // ---- profile-digest rules (analyze_profile, DESIGN.md §13) -------------
+  /// Flag a rank that spent more than this fraction of its wall time blocked
+  /// in receives — computation is no longer the bottleneck for that rank.
+  double wait_dominated_threshold = 0.6;
+  /// Runs whose per-rank wall time is below this are too short for a
+  /// wait-dominance verdict (startup collectives dominate tiny runs).
+  double min_profile_wall_us = 10'000.0;
+  /// Flag a phase where one rank, by arriving last at the phase's
+  /// collectives, caused more than this share of the phase's total
+  /// cross-rank wait — a persistent straggler rather than diffuse jitter.
+  double straggler_skew_share = 0.6;
+  /// Phases accumulating less cross-rank collective wait than this are below
+  /// the noise floor for a straggler verdict.
+  double min_straggler_wait_us = 5'000.0;
 };
 
 /// Analyze per-rank round streams (`streams[r]` is rank r's samples, all the

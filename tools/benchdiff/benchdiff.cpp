@@ -1,0 +1,338 @@
+// benchdiff — compare fresh bench JSON artifacts against the checked-in
+// baselines (bench_results/BENCH_<name>.json) with per-metric tolerances.
+//
+//   benchdiff <baseline> <fresh> [--strict]
+//
+// <baseline>/<fresh> are either two BENCH_*.json files or two directories
+// (every BENCH_*.json present in both is compared). Rows are matched by
+// index; string fields (dataset, engine, …) must agree or the row is flagged
+// as incomparable. Numeric fields are compared under a tolerance picked from
+// the metric name: wall-clock and latency metrics get a generous relative
+// band (they are machine- and load-dependent), percentages an absolute band,
+// and everything else — counters, rounds, codelengths — a tight relative
+// band, because the algorithm is deterministic and those should reproduce
+// exactly on any machine.
+//
+// The default exit status is 0 even when metrics drift: the CI quick gate
+// runs this as an *informational* leg (a slow machine must not fail the
+// build). --strict turns drift into exit 1 for release checklists.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON reader (objects, arrays, numbers, strings) -------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;  // sorted; bench rows are flat
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) { return value(out) && (skip_ws(), pos_ == s_.size()); }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        c = s_[pos_++];
+        if (c == 'n') c = '\n';
+        else if (c == 't') c = '\t';
+        // \", \\, \/ fall through as themselves; exotic escapes are not
+        // produced by the sinks this tool reads.
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = Json::Type::kObject;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!string(&key)) return false;
+        skip_ws();
+        if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+        if (!value(&out->object[key])) return false;
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = Json::Type::kArray;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        out->array.emplace_back();
+        if (!value(&out->array.back())) return false;
+        skip_ws();
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->type = Json::Type::kBool;
+      out->boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->type = Json::Type::kBool;
+      out->boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->type = Json::Type::kNull;
+      return literal("null");
+    }
+    // number
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    out->type = Json::Type::kNumber;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool load_json(const std::filesystem::path& path, Json* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  return Parser(text).parse(out);
+}
+
+// ---- tolerance model -----------------------------------------------------
+
+struct Tolerance {
+  double rel = 0;  ///< |fresh − base| ≤ rel · |base| passes
+  double abs = 0;  ///< … or |fresh − base| ≤ abs
+  const char* why = "";
+};
+
+bool contains(const std::string& name, const char* needle) {
+  return name.find(needle) != std::string::npos;
+}
+
+Tolerance tolerance_for(const std::string& metric) {
+  // Wall-clock and latency numbers move with the machine and its load; they
+  // are compared loosely and reported, never trusted to the percent.
+  if (contains(metric, "_ms") || contains(metric, "_us") ||
+      contains(metric, "wall") || contains(metric, "seconds"))
+    return {0.60, 10.0, "timing"};
+  if (contains(metric, "speedup")) return {0.50, 0.5, "timing-derived"};
+  if (contains(metric, "_pct")) return {0.0, 5.0, "percentage"};
+  // Deterministic outputs: codelengths, move/eval counters, round counts.
+  // These reproduce bit-for-bit on any machine, so drift here is a real
+  // behavior change, not noise.
+  if (contains(metric, "final_L") || contains(metric, "codelength"))
+    return {1e-9, 1e-9, "deterministic"};
+  return {1e-6, 1e-9, "deterministic"};
+}
+
+struct Stats {
+  int compared = 0;
+  int drifted = 0;
+  int incomparable = 0;
+};
+
+void diff_bench(const std::string& bench_name, const Json& base,
+                const Json& fresh, Stats* stats) {
+  const auto bit = base.object.find("rows");
+  const auto fit = fresh.object.find("rows");
+  if (bit == base.object.end() || fit == fresh.object.end()) {
+    std::printf("%-16s rows array missing; skipped\n", bench_name.c_str());
+    ++stats->incomparable;
+    return;
+  }
+  const auto& brows = bit->second.array;
+  const auto& frows = fit->second.array;
+  if (brows.size() != frows.size())
+    std::printf("%-16s row count %zu -> %zu (comparing the overlap)\n",
+                bench_name.c_str(), brows.size(), frows.size());
+  const std::size_t n = std::min(brows.size(), frows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& brow = brows[i].object;
+    const auto& frow = frows[i].object;
+    // Row identity: every string field must agree, otherwise the benches
+    // enumerate different configurations and index-matching is meaningless.
+    std::string label;
+    bool identity_ok = true;
+    for (const auto& [key, bval] : brow) {
+      if (bval.type != Json::Type::kString) continue;
+      const auto f = frow.find(key);
+      if (f == frow.end() || f->second.type != Json::Type::kString ||
+          f->second.str != bval.str) {
+        identity_ok = false;
+        break;
+      }
+      if (!label.empty()) label += '/';
+      label += bval.str;
+    }
+    if (!identity_ok) {
+      std::printf("%-16s row %zu: identity fields differ; skipped\n",
+                  bench_name.c_str(), i);
+      ++stats->incomparable;
+      continue;
+    }
+    for (const auto& [key, bval] : brow) {
+      if (bval.type != Json::Type::kNumber) continue;
+      const auto f = frow.find(key);
+      if (f == frow.end() || f->second.type != Json::Type::kNumber)
+        continue;  // metric added/removed between versions: not drift
+      const double b = bval.number;
+      const double v = f->second.number;
+      const Tolerance tol = tolerance_for(key);
+      const double delta = std::fabs(v - b);
+      const bool ok = delta <= tol.abs || delta <= tol.rel * std::fabs(b);
+      ++stats->compared;
+      if (!ok) {
+        ++stats->drifted;
+        const double pct = b != 0 ? 100.0 * (v - b) / std::fabs(b) : 0.0;
+        std::printf("%-16s %-28s %-24s %14.6g -> %-14.6g %+8.2f%%  DRIFT (%s)\n",
+                    bench_name.c_str(), label.c_str(), key.c_str(), b, v, pct,
+                    tol.why);
+      }
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: benchdiff <baseline.json|dir> <fresh.json|dir> "
+               "[--strict]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::filesystem::path baseline = argv[1];
+  const std::filesystem::path fresh = argv[2];
+  bool strict = false;
+  for (int i = 3; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--strict")) strict = true;
+    else return usage();
+  }
+
+  // Pair up the artifacts to compare.
+  std::vector<std::pair<std::filesystem::path, std::filesystem::path>> pairs;
+  if (std::filesystem::is_directory(baseline)) {
+    if (!std::filesystem::is_directory(fresh)) return usage();
+    std::vector<std::filesystem::path> names;
+    for (const auto& entry : std::filesystem::directory_iterator(baseline)) {
+      const auto name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json")
+        names.push_back(entry.path().filename());
+    }
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) {
+      if (std::filesystem::exists(fresh / name))
+        pairs.emplace_back(baseline / name, fresh / name);
+      else
+        std::printf("%-16s no fresh artifact; skipped\n",
+                    name.string().c_str());
+    }
+  } else {
+    pairs.emplace_back(baseline, fresh);
+  }
+  if (pairs.empty()) {
+    std::printf("benchdiff: nothing to compare\n");
+    return 0;
+  }
+
+  Stats stats;
+  std::printf("%-16s %-28s %-24s %14s    %-14s %8s\n", "bench", "row",
+              "metric", "baseline", "fresh", "delta");
+  for (const auto& [bpath, fpath] : pairs) {
+    Json base, now;
+    if (!load_json(bpath, &base) || !load_json(fpath, &now)) {
+      std::printf("%-16s unreadable artifact; skipped\n",
+                  bpath.filename().string().c_str());
+      ++stats.incomparable;
+      continue;
+    }
+    std::string name = bpath.filename().string();
+    diff_bench(name, base, now, &stats);
+  }
+  std::printf("\nbenchdiff: %d metrics compared, %d drifted, %d incomparable%s\n",
+              stats.compared, stats.drifted, stats.incomparable,
+              strict ? " (strict)" : " (informational)");
+  return strict && (stats.drifted > 0 || stats.incomparable > 0) ? 1 : 0;
+}
