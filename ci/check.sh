@@ -57,6 +57,14 @@ fi
 step "tier-1 ctest"
 ctest --test-dir "$werror_dir" --output-on-failure -j "$jobs"
 
+# --- Leg 4b: socket-transport cross-backend gate. ------------------------
+# Redundant with leg 4's full run, but the transport label is the acceptance
+# gate for backend bit-identity (DESIGN.md §14) — identical partitions, MDL,
+# and round traces across inproc and socket, including under a fault plan at
+# 4 ranks — so its verdict gets its own line in the CI log.
+step "socket transport cross-backend suite (ctest -L transport)"
+ctest --test-dir "$werror_dir" --output-on-failure -L transport
+
 # --- Leg 5: bench drift vs checked-in baselines (informational). ---------
 # Reruns the engine-comparison bench and diffs its artifact against
 # bench_results/. Deterministic metrics (final_L, eval counters) must
@@ -82,6 +90,8 @@ fi
 
 # --- Leg 5 (full): ASan+UBSan over the whole suite. ----------------------
 # -fno-sanitize-recover is wired in CMake, so any UBSan hit is a hard fail.
+# The suite includes the transport label, so the socket backend's reader
+# threads, frame codecs, and forked CLI workers all run instrumented here.
 step "ASan+UBSan full suite"
 asan_dir="$ci_root/asan-ubsan"
 mkdir -p "$asan_dir"
@@ -95,12 +105,12 @@ ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs"
 # share the pooled hot loops). RelaxMap is excluded by
 # repo convention — its module reads are racy by design (published
 # consistency model; see the SharedLevel comment in src/core/relaxmap.cpp).
-step "TSan (comm-faults + threads + async suites, RelaxMap excluded)"
+step "TSan (comm-faults + threads + async + transport, RelaxMap excluded)"
 tsan_dir="$ci_root/tsan"
 mkdir -p "$tsan_dir"
 configure_build "$tsan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDINFOMAP_SANITIZE=thread
 ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-  -L 'comm-faults|threads|async' -E RelaxMap
+  -L 'comm-faults|threads|async|transport' -E RelaxMap
 
 step "full gate passed"

@@ -8,13 +8,23 @@
 //   dinfomap_cli eval <edges.txt> <a.clu> <b.clu>
 //   dinfomap_cli inspect <edges.txt> <a.clu>
 //   dinfomap_cli partition-stats <edges.txt> <ranks>
+#include <limits.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "comm/process_group.hpp"
+#include "comm/socket_transport.hpp"
 #include "core/dist_infomap.hpp"
 #include "core/dist_louvain.hpp"
 #include "core/hierarchy.hpp"
@@ -28,6 +38,7 @@
 #include "graph/stats.hpp"
 #include "io/clustering_io.hpp"
 #include "obs/profile.hpp"
+#include "obs/trace_merge.hpp"
 #include "io/tree_io.hpp"
 #include "partition/metrics.hpp"
 #include "quality/community_stats.hpp"
@@ -38,15 +49,72 @@ namespace {
 
 using namespace dinfomap;
 
+/// A rejected command-line token or flag combination; main() reports it and
+/// exits 2 (distinct from runtime failures, which exit 1).
+class CliParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Whole-token checked integer parse for `what` (a flag name, used in the
+/// error): rejects empty tokens, trailing garbage, and out-of-range values.
+long long parse_ll(const std::string& what, const std::string& text,
+                   long long min_v, long long max_v) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0')
+    throw CliParseError(what + ": expected an integer, got '" + text + "'");
+  if (errno == ERANGE || v < min_v || v > max_v)
+    throw CliParseError(what + ": value " + text + " out of range [" +
+                        std::to_string(min_v) + ", " + std::to_string(max_v) +
+                        "]");
+  return v;
+}
+
+int parse_int(const std::string& what, const std::string& text, int min_v,
+              int max_v) {
+  return static_cast<int>(parse_ll(what, text, min_v, max_v));
+}
+
+std::uint64_t parse_u64(const std::string& what, const std::string& text) {
+  // strtoull silently wraps an explicit minus sign; reject it up front.
+  if (!text.empty() && text[0] == '-')
+    throw CliParseError(what + ": expected a non-negative integer, got '" +
+                        text + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0')
+    throw CliParseError(what + ": expected a non-negative integer, got '" +
+                        text + "'");
+  if (errno == ERANGE)
+    throw CliParseError(what + ": value " + text + " is too large");
+  return v;
+}
+
+/// Checked parse of a fault-plan probability; the [0, 1] range itself is
+/// enforced later by comm::validate_fault_plan, which sees the whole plan.
+double parse_number(const std::string& what, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == text.c_str() || *end != '\0')
+    throw CliParseError(what + ": expected a number, got '" + text + "'");
+  return v;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  dinfomap_cli generate <lfr|ba|rmat|sbm|ring|er> <out.txt> [seed]\n"
                "  dinfomap_cli cluster <edges.txt> <out.clu> [--algo seq|dist|louvain|lpa|relaxmap]\n"
                "                [--ranks N] [--threads T] [--seed S] [--tree out.tree]\n"
+               "                [--transport inproc|socket]  (dist only; socket = one worker\n"
+               "                 process per rank over Unix-domain sockets)\n"
                "                [--trace out.trace.json] [--report out.report.json]  (dist only)\n"
-               "                [--profile out.profile.json] [--profile-summary]  (dist only)\n"
-               "                [--faults drop=P,dup=P,reorder=P,corrupt=P[,stall=R][,seed=S]]\n"
+               "                [--profile out.profile.json] [--profile-summary]  (dist, inproc only)\n"
+               "                [--faults drop=P,dup=P,reorder=P,corrupt=P[,stall=R][,exit=R][,seed=S]]\n"
                "                [--watchdog-ms N]  (dist only; e.g. --faults drop=0.01,dup=0.01)\n"
                "                [--active-set]  (dist only: exact pruning of unchanged vertices)\n"
                "                [--async [--async-max-lag K]]  (dist only: priority-worklist engine)\n"
@@ -59,7 +127,7 @@ int cmd_generate(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string family = argv[2];
   const std::string out = argv[3];
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+  const std::uint64_t seed = argc > 4 ? parse_u64("seed", argv[4]) : 42;
 
   graph::gen::GeneratedGraph g;
   if (family == "lfr") {
@@ -90,8 +158,11 @@ int cmd_generate(int argc, char** argv) {
 }
 
 // Parse "drop=0.01,dup=0.01,reorder=0.005,corrupt=0.01,stall=2,seed=7" into a
-// FaultPlan; returns false on an unknown key or malformed pair.
-bool parse_fault_spec(const std::string& spec, comm::FaultPlan* plan) {
+// FaultPlan. `exit=R` is stall=R plus stall_exits: the stalled worker dies
+// instead of freezing (socket transport only — it models a crash). Throws
+// CliParseError on an unknown key or malformed value; the assembled plan is
+// range-checked afterwards by comm::validate_fault_plan.
+void parse_fault_spec(const std::string& spec, comm::FaultPlan* plan) {
   std::size_t pos = 0;
   while (pos < spec.size()) {
     const auto comma = spec.find(',', pos);
@@ -99,19 +170,24 @@ bool parse_fault_spec(const std::string& spec, comm::FaultPlan* plan) {
                                                                   : comma - pos);
     pos = comma == std::string::npos ? spec.size() : comma + 1;
     const auto eq = item.find('=');
-    if (eq == std::string::npos) return false;
+    if (eq == std::string::npos)
+      throw CliParseError("--faults: expected key=value, got '" + item + "'");
     const auto key = item.substr(0, eq);
     const auto value = item.substr(eq + 1);
-    if (value.empty()) return false;
-    if (key == "drop") plan->drop = std::strtod(value.c_str(), nullptr);
-    else if (key == "dup") plan->duplicate = std::strtod(value.c_str(), nullptr);
-    else if (key == "reorder") plan->reorder = std::strtod(value.c_str(), nullptr);
-    else if (key == "corrupt") plan->corrupt = std::strtod(value.c_str(), nullptr);
-    else if (key == "stall") plan->stall_rank = std::atoi(value.c_str());
-    else if (key == "seed") plan->seed = std::strtoull(value.c_str(), nullptr, 10);
-    else return false;
+    const std::string what = "--faults " + key;
+    if (key == "drop") plan->drop = parse_number(what, value);
+    else if (key == "dup") plan->duplicate = parse_number(what, value);
+    else if (key == "reorder") plan->reorder = parse_number(what, value);
+    else if (key == "corrupt") plan->corrupt = parse_number(what, value);
+    else if (key == "stall") plan->stall_rank = parse_int(what, value, 0, INT_MAX);
+    else if (key == "exit") {
+      plan->stall_rank = parse_int(what, value, 0, INT_MAX);
+      plan->stall_exits = true;
+    } else if (key == "seed") plan->seed = parse_u64(what, value);
+    else
+      throw CliParseError("--faults: unknown key '" + key +
+                          "' (want drop|dup|reorder|corrupt|stall|exit|seed)");
   }
-  return true;
 }
 
 // One-page causal-profile table: critical path, per-rank wall decomposition,
@@ -159,6 +235,135 @@ void print_profile_summary(const obs::ProfileDigest& d) {
   }
 }
 
+/// Result summary shared by the dist paths (in-process driver and socket
+/// worker rank 0 — the cross-backend bit-identity check diffs these lines).
+void print_dist_summary(const core::DistInfomapResult& r, int ranks,
+                        bool faults_active) {
+  std::printf("distributed Infomap (p=%d): L = %.6f, %u modules\n", ranks,
+              r.codelength, r.num_modules());
+  if (faults_active) {
+    comm::FaultCounters injected;
+    for (const auto& f : r.report.faults_injected) injected += f;
+    comm::CommCounters recovered;
+    for (const auto& c : r.comm_counters) recovered += c;
+    std::printf(
+        "faults injected: %llu drops, %llu dups, %llu reorders, %llu "
+        "corruptions; recovery: %llu retransmits, %llu dup frames dropped, "
+        "%llu checksum failures\n",
+        static_cast<unsigned long long>(injected.drops),
+        static_cast<unsigned long long>(injected.duplicates),
+        static_cast<unsigned long long>(injected.reorders),
+        static_cast<unsigned long long>(injected.corruptions),
+        static_cast<unsigned long long>(recovered.retransmits),
+        static_cast<unsigned long long>(recovered.dup_frames_dropped),
+        static_cast<unsigned long long>(recovered.checksum_failures));
+  }
+}
+
+/// Launcher side of --transport socket: fork one worker process per rank
+/// (each a re-exec of this binary; ProcessGroup appends --rank-role), wait
+/// for the job, print the crash-vs-hang diagnosis on failure, and merge the
+/// per-worker traces onto the shared epoch.
+int run_socket_launcher(int argc, char** argv, int ranks,
+                        const std::string& trace_out, unsigned hang_grace_ms) {
+  std::string dir = "/tmp/dinfomap_mesh_XXXXXX";
+  if (mkdtemp(dir.data()) == nullptr)
+    throw std::runtime_error("cannot create transport rendezvous directory");
+
+  comm::ProcessGroup::Spec spec;
+  spec.nranks = ranks;
+  spec.dir = dir;
+  if (hang_grace_ms > 0) spec.hang_grace_ms = hang_grace_ms;
+  char exe[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  spec.exe = n > 0 ? std::string(exe, static_cast<std::size_t>(n))
+                   : std::string(argv[0]);
+  for (int i = 1; i < argc; ++i) spec.worker_args.push_back(argv[i]);
+  spec.worker_args.push_back("--transport-dir");
+  spec.worker_args.push_back(dir);
+  if (!trace_out.empty()) {
+    // All workers pin their trace epoch to this steady-clock reading, so the
+    // merged per-process traces share one timeline.
+    const auto epoch_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    spec.worker_args.push_back("--trace-epoch");
+    spec.worker_args.push_back(std::to_string(epoch_ns));
+  }
+  const auto result = comm::ProcessGroup::launch(spec);
+
+  if (!trace_out.empty()) {
+    std::vector<std::string> inputs;
+    for (int r = 0; r < ranks; ++r)
+      inputs.push_back(dir + "/trace.rank" + std::to_string(r) + ".json");
+    if (obs::merge_trace_files(inputs, trace_out))
+      std::printf("merged %d worker traces into %s (load at ui.perfetto.dev)\n",
+                  ranks, trace_out.c_str());
+    for (const auto& path : inputs) ::unlink(path.c_str());
+  }
+  for (int r = 0; r < ranks; ++r) {
+    ::unlink(comm::ProcessGroup::fault_file(dir, r).c_str());
+    ::unlink(comm::SocketTransport::socket_path(dir, r).c_str());
+  }
+  ::rmdir(dir.c_str());
+
+  if (!result.ok) {
+    std::fprintf(stderr, "socket transport job failed: %s\n",
+                 result.diagnosis.c_str());
+    return 1;
+  }
+  std::printf("socket transport: %d worker processes exited cleanly\n", ranks);
+  return 0;
+}
+
+/// Worker side of --transport socket (--rank-role R): open this rank's
+/// endpoint, run the SPMD entry, and on a comm fault file the typed verdict
+/// the launcher's diagnosis reads (stalled vs peer_exited vs transport).
+int run_socket_worker(const graph::Csr& g, core::DistInfomapConfig cfg,
+                      int rank, const std::string& dir,
+                      std::uint64_t trace_epoch_ns, bool want_trace,
+                      const std::string& out) {
+  if (want_trace) {
+    cfg.obs.trace_path = dir + "/trace.rank" + std::to_string(rank) + ".json";
+    cfg.obs.trace_epoch_steady_ns = trace_epoch_ns;
+  }
+  comm::TransportTuning tuning;
+  tuning.faults = cfg.faults;
+  tuning.watchdog_timeout_ms = cfg.comm_watchdog_ms;
+  comm::SocketTransportOptions sopts;
+  sopts.dir = dir;
+  std::optional<comm::SocketTransport> transport;
+  try {
+    transport.emplace(rank, cfg.num_ranks, sopts, tuning);
+    const auto r = core::distributed_infomap_rank(g, cfg, *transport);
+    if (rank == 0) {
+      print_dist_summary(r, cfg.num_ranks, cfg.faults.any());
+      if (!cfg.obs.report_path.empty())
+        std::printf("run report written to %s\n", cfg.obs.report_path.c_str());
+      io::write_clustering(out, r.assignment);
+      std::printf("clustering written to %s\n", out.c_str());
+    }
+    return 0;
+  } catch (const comm::CommFault& f) {
+    if (transport) transport->abandon_linger();
+    const char* kind =
+        f.kind() == comm::CommFault::Kind::kStalled      ? "stalled"
+        : f.kind() == comm::CommFault::Kind::kPeerExited ? "peer_exited"
+                                                         : "transport";
+    std::ofstream verdict(comm::ProcessGroup::fault_file(dir, rank));
+    verdict << kind << " " << f.rank() << "\n";
+    std::fprintf(stderr, "rank %d: comm fault: %s\n", rank, f.what());
+    return 1;
+  } catch (const std::exception& e) {
+    if (transport) transport->abandon_linger();
+    std::ofstream verdict(comm::ProcessGroup::fault_file(dir, rank));
+    verdict << "transport -1\n";
+    std::fprintf(stderr, "rank %d: %s\n", rank, e.what());
+    return 1;
+  }
+}
+
 int cmd_cluster(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string in = argv[2];
@@ -177,6 +382,13 @@ int cmd_cluster(int argc, char** argv) {
   bool active_set = false;
   bool use_async = false;
   int async_max_lag = 4;
+  std::string transport = "inproc";
+  unsigned hang_grace_ms = 0;  ///< 0 = ProcessGroup's default
+  // Internal worker-role flags, appended by the socket launcher; never
+  // passed by hand.
+  std::string transport_dir;
+  int rank_role = -1;
+  std::uint64_t trace_epoch_ns = 0;
   // Boolean switches consume one token, valued flags consume two.
   for (int i = 4; i < argc;) {
     const char* flag = argv[i];
@@ -199,22 +411,68 @@ int cmd_cluster(int argc, char** argv) {
     const char* value = argv[i + 1];
     i += 2;
     if (!std::strcmp(flag, "--algo")) algo = value;
-    else if (!std::strcmp(flag, "--ranks")) ranks = std::atoi(value);
-    else if (!std::strcmp(flag, "--threads")) threads = std::atoi(value);
-    else if (!std::strcmp(flag, "--seed")) seed = std::strtoull(value, nullptr, 10);
+    else if (!std::strcmp(flag, "--ranks")) ranks = parse_int(flag, value, 1, 1 << 16);
+    else if (!std::strcmp(flag, "--threads")) threads = parse_int(flag, value, 1, 1 << 16);
+    else if (!std::strcmp(flag, "--seed")) seed = parse_u64(flag, value);
     else if (!std::strcmp(flag, "--tree")) tree_out = value;
     else if (!std::strcmp(flag, "--trace")) trace_out = value;
     else if (!std::strcmp(flag, "--report")) report_out = value;
     else if (!std::strcmp(flag, "--profile")) profile_out = value;
     else if (!std::strcmp(flag, "--faults")) fault_spec = value;
-    else if (!std::strcmp(flag, "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(std::strtoul(value, nullptr, 10));
-    else if (!std::strcmp(flag, "--async-max-lag")) async_max_lag = std::atoi(value);
+    else if (!std::strcmp(flag, "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(parse_ll(flag, value, 0, 86'400'000));
+    else if (!std::strcmp(flag, "--async-max-lag")) async_max_lag = parse_int(flag, value, 0, 1 << 16);
+    else if (!std::strcmp(flag, "--transport")) transport = value;
+    else if (!std::strcmp(flag, "--hang-grace-ms")) hang_grace_ms = static_cast<unsigned>(parse_ll(flag, value, 1, 86'400'000));
+    else if (!std::strcmp(flag, "--transport-dir")) transport_dir = value;
+    else if (!std::strcmp(flag, "--rank-role")) rank_role = parse_int(flag, value, 0, 1 << 16);
+    else if (!std::strcmp(flag, "--trace-epoch")) trace_epoch_ns = parse_u64(flag, value);
     else return usage();
   }
 
+  if (transport != "inproc" && transport != "socket")
+    throw CliParseError("--transport: expected 'inproc' or 'socket', got '" +
+                        transport + "'");
+  if (transport == "socket") {
+    if (algo != "dist")
+      throw CliParseError("--transport socket requires --algo dist");
+    if (!profile_out.empty() || profile_summary)
+      throw CliParseError(
+          "--profile/--profile-summary need --transport inproc (the "
+          "cross-rank digest requires one trace holding every rank)");
+  }
+  if (rank_role >= 0 &&
+      (transport != "socket" || transport_dir.empty() || rank_role >= ranks))
+    throw CliParseError(
+        "--rank-role is internal (the socket launcher appends it, in [0, "
+        "ranks), together with --transport-dir)");
+
+  // Fault plans are validated at configuration time — a typo'd rate or rank
+  // is rejected here with the offending field named, not discovered as a
+  // plan that silently never fires.
+  comm::FaultPlan faults;
+  unsigned effective_watchdog_ms = watchdog_ms;
+  if (!fault_spec.empty()) {
+    faults.seed = seed;  // default the fault stream to the run seed
+    parse_fault_spec(fault_spec, &faults);
+    comm::validate_fault_plan(faults, ranks);
+    if (faults.stall_exits && transport != "socket")
+      throw CliParseError(
+          "--faults exit=<rank> kills a real worker process; it needs "
+          "--transport socket");
+    // A fault plan without a watchdog can only hang on unrecoverable
+    // schedules; arm a generous default.
+    if (effective_watchdog_ms == 0) effective_watchdog_ms = 10'000;
+  }
+
+  // Socket launcher: fork the workers and get out of the way — the graph is
+  // loaded by each worker, and worker rank 0 writes every output file.
+  if (transport == "socket" && rank_role < 0)
+    return run_socket_launcher(argc, argv, ranks, trace_out, hang_grace_ms);
+
   const auto g = graph::build_csr(graph::read_edge_list(in));
-  std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()));
+  if (rank_role <= 0)
+    std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()));
 
   graph::Partition assignment;
   if (algo == "seq") {
@@ -237,15 +495,8 @@ int cmd_cluster(int argc, char** argv) {
     cfg.active_set = active_set;
     cfg.async = use_async;
     cfg.async_max_lag = async_max_lag;
-    if (!fault_spec.empty()) {
-      cfg.faults.seed = seed;  // default the fault stream to the run seed
-      if (!parse_fault_spec(fault_spec, &cfg.faults)) return usage();
-      // A fault plan without a watchdog can only hang on unrecoverable
-      // schedules; arm a generous default.
-      cfg.comm_watchdog_ms = watchdog_ms > 0 ? watchdog_ms : 10'000;
-    } else if (watchdog_ms > 0) {
-      cfg.comm_watchdog_ms = watchdog_ms;
-    }
+    cfg.faults = faults;
+    cfg.comm_watchdog_ms = effective_watchdog_ms;
     if (!trace_out.empty() || !report_out.empty() || !profile_out.empty() ||
         profile_summary) {
       cfg.obs.enabled = true;  // flight recorder on; results are unchanged
@@ -253,27 +504,16 @@ int cmd_cluster(int argc, char** argv) {
       cfg.obs.report_path = report_out;
       cfg.obs.profile_path = profile_out;
     }
+    if (rank_role >= 0) {
+      // Socket-transport worker: the per-worker trace path and epoch are
+      // substituted inside, and only rank 0 writes the shared outputs.
+      cfg.obs.trace_path.clear();
+      return run_socket_worker(g, cfg, rank_role, transport_dir,
+                               trace_epoch_ns, !trace_out.empty(), out);
+    }
     const auto r = core::distributed_infomap(g, cfg);
     assignment = r.assignment;
-    std::printf("distributed Infomap (p=%d): L = %.6f, %u modules\n", ranks,
-                r.codelength, r.num_modules());
-    if (cfg.faults.any()) {
-      comm::FaultCounters injected;
-      for (const auto& f : r.report.faults_injected) injected += f;
-      comm::CommCounters recovered;
-      for (const auto& c : r.comm_counters) recovered += c;
-      std::printf(
-          "faults injected: %llu drops, %llu dups, %llu reorders, %llu "
-          "corruptions; recovery: %llu retransmits, %llu dup frames dropped, "
-          "%llu checksum failures\n",
-          static_cast<unsigned long long>(injected.drops),
-          static_cast<unsigned long long>(injected.duplicates),
-          static_cast<unsigned long long>(injected.reorders),
-          static_cast<unsigned long long>(injected.corruptions),
-          static_cast<unsigned long long>(recovered.retransmits),
-          static_cast<unsigned long long>(recovered.dup_frames_dropped),
-          static_cast<unsigned long long>(recovered.checksum_failures));
-    }
+    print_dist_summary(r, ranks, cfg.faults.any());
     if (profile_summary && r.report.has_profile)
       print_profile_summary(r.report.profile);
     if (!trace_out.empty())
@@ -377,7 +617,7 @@ int cmd_inspect(int argc, char** argv) {
 int cmd_partition_stats(int argc, char** argv) {
   if (argc < 4) return usage();
   const auto g = graph::build_csr(graph::read_edge_list(argv[2]));
-  const int p = std::atoi(argv[3]);
+  const int p = parse_int("ranks", argv[3], 1, 1 << 16);
   std::printf("%-14s %12s %12s %9s %12s\n", "strategy", "min arcs", "max arcs",
               "imb", "max ghosts");
   const struct {
@@ -410,6 +650,12 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(argc, argv);
     if (cmd == "inspect") return cmd_inspect(argc, argv);
     if (cmd == "partition-stats") return cmd_partition_stats(argc, argv);
+  } catch (const CliParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const comm::FaultPlanError& e) {
+    std::fprintf(stderr, "error: invalid fault plan: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstring>
 
-#include "comm/runtime.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -67,70 +66,66 @@ void Comm::transport_send(int dest, int tag, std::span<const std::byte> data,
   // carry no cross-rank dependency, so they get no arrow.
   if (trace_ != nullptr && dest != rank_)
     trace_->flow_send(dest, tag, send_ordinals_[{dest, tag}]++);
-  // The runtime is the transport: it frames the payload (seq + checksum when
-  // fault injection is on), rolls the fault dice, and delivers.
-  runtime_->deliver(rank_, dest, tag, data);
+  // The transport frames the payload (seq + tag ordinal + checksum when
+  // fault injection is on), rolls the fault dice, and puts it on the wire.
+  transport_->send_frame(dest, tag, data);
 }
 
 Message Comm::transport_recv(int source, int tag) {
-  if (runtime_->faults_enabled()) return recv_with_recovery(source, tag);
+  if (transport_->faults_enabled()) return recv_with_recovery(source, tag);
   // Fault-free path: plain blocking receive. The waiting flag still gets set
   // so a watchdog (if armed) can tell blocked-in-recv from frozen-elsewhere.
-  runtime_->set_waiting(rank_, true);
+  transport_->set_waiting(true);
   struct WaitClear {
-    Runtime* rt;
-    int rank;
-    ~WaitClear() { rt->set_waiting(rank, false); }
-  } clear{runtime_, rank_};
+    Transport* t;
+    ~WaitClear() { t->set_waiting(false); }
+  } clear{transport_};
   Message m;
   {
     obs::SpanScope wait_span(trace_, "recv_wait");
-    m = runtime_->mailbox(rank_).recv(source, tag);
+    m = transport_->blocking_recv(source, tag);
   }
-  runtime_->note_progress(rank_);
+  transport_->note_progress();
   if (trace_ != nullptr && m.source != rank_)
     trace_->flow_recv(m.source, m.tag, recv_ordinals_[{m.source, m.tag}]++);
   return m;
 }
 
 Message Comm::recv_with_recovery(int source, int tag) {
-  const Runtime::Options& opt = runtime_->options();
+  const TransportTuning& opt = transport_->tuning();
   auto backoff =
       std::chrono::microseconds(std::max(1u, opt.retry_backoff_us));
   constexpr auto kBackoffCap = std::chrono::microseconds(20'000);
   int retries = 0;
   // The whole loop counts as "blocked in recv" for the watchdog — including
   // the brief spells between timeout and retransmit request.
-  runtime_->set_waiting(rank_, true);
+  transport_->set_waiting(true);
   struct WaitClear {
-    Runtime* rt;
-    int rank;
-    ~WaitClear() { rt->set_waiting(rank, false); }
-  } clear{runtime_, rank_};
+    Transport* t;
+    ~WaitClear() { t->set_waiting(false); }
+  } clear{transport_};
   // The recovery loop's dedup/checksum work is negligible next to its
   // blocking waits, so the whole loop reads as wait time in the profile.
   obs::SpanScope wait_span(trace_, "recv_wait");
 
   for (;;) {
-    auto msg = runtime_->mailbox(rank_).try_recv_for(source, tag, backoff,
-                                                     /*by_min_seq=*/true);
+    auto msg = transport_->timed_recv(source, tag, backoff,
+                                      /*by_min_seq=*/true);
     if (msg.has_value()) {
-      auto& seen = consumed_[static_cast<std::size_t>(msg->source)];
       if (msg->source != rank_) {
-        if (seen.count(msg->seq) != 0) {
+        if (consumed_.contains(*msg)) {
           counters_.dup_frames_dropped += 1;  // duplicate or stale retransmit
           continue;
         }
         // Gap check: min-seq matching alone cannot see a *missing* frame. If
-        // the send log holds an older unconsumed frame of this (channel,
-        // tag), that one was dropped or is still in flight — requeue the
-        // candidate, pull the older frame, and charge the budget.
-        if (runtime_->oldest_unconsumed(msg->source, rank_, msg->tag, seen) <
-            msg->seq) {
-          runtime_->mailbox(rank_).deliver(std::move(*msg));
-          if (runtime_->request_retransmit(msg->source, rank_, msg->tag,
-                                           consumed_) ==
-              Runtime::Retransmit::kRedelivered) {
+        // an earlier unconsumed frame of this (channel, tag) exists, it was
+        // dropped or is still in flight — requeue the candidate, pull the
+        // older frame, and charge the budget.
+        if (transport_->gap_before(*msg, consumed_)) {
+          const int gap_source = msg->source;
+          transport_->requeue(std::move(*msg));
+          if (transport_->request_retransmit(gap_source, tag, consumed_) ==
+              RetransmitOutcome::kRedelivered) {
             counters_.retransmit_requests += 1;
             counters_.retransmits += 1;
           }
@@ -140,9 +135,9 @@ Message Comm::recv_with_recovery(int source, int tag) {
                     std::to_string(opt.max_recv_retries) +
                     " retransmit requests) closing a sequence gap from "
                     "source " +
-                    std::to_string(msg->source) + " tag " +
+                    std::to_string(gap_source) + " tag " +
                     std::to_string(tag),
-                msg->source, tag);
+                gap_source, tag);
           }
           continue;
         }
@@ -151,8 +146,7 @@ Message Comm::recv_with_recovery(int source, int tag) {
                            msg->payload.data(), msg->payload.size());
         if (expect != msg->checksum) {
           counters_.checksum_failures += 1;
-          if (!runtime_->request_retransmit_seq(msg->source, rank_,
-                                                msg->seq)) {
+          if (!transport_->request_retransmit_seq(msg->source, msg->seq)) {
             throw CommFault(
                 "recv: corrupt frame (source " + std::to_string(msg->source) +
                     ", tag " + std::to_string(tag) + ", seq " +
@@ -164,9 +158,9 @@ Message Comm::recv_with_recovery(int source, int tag) {
           counters_.retransmits += 1;
           continue;  // the pristine copy is on its way
         }
-        seen.insert(msg->seq);
+        consumed_.note(*msg);
       }
-      runtime_->note_progress(rank_);
+      transport_->note_progress();
       // Only a consumed frame gets a flow stamp — dedup-dropped duplicates
       // and requeued gap candidates never reach this point, so the recv
       // ordinal stays aligned with the sender's per-(channel, tag) ordinal.
@@ -179,17 +173,17 @@ Message Comm::recv_with_recovery(int source, int tag) {
     // Timed out. Ask the send log; only *provable* loss charges the budget —
     // a sender that simply hasn't sent yet is waited on patiently (liveness
     // is the watchdog's job, not ours).
-    switch (runtime_->request_retransmit(source, rank_, tag, consumed_)) {
-      case Runtime::Retransmit::kRedelivered:
+    switch (transport_->request_retransmit(source, tag, consumed_)) {
+      case RetransmitOutcome::kRedelivered:
         counters_.retransmit_requests += 1;
         counters_.retransmits += 1;
         ++retries;
         break;
-      case Runtime::Retransmit::kNoneEvicted:
+      case RetransmitOutcome::kNoneEvicted:
         counters_.retransmit_requests += 1;
         ++retries;
         break;
-      case Runtime::Retransmit::kNoneSafe:
+      case RetransmitOutcome::kNoneSafe:
         break;
     }
     if (retries > opt.max_recv_retries) {
@@ -219,7 +213,7 @@ std::vector<std::byte> Comm::recv_bytes(int source, int tag) {
 }
 
 bool Comm::probe(int source, int tag) {
-  return runtime_->mailbox(rank_).probe(source, tag);
+  return transport_->probe(source, tag);
 }
 
 int Comm::next_collective_tag() {

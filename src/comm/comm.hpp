@@ -2,10 +2,11 @@
 //
 // This is the paper's communication substrate: the original implementation is
 // plain MPI on Titan; no MPI library exists in this environment, so we provide
-// a communicator with the same two-sided + collective semantics over threads
-// (one rank per thread, disjoint logical address spaces — all sharing happens
-// through messages). Porting back to real MPI is a mechanical swap of this
-// class for MPI_Comm calls.
+// a communicator with the same two-sided + collective semantics over a
+// pluggable comm::Transport — the in-process mailbox backend (one rank per
+// thread, disjoint logical address spaces — all sharing happens through
+// messages) or the multi-process socket backend. Porting back to real MPI is
+// a mechanical swap of this class for MPI_Comm calls.
 //
 // Collectives are implemented *on top of* point-to-point with classic
 // algorithms (dissemination barrier, binomial-tree broadcast, gather+bcast
@@ -21,13 +22,12 @@
 #include <string>
 #include <tuple>
 #include <type_traits>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "comm/counters.hpp"
-#include "comm/mailbox.hpp"
 #include "comm/message.hpp"
+#include "comm/transport.hpp"
 #include "util/check.hpp"
 
 namespace dinfomap::obs {
@@ -38,18 +38,16 @@ class TraceBuffer;
 
 namespace dinfomap::comm {
 
-class Runtime;
-
 /// Built-in reduction operators for allreduce.
 enum class ReduceOp { kSum, kMin, kMax, kLogicalAnd, kLogicalOr };
 
 class Comm {
  public:
-  Comm(Runtime& runtime, int rank, int size)
-      : runtime_(&runtime),
-        rank_(rank),
-        size_(size),
-        consumed_(static_cast<std::size_t>(size)) {}
+  explicit Comm(Transport& transport)
+      : transport_(&transport),
+        rank_(transport.rank()),
+        size_(transport.size()),
+        consumed_(transport.size()) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -387,12 +385,12 @@ class Comm {
   /// Next reserved tag for a collective step (same sequence on all ranks).
   int next_collective_tag();
 
-  Runtime* runtime_;
+  Transport* transport_;
   int rank_;
   int size_;
-  /// Seqs already consumed, per source rank — the dedup filter under fault
-  /// injection (frame seqs are per-channel, so per-source sets suffice).
-  std::vector<std::unordered_set<std::uint64_t>> consumed_;
+  /// Frames already consumed — the dedup filter and gap-detection input under
+  /// fault injection (see transport.hpp).
+  ConsumedFrames consumed_;
   std::uint64_t collective_seq_ = 0;
   CommCounters counters_;
   /// Resolved once by set_metrics so the send path pays one null check.

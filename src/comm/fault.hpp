@@ -18,23 +18,39 @@
 #include <stdexcept>
 #include <string>
 
+#include "comm/message.hpp"
+
 namespace dinfomap::comm {
 
 /// Unrecoverable transport failure: retry budget exhausted, a corrupt frame
-/// whose pristine copy was already evicted from the send log, or a watchdog
-/// verdict against a stalled rank. Carries the peer rank and tag involved so
-/// failures under fault injection are diagnosable (rank < 0 when unknown).
+/// whose pristine copy was already evicted from the send log, or a liveness
+/// verdict against a peer. Carries the peer rank and tag involved so
+/// failures under fault injection are diagnosable (rank < 0 when unknown),
+/// plus a Kind so a launcher can tell a hang from a crash:
+///  * kStalled — the peer is alive but frozen (watchdog conviction);
+///  * kPeerExited — the peer's process/connection is *gone* (socket EOF with
+///    no matching frame queued), which only the multi-process backend can
+///    observe.
 class CommFault : public std::runtime_error {
  public:
-  CommFault(const std::string& what, int rank = -1, int tag = -1)
-      : std::runtime_error(what), rank_(rank), tag_(tag) {}
+  enum class Kind {
+    kTransport,   ///< recovery failure on a live channel
+    kStalled,     ///< watchdog verdict: peer alive but making no progress
+    kPeerExited,  ///< peer process died (connection EOF) — crash, not hang
+  };
+
+  CommFault(const std::string& what, int rank = -1, int tag = -1,
+            Kind kind = Kind::kTransport)
+      : std::runtime_error(what), rank_(rank), tag_(tag), kind_(kind) {}
   /// The peer rank the failure implicates (the stalled or silent rank).
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int tag() const { return tag_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
 
  private:
   int rank_;
   int tag_;
+  Kind kind_;
 };
 
 /// Seeded per-message fault plan. Probabilities are evaluated as one cascade
@@ -49,6 +65,12 @@ struct FaultPlan {
   /// the watchdog's prey.
   int stall_rank = -1;
   std::uint64_t stall_after_sends = 0;
+  /// Socket backend only: the stalled rank *exits* instead of freezing,
+  /// modelling a crashed worker. Peers observe connection EOF and raise
+  /// CommFault{kPeerExited} rather than a watchdog stall verdict. Rejected
+  /// by validate_fault_plan for the in-process backend, where there is no
+  /// process to kill.
+  bool stall_exits = false;
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool any() const {
@@ -56,6 +78,47 @@ struct FaultPlan {
            stall_rank >= 0;
   }
 };
+
+/// A fault plan that is malformed *as configuration* — distinct from
+/// CommFault (a transport failure at runtime) so CLIs can reject the plan
+/// before any rank starts.
+class FaultPlanError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Validate `plan` against a rank count. Throws FaultPlanError naming the
+/// offending field when a rate falls outside [0, 1], the cascade sum exceeds
+/// 1, the stall rank is out of [0, nranks), or stall_exits is set with no
+/// stall rank. Call with nranks <= 0 to skip the rank-bound check (rank
+/// count not known yet).
+inline void validate_fault_plan(const FaultPlan& plan, int nranks) {
+  const auto check_rate = [](double v, const char* name) {
+    if (!(v >= 0.0 && v <= 1.0))
+      throw FaultPlanError("fault plan: " + std::string(name) + " rate " +
+                           std::to_string(v) + " outside [0, 1]");
+  };
+  check_rate(plan.drop, "drop");
+  check_rate(plan.duplicate, "dup");
+  check_rate(plan.reorder, "reorder");
+  check_rate(plan.corrupt, "corrupt");
+  if (plan.drop + plan.duplicate + plan.reorder + plan.corrupt > 1.0)
+    throw FaultPlanError(
+        "fault plan: probabilities form one cascade; their sum must stay <= "
+        "1");
+  if (plan.stall_rank < -1)
+    throw FaultPlanError("fault plan: stall rank " +
+                         std::to_string(plan.stall_rank) + " is negative");
+  if (nranks > 0 && plan.stall_rank >= nranks)
+    throw FaultPlanError("fault plan: stall rank " +
+                         std::to_string(plan.stall_rank) +
+                         " out of range for " + std::to_string(nranks) +
+                         " ranks (valid: 0.." + std::to_string(nranks - 1) +
+                         ")");
+  if (plan.stall_exits && plan.stall_rank < 0)
+    throw FaultPlanError(
+        "fault plan: stall-exit mode needs a stall rank (stall=R)");
+}
 
 /// Injected-fault tallies, kept per source rank so the run report can show
 /// that a plan actually fired.
@@ -91,6 +154,47 @@ struct FaultCounters {
 /// Map a mixed 64-bit word to [0, 1).
 [[nodiscard]] inline double unit_interval(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The one fault (if any) a frame draws from the cascade.
+enum class FaultAction { kNone, kDrop, kDuplicate, kReorder, kCorrupt };
+
+/// A frame's dice roll plus the mixed word that produced it (corrupt_frame
+/// reuses the word to pick the damaged byte).
+struct FaultRoll {
+  FaultAction action = FaultAction::kNone;
+  std::uint64_t mix = 0;
+};
+
+/// Roll the cascade for frame `seq` on channel src→dest. A pure function of
+/// (seed, src, dest, seq) — both transport backends call this, so a given
+/// plan injects the *same* fault stream whether ranks are threads or
+/// processes, which is what keeps results bit-identical across backends.
+[[nodiscard]] inline FaultRoll roll_fault(const FaultPlan& plan, int src,
+                                          int dest, std::uint64_t seq) {
+  const std::uint64_t key = splitmix64(
+      plan.seed ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)) << 20));
+  const std::uint64_t h = splitmix64(key ^ seq);
+  double u = unit_interval(h);
+  if (u < plan.drop) return {FaultAction::kDrop, h};
+  if ((u -= plan.drop) < plan.duplicate) return {FaultAction::kDuplicate, h};
+  if ((u -= plan.duplicate) < plan.reorder) return {FaultAction::kReorder, h};
+  if ((u -= plan.reorder) < plan.corrupt) return {FaultAction::kCorrupt, h};
+  return {FaultAction::kNone, h};
+}
+
+/// Damage the wire copy of a frame the cascade marked kCorrupt: flip one
+/// payload bit at a seeded position, or the checksum field when the payload
+/// is empty. The sender's log keeps the pristine frame.
+inline void corrupt_frame(Message& m, std::uint64_t h) {
+  if (!m.payload.empty()) {
+    const auto pos = splitmix64(h ^ 0x5bd1e995ULL) % m.payload.size();
+    m.payload[pos] ^= std::byte{0x40};
+  } else {
+    m.checksum ^= 0x40;
+  }
 }
 
 /// FNV-1a over the frame header and payload. Seeding the hash with

@@ -17,14 +17,19 @@ inline constexpr int kCollectiveTagBase = 1 << 30;
 /// One in-flight message: source rank, tag, and an opaque payload, framed
 /// with the recovery header the fault-injection layer needs. `seq` numbers
 /// frames per (source, dest) channel so receivers can drop duplicates and
-/// restore sender order under reordering; `checksum` covers header + payload
-/// (comm::frame_checksum) so corruption is detected rather than consumed.
-/// Both are written only when fault injection is active — the fault-free
-/// transport neither computes nor verifies them.
+/// restore sender order under reordering; `tag_seq` is the frame's ordinal
+/// among same-tag frames on that channel (0-based), the socket backend's
+/// local gap detector (the receiver knows a frame is early when its tag_seq
+/// exceeds the count of same-(source, tag) frames it has consumed);
+/// `checksum` covers header + payload (comm::frame_checksum) so corruption
+/// is detected rather than consumed. All three are written only when fault
+/// injection is active — the fault-free transport neither computes nor
+/// verifies them.
 struct Message {
   int source = 0;
   int tag = 0;
   std::uint64_t seq = 0;
+  std::uint64_t tag_seq = 0;
   std::uint64_t checksum = 0;
   std::vector<std::byte> payload;
 };

@@ -1,0 +1,211 @@
+#include "comm/process_group.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "comm/socket_transport.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace dinfomap::comm {
+
+namespace {
+
+/// One parsed worker verdict: `reporter` accused `accused` of `kind`.
+struct Verdict {
+  int reporter = -1;
+  std::string kind;  // "stalled" | "peer_exited" | "transport"
+  int accused = -1;
+};
+
+std::vector<Verdict> read_verdicts(const ProcessGroup::Spec& spec) {
+  std::vector<Verdict> verdicts;
+  for (int r = 0; r < spec.nranks; ++r) {
+    std::ifstream in(ProcessGroup::fault_file(spec.dir, r));
+    if (!in) continue;
+    Verdict v;
+    v.reporter = r;
+    in >> v.kind >> v.accused;
+    if (!v.kind.empty()) verdicts.push_back(v);
+  }
+  return verdicts;
+}
+
+}  // namespace
+
+std::string ProcessGroup::fault_file(const std::string& dir, int rank) {
+  return dir + "/fault." + std::to_string(rank);
+}
+
+ProcessGroup::Result ProcessGroup::launch(const Spec& spec) {
+  DINFOMAP_REQUIRE_MSG(spec.nranks >= 1, "process group: need >= 1 rank");
+  Result result;
+  result.exit_codes.assign(static_cast<std::size_t>(spec.nranks), -1);
+  result.killed_by_launcher.assign(static_cast<std::size_t>(spec.nranks),
+                                   false);
+  // Stale fault files from a previous run in the same dir would corrupt the
+  // diagnosis.
+  for (int r = 0; r < spec.nranks; ++r)
+    ::unlink(fault_file(spec.dir, r).c_str());
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(spec.nranks), -1);
+  for (int r = 0; r < spec.nranks; ++r) {
+    // Build argv before fork: the child must only execv (no allocation
+    // between fork and exec).
+    std::vector<std::string> args;
+    args.push_back(spec.exe);
+    args.insert(args.end(), spec.worker_args.begin(), spec.worker_args.end());
+    args.push_back("--rank-role");
+    args.push_back(std::to_string(r));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    DINFOMAP_REQUIRE_MSG(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      ::execv(spec.exe.c_str(), argv.data());
+      // Exec failed: nothing sane to do in the child but die loudly.
+      ::_exit(127);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  // Reap loop: non-blocking waits so the grace timer can run alongside. A
+  // worker that fails starts the clock; stragglers still alive when it runs
+  // out are presumed hung and SIGKILLed (a stalled worker never exits).
+  using clock = std::chrono::steady_clock;
+  int alive = spec.nranks;
+  bool any_failed = false;
+  clock::time_point grace_start{};
+  bool killed_stragglers = false;
+  while (alive > 0) {
+    bool reaped_one = false;
+    for (int r = 0; r < spec.nranks; ++r) {
+      const auto idx = static_cast<std::size_t>(r);
+      if (pids[idx] < 0) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(pids[idx], &status, WNOHANG);
+      if (got == 0) continue;
+      pids[idx] = -1;
+      --alive;
+      reaped_one = true;
+      if (WIFEXITED(status)) {
+        result.exit_codes[idx] = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        result.exit_codes[idx] = -WTERMSIG(status);
+      } else {
+        result.exit_codes[idx] = -1;
+      }
+      if (result.exit_codes[idx] != 0 && !any_failed) {
+        any_failed = true;
+        grace_start = clock::now();
+      }
+    }
+    if (alive == 0) break;
+    if (any_failed && !killed_stragglers &&
+        clock::now() - grace_start >
+            std::chrono::milliseconds(spec.hang_grace_ms)) {
+      for (int r = 0; r < spec.nranks; ++r) {
+        const auto idx = static_cast<std::size_t>(r);
+        if (pids[idx] < 0) continue;
+        LOG_WARN << "process group: killing straggler rank " << r << " (pid "
+                 << pids[idx] << ")";
+        ::kill(pids[idx], SIGKILL);
+        result.killed_by_launcher[idx] = true;
+      }
+      killed_stragglers = true;
+    }
+    if (!reaped_one)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // ---- diagnosis ----------------------------------------------------------
+  result.ok = true;
+  for (int r = 0; r < spec.nranks; ++r)
+    if (result.exit_codes[static_cast<std::size_t>(r)] != 0) result.ok = false;
+  if (result.ok) {
+    result.diagnosis = "all ranks exited cleanly";
+    return result;
+  }
+
+  const auto verdicts = read_verdicts(spec);
+  const auto filed_verdict = [&](int rank) {
+    for (const Verdict& v : verdicts)
+      if (v.reporter == rank) return true;
+    return false;
+  };
+
+  // A rank that died abnormally of its own accord (crash signal, stall-exit
+  // injection, or any nonzero exit with no verdict filed — a raw crash path)
+  // is the crashed rank.
+  for (int r = 0; r < spec.nranks && result.crashed_rank < 0; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    const int code = result.exit_codes[idx];
+    if (result.killed_by_launcher[idx]) continue;  // our kill, not its crash
+    if (code < 0 || code == kStallExitCode || code == 127)
+      result.crashed_rank = r;
+  }
+  // A rank accused of stalling that filed no verdict and never exited
+  // voluntarily (we had to kill it, or it crashed only under our SIGKILL)
+  // is the stalled rank. Accusations by ranks that filed their own verdicts
+  // are wait-chain symptoms, so only verdict-silent accused ranks qualify.
+  for (const Verdict& v : verdicts) {
+    if (v.kind != "stalled" || v.accused < 0 || v.accused >= spec.nranks)
+      continue;
+    if (filed_verdict(v.accused)) continue;
+    if (result.killed_by_launcher[static_cast<std::size_t>(v.accused)]) {
+      result.stalled_rank = v.accused;
+      break;
+    }
+    if (result.stalled_rank < 0) result.stalled_rank = v.accused;
+  }
+  // peer_exited accusations corroborate a crash when the exit codes alone
+  // are ambiguous (e.g. the accused died of our straggler kill *after*
+  // closing its sockets).
+  if (result.crashed_rank < 0) {
+    for (const Verdict& v : verdicts) {
+      if (v.kind == "peer_exited" && v.accused >= 0 &&
+          v.accused < spec.nranks && !filed_verdict(v.accused)) {
+        result.crashed_rank = v.accused;
+        break;
+      }
+    }
+  }
+
+  std::ostringstream msg;
+  if (result.crashed_rank >= 0) {
+    msg << "rank " << result.crashed_rank << " crashed (exit "
+        << result.exit_codes[static_cast<std::size_t>(result.crashed_rank)]
+        << ")";
+    if (result.stalled_rank >= 0)
+      msg << "; rank " << result.stalled_rank << " reported stalled";
+  } else if (result.stalled_rank >= 0) {
+    msg << "rank " << result.stalled_rank
+        << " stalled (convicted by peer watchdogs"
+        << (result.killed_by_launcher[static_cast<std::size_t>(
+                result.stalled_rank)]
+                ? ", killed by launcher"
+                : "")
+        << ")";
+  } else {
+    msg << "job failed";
+    for (int r = 0; r < spec.nranks; ++r) {
+      const int code = result.exit_codes[static_cast<std::size_t>(r)];
+      if (code != 0) msg << "; rank " << r << " exit " << code;
+    }
+  }
+  result.diagnosis = msg.str();
+  return result;
+}
+
+}  // namespace dinfomap::comm

@@ -1,0 +1,57 @@
+// Launcher for the multi-process socket transport: forks one worker process
+// per rank (a `dinfomap_cli --rank-role R` re-exec), waits for the job, and
+// folds per-worker failures into a crash-vs-hang diagnosis (DESIGN.md §14).
+//
+// Failure reporting protocol: a worker that dies on a CommFault writes a
+// one-line fault file `<dir>/fault.<rank>` — `stalled <accused>`,
+// `peer_exited <accused>`, or `transport <accused>` — before exiting
+// nonzero. The launcher combines those verdicts with how each child actually
+// died (clean exit, crash signal, kStallExitCode, or the launcher's own
+// straggler SIGKILL) to name the root-cause rank:
+//  * a rank that exited abnormally on its own is the *crashed* rank;
+//  * a rank accused of stalling that wrote no verdict of its own and never
+//    exited voluntarily is the *stalled* rank (accusations by ranks that
+//    themselves filed a verdict are downstream symptoms of a wait chain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dinfomap::comm {
+
+class ProcessGroup {
+ public:
+  struct Spec {
+    int nranks = 0;
+    /// Worker executable (the CLI re-execs itself) and the argv tail shared
+    /// by all workers; the launcher appends `--rank-role <r>` per child.
+    std::string exe;
+    std::vector<std::string> worker_args;
+    /// Rendezvous directory: sockets and fault files live here. Must exist.
+    std::string dir;
+    /// After the first worker fails, surviving workers get this long to
+    /// finish unwinding (writing their own verdicts) before SIGKILL — a
+    /// genuinely stalled worker never exits on its own.
+    unsigned hang_grace_ms = 30'000;
+  };
+
+  struct Result {
+    bool ok = false;
+    /// Per rank: exit status when >= 0, -signal when killed (including the
+    /// launcher's own straggler kills — see `killed_by_launcher`).
+    std::vector<int> exit_codes;
+    std::vector<bool> killed_by_launcher;
+    int crashed_rank = -1;  ///< rank that died abnormally of its own accord
+    int stalled_rank = -1;  ///< rank convicted of hanging (killed by us)
+    std::string diagnosis;  ///< one human-readable line
+  };
+
+  /// Fork + exec all workers, block until every child is reaped, diagnose.
+  static Result launch(const Spec& spec);
+
+  /// The fault-file path rank `r` writes its verdict to (shared contract
+  /// between the launcher and the CLI's worker role).
+  [[nodiscard]] static std::string fault_file(const std::string& dir, int rank);
+};
+
+}  // namespace dinfomap::comm

@@ -15,9 +15,11 @@ Runtime::Runtime(int nranks, const Options& options)
       chaos_state_(options.chaos_seed) {
   mailboxes_.reserve(nranks);
   rank_state_.reserve(nranks);
+  endpoints_.reserve(nranks);
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     rank_state_.push_back(std::make_unique<RankState>());
+    endpoints_.push_back(std::make_unique<InprocTransport>(*this, r, nranks));
   }
   if (faults_enabled_) {
     const auto n = static_cast<std::size_t>(nranks);
@@ -40,6 +42,11 @@ void Runtime::maybe_delay() {
 Mailbox& Runtime::mailbox(int rank) {
   DINFOMAP_REQUIRE(rank >= 0 && rank < static_cast<int>(mailboxes_.size()));
   return *mailboxes_[rank];
+}
+
+Transport& Runtime::endpoint(int rank) {
+  DINFOMAP_REQUIRE(rank >= 0 && rank < static_cast<int>(endpoints_.size()));
+  return *endpoints_[rank];
 }
 
 void Runtime::abort() {
@@ -109,18 +116,15 @@ void Runtime::deliver(int src, int dest, int tag,
     Channel& ch = channel(src, dest);
     util::MutexLock lock(ch.mutex);
     m.seq = ch.next_seq++;
+    m.tag_seq = ch.tag_seq[tag]++;
     m.checksum =
         frame_checksum(src, tag, m.seq, m.payload.data(), m.payload.size());
     push_log(ch, m);  // pristine copy, logged before any fault touches it
 
-    // Fault dice: a pure function of (seed, src, dest, seq), so the plan
-    // injects identical faults on every run regardless of thread timing.
-    const std::uint64_t key = splitmix64(
-        plan.seed ^
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) ^
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dest)) << 20));
-    const std::uint64_t h = splitmix64(key ^ m.seq);
-    double u = unit_interval(h);
+    // Fault dice: a pure function of (seed, src, dest, seq) shared with the
+    // socket backend, so the plan injects identical faults on every run
+    // regardless of thread timing — and regardless of backend.
+    const FaultRoll roll = roll_fault(plan, src, dest, m.seq);
 
     // A held (reordered) frame is released behind the channel's *next* frame,
     // whatever that frame's own fate is.
@@ -131,29 +135,29 @@ void Runtime::deliver(int src, int dest, int tag,
       ch.holding = false;
     }
 
-    if (u < plan.drop) {
-      ch.injected.drops += 1;  // never delivered; the send log answers for it
-    } else if ((u -= plan.drop) < plan.duplicate) {
-      ch.injected.duplicates += 1;
-      out.push_back(m);
-      out.push_back(std::move(m));
-    } else if ((u -= plan.duplicate) < plan.reorder) {
-      ch.injected.reorders += 1;
-      ch.held = std::move(m);
-      ch.holding = true;
-    } else if ((u -= plan.reorder) < plan.corrupt) {
-      ch.injected.corruptions += 1;
-      // Flip one payload bit on the wire copy (the log keeps the pristine
-      // frame); an empty payload gets its checksum field damaged instead.
-      if (!m.payload.empty()) {
-        const auto pos = splitmix64(h ^ 0x5bd1e995ULL) % m.payload.size();
-        m.payload[pos] ^= std::byte{0x40};
-      } else {
-        m.checksum ^= 0x40;
-      }
-      out.push_back(std::move(m));
-    } else {
-      out.push_back(std::move(m));
+    switch (roll.action) {
+      case FaultAction::kDrop:
+        ch.injected.drops += 1;  // never delivered; the send log answers for it
+        break;
+      case FaultAction::kDuplicate:
+        ch.injected.duplicates += 1;
+        out.push_back(m);
+        out.push_back(std::move(m));
+        break;
+      case FaultAction::kReorder:
+        ch.injected.reorders += 1;
+        ch.held = std::move(m);
+        ch.holding = true;
+        break;
+      case FaultAction::kCorrupt:
+        ch.injected.corruptions += 1;
+        // Damage the wire copy (the log keeps the pristine frame).
+        corrupt_frame(m, roll.mix);
+        out.push_back(std::move(m));
+        break;
+      case FaultAction::kNone:
+        out.push_back(std::move(m));
+        break;
     }
     if (had_held) out.push_back(std::move(old_held));
   }
@@ -163,7 +167,7 @@ void Runtime::deliver(int src, int dest, int tag,
   }
 }
 
-Runtime::Retransmit Runtime::request_retransmit(
+RetransmitOutcome Runtime::request_retransmit(
     int src, int dst, int tag,
     const std::vector<std::unordered_set<std::uint64_t>>& consumed) {
   const int p = static_cast<int>(mailboxes_.size());
@@ -190,10 +194,11 @@ Runtime::Retransmit Runtime::request_retransmit(
     }
     if (found) {
       mailbox(dst).deliver(std::move(copy));
-      return Retransmit::kRedelivered;
+      return RetransmitOutcome::kRedelivered;
     }
   }
-  return evicted ? Retransmit::kNoneEvicted : Retransmit::kNoneSafe;
+  return evicted ? RetransmitOutcome::kNoneEvicted
+                 : RetransmitOutcome::kNoneSafe;
 }
 
 std::uint64_t Runtime::oldest_unconsumed(
@@ -233,11 +238,11 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn) {
 Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
                                 const Options& options) {
   DINFOMAP_REQUIRE_MSG(nranks >= 1, "need at least one rank");
-  DINFOMAP_REQUIRE_MSG(
-      options.faults.drop + options.faults.duplicate + options.faults.reorder +
-              options.faults.corrupt <=
-          1.0,
-      "fault probabilities form one cascade; their sum must stay <= 1");
+  validate_fault_plan(options.faults, nranks);  // throws FaultPlanError
+  if (options.faults.stall_exits)
+    throw FaultPlanError(
+        "fault plan: stall-exit mode needs real worker processes — use the "
+        "socket transport");
   Runtime runtime(nranks, options);
   JobReport report;
   report.counters.resize(nranks);
@@ -253,7 +258,7 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
     threads.emplace_back([&, r] {
       // Tag this thread's log lines with its rank for the lifetime of the job.
       util::ScopedThreadRank rank_tag(r);
-      Comm comm(runtime, r, nranks);
+      Comm comm(runtime.endpoint(r));
       try {
         fn(comm);
       } catch (const CommAborted&) {
@@ -344,7 +349,7 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
                     " made no transport progress for " +
                     std::to_string(options.watchdog_timeout_ms) +
                     " ms while the job was quiescent — stalled rank aborted",
-                convicted));
+                convicted, /*tag=*/-1, CommFault::Kind::kStalled));
         }
         report.stalled_rank = convicted;
         LOG_WARN << "watchdog: aborting stalled job (rank " << convicted

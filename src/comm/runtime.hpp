@@ -11,10 +11,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
@@ -22,10 +25,13 @@
 #include "comm/counters.hpp"
 #include "comm/fault.hpp"
 #include "comm/mailbox.hpp"
+#include "comm/transport.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
 
 namespace dinfomap::comm {
+
+class InprocTransport;
 
 class Runtime {
  public:
@@ -47,31 +53,20 @@ class Runtime {
 
   using RankFn = std::function<void(Comm&)>;
 
-  struct Options {
+  /// TransportTuning carries the recovery knobs shared by every backend
+  /// (fault plan, retry budget/backoff, retransmit window, watchdog
+  /// timeout); this in-process runtime adds its chaos scheduler on top. The
+  /// watchdog here is a monitor thread that aborts the job with a
+  /// CommFault{kStalled} naming the stalled rank once *no* unfinished rank
+  /// has made transport progress for the timeout; it must exceed the longest
+  /// compute gap between comm calls of the job.
+  struct Options : TransportTuning {
     /// Chaos testing: delay each message delivery by a random 0..N µs
     /// (seeded, per-message). A correct bulk-synchronous algorithm must
     /// produce bit-identical results under any delivery timing; tests run
     /// the full pipeline with chaos on and compare.
     unsigned chaos_max_delay_us = 0;
     std::uint64_t chaos_seed = 1;
-
-    /// Seeded transport faults (see comm/fault.hpp). Recovery is transparent:
-    /// results must stay bit-identical to the fault-free run.
-    FaultPlan faults;
-    /// Receiver recovery knobs, active only when `faults.any()`. A recv
-    /// charges one retry per retransmit request; the budget only limits
-    /// *provable* losses (a frame the send log can still answer for, or a
-    /// channel that has evicted history) — a merely slow sender is waited on
-    /// patiently, because the watchdog owns liveness.
-    int max_recv_retries = 12;
-    unsigned retry_backoff_us = 200;  ///< first timeout; doubles, capped 20 ms
-    std::size_t retransmit_window = 4096;  ///< frames retained per channel
-
-    /// Per-rank watchdog: when > 0, a monitor thread aborts the job with a
-    /// CommFault naming the stalled rank once *no* unfinished rank has made
-    /// transport progress for this long. 0 disables. Must exceed the longest
-    /// compute gap between comm calls of the job.
-    unsigned watchdog_timeout_ms = 0;
   };
 
   /// Run `fn` on `nranks` ranks; blocks until all complete. If any rank
@@ -83,12 +78,17 @@ class Runtime {
   static JobReport run(int nranks, const RankFn& fn);
   static JobReport run(int nranks, const RankFn& fn, const Options& options);
 
-  // ---- used by Comm ------------------------------------------------------
+  // ---- used by the per-rank InprocTransport endpoints --------------------
   Mailbox& mailbox(int rank);
   void abort();
   [[nodiscard]] bool aborted() const { return aborted_.load(std::memory_order_acquire); }
   [[nodiscard]] const Options& options() const { return options_; }
   [[nodiscard]] bool faults_enabled() const { return faults_enabled_; }
+
+  /// Rank `rank`'s Transport endpoint onto this runtime (valid for the
+  /// runtime's lifetime). Runtime::run wires each rank's Comm through this;
+  /// tests may grab endpoints directly to drive Comm by hand.
+  [[nodiscard]] Transport& endpoint(int rank);
 
   /// Transport entry point: frame, roll the fault dice, and deliver into
   /// `dest`'s mailbox (self-sends bypass injection — a local copy cannot be
@@ -96,18 +96,10 @@ class Runtime {
   /// frames.
   void deliver(int src, int dest, int tag, std::span<const std::byte> data);
 
-  /// Outcome of a receiver's retransmit request against the src→dst log.
-  enum class Retransmit {
-    kRedelivered,  ///< a pristine unconsumed match was re-delivered
-    kNoneSafe,     ///< nothing matched and the log has never evicted: the
-                   ///< frame was simply never sent yet — keep waiting
-    kNoneEvicted,  ///< nothing matched but history was evicted: the loss may
-                   ///< be unprovable — charge the retry budget
-  };
   /// Re-deliver the lowest-seq logged frame on src→dst matching `tag` whose
   /// seq is not in `consumed`. `src == kAnySource` scans every channel into
   /// `dst` (consumed sets indexed by source rank).
-  Retransmit request_retransmit(
+  RetransmitOutcome request_retransmit(
       int src, int dst, int tag,
       const std::vector<std::unordered_set<std::uint64_t>>& consumed);
   /// Re-deliver the exact frame `seq` of src→dst (corruption repair);
@@ -147,6 +139,10 @@ class Runtime {
   struct Channel {
     util::Mutex mutex;
     std::uint64_t next_seq DI_GUARDED_BY(mutex) = 0;
+    /// Per-tag frame ordinals (Message::tag_seq) — unused by this backend's
+    /// own gap detector but stamped so the frame format matches the socket
+    /// backend's wire exactly.
+    std::map<int, std::uint64_t> tag_seq DI_GUARDED_BY(mutex);
     std::deque<Message> log DI_GUARDED_BY(mutex);
     /// Sticky: history has been lost at least once.
     bool evicted DI_GUARDED_BY(mutex) = false;
@@ -173,10 +169,75 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Channel>> channels_;  ///< empty unless faults
   std::vector<std::unique_ptr<RankState>> rank_state_;
+  std::vector<std::unique_ptr<InprocTransport>> endpoints_;
   std::atomic<bool> aborted_{false};
   Options options_;
   bool faults_enabled_ = false;
   std::atomic<std::uint64_t> chaos_state_;
+};
+
+/// The in-process backend's per-rank Transport endpoint: a thin adapter from
+/// the Transport interface onto the shared Runtime (mailboxes, channel send
+/// logs, watchdog state). Created by Runtime, one per rank.
+class InprocTransport final : public Transport {
+ public:
+  InprocTransport(Runtime& runtime, int rank, int size)
+      : runtime_(&runtime), rank_(rank), size_(size) {}
+
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return size_; }
+  [[nodiscard]] const TransportTuning& tuning() const override {
+    return runtime_->options();
+  }
+  [[nodiscard]] bool faults_enabled() const override {
+    return runtime_->faults_enabled();
+  }
+
+  void send_frame(int dest, int tag, std::span<const std::byte> data) override {
+    runtime_->deliver(rank_, dest, tag, data);
+  }
+  Message blocking_recv(int source, int tag) override {
+    return runtime_->mailbox(rank_).recv(source, tag);
+  }
+  std::optional<Message> timed_recv(int source, int tag,
+                                    std::chrono::microseconds timeout,
+                                    bool by_min_seq) override {
+    return runtime_->mailbox(rank_).try_recv_for(source, tag, timeout,
+                                                 by_min_seq);
+  }
+  void requeue(Message m) override {
+    runtime_->mailbox(rank_).deliver(std::move(m));
+  }
+  [[nodiscard]] bool probe(int source, int tag) override {
+    return runtime_->mailbox(rank_).probe(source, tag);
+  }
+
+  RetransmitOutcome request_retransmit(int source, int tag,
+                                       const ConsumedFrames& consumed) override {
+    return runtime_->request_retransmit(source, rank_, tag, consumed.seqs);
+  }
+  bool request_retransmit_seq(int source, std::uint64_t seq) override {
+    return runtime_->request_retransmit_seq(source, rank_, seq);
+  }
+  [[nodiscard]] bool gap_before(const Message& m,
+                                const ConsumedFrames& consumed) override {
+    // Sender-log oracle: threads share an address space, so the receiver can
+    // ask the authoritative send log whether an older unconsumed frame of
+    // this (channel, tag) exists — no wire round trip needed.
+    return runtime_->oldest_unconsumed(
+               m.source, rank_, m.tag,
+               consumed.seqs[static_cast<std::size_t>(m.source)]) < m.seq;
+  }
+
+  void note_progress() override { runtime_->note_progress(rank_); }
+  void set_waiting(bool waiting) override {
+    runtime_->set_waiting(rank_, waiting);
+  }
+
+ private:
+  Runtime* runtime_;
+  int rank_;
+  int size_;
 };
 
 }  // namespace dinfomap::comm

@@ -1,0 +1,218 @@
+// Multi-process transport backend: one rank per worker process, wired as a
+// full mesh of Unix-domain stream sockets (DESIGN.md §14).
+//
+// Where the in-process backend shares a Runtime (mailboxes and send logs in
+// one address space), here every rank owns one SocketTransport endpoint in
+// its own process. Rank r listens on `<dir>/<r>.sock`, connects to every
+// lower rank, and accepts from every higher rank; each peer connection gets
+// a dedicated reader thread that demultiplexes wire frames into the local
+// inbox (a comm::Mailbox, so (source, tag) matching and min-seq receives
+// behave exactly as in-process) and services peers' retransmit requests
+// against this rank's send logs. Reader threads always drain their socket,
+// so a blocked sender can never deadlock the mesh on a full kernel buffer —
+// the same property the in-process backend gets from Mailbox being
+// unbounded.
+//
+// The PR 3 recovery protocol runs over the real wire: frames carry the same
+// per-channel seq, per-(channel, tag) ordinal, and FNV-1a checksum; the
+// fault plan's dice are the same pure function of (seed, src, dest, seq)
+// (comm::roll_fault), but the faults are genuine socket events — a dropped
+// frame is simply never written, a duplicate is written twice, a reorder is
+// held behind the channel's next frame, and a stall freezes (or, with
+// stall_exits, kills) a real process. Recovery is receiver-driven: a
+// retransmit request is a small RPC to the sender, answered by the sender's
+// reader thread from its pristine send log — frame first, verdict second, on
+// the same connection, so a re-delivered frame is always in the inbox before
+// the RPC completes (matching the in-process ordering).
+//
+// Liveness is local here — there is no thread that can see every rank. Each
+// endpoint convicts the peer *it* is blocked on: connection EOF with no
+// matching frame queued raises CommFault{kPeerExited} (crash), and a
+// watchdog timeout with no transport progress raises CommFault{kStalled}
+// (hang). The launcher (process_group.hpp) folds the per-worker verdicts
+// into a job-level crash-vs-hang diagnosis.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/mailbox.hpp"
+#include "comm/message.hpp"
+#include "comm/transport.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace dinfomap::comm {
+
+/// Exit code a worker dies with when the fault plan's stall-exit mode fires
+/// (FaultPlan::stall_exits) — a deliberate crash, distinguishable by the
+/// launcher from both clean exits and launcher-issued straggler kills.
+inline constexpr int kStallExitCode = 86;
+
+struct SocketTransportOptions {
+  /// Rendezvous directory: rank r binds `<dir>/<r>.sock`. Every rank of the
+  /// job must be given the same directory.
+  std::string dir;
+  /// How long a connecting rank retries against a peer whose listener has
+  /// not appeared yet (workers start at the launcher's mercy).
+  unsigned connect_timeout_ms = 30'000;
+  /// Graceful-shutdown bound: on destruction an endpoint announces bye,
+  /// keeps serving retransmits until every peer has said bye (or vanished),
+  /// and force-closes after this long. See shutdown notes in the .cpp.
+  unsigned linger_timeout_ms = 10'000;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  /// Binds this rank's listener, connects the mesh, and starts one reader
+  /// thread per peer. Blocks until all size-1 connections are up; throws
+  /// CommFault when a peer never appears within connect_timeout_ms.
+  SocketTransport(int rank, int size, SocketTransportOptions options,
+                  TransportTuning tuning);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  [[nodiscard]] static std::string socket_path(const std::string& dir,
+                                               int rank);
+
+  // ---- Transport interface ----------------------------------------------
+  [[nodiscard]] int rank() const override { return rank_; }
+  [[nodiscard]] int size() const override { return size_; }
+  [[nodiscard]] const TransportTuning& tuning() const override {
+    return tuning_;
+  }
+  [[nodiscard]] bool faults_enabled() const override {
+    return faults_enabled_;
+  }
+
+  void send_frame(int dest, int tag, std::span<const std::byte> data) override;
+  Message blocking_recv(int source, int tag) override;
+  std::optional<Message> timed_recv(int source, int tag,
+                                    std::chrono::microseconds timeout,
+                                    bool by_min_seq) override;
+  void requeue(Message m) override;
+  [[nodiscard]] bool probe(int source, int tag) override;
+
+  RetransmitOutcome request_retransmit(int source, int tag,
+                                       const ConsumedFrames& consumed) override;
+  bool request_retransmit_seq(int source, std::uint64_t seq) override;
+  [[nodiscard]] bool gap_before(const Message& m,
+                                const ConsumedFrames& consumed) override;
+
+  void note_progress() override {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Entering a blocking receive re-arms the local watchdog: it measures
+  /// time blocked in *this* receive without transport progress, so long
+  /// compute gaps between comm calls can never be convicted.
+  void set_waiting(bool waiting) override;
+
+  // ---- lifecycle / reporting --------------------------------------------
+  /// Skip the graceful bye linger on destruction — called on an error path,
+  /// where peers are failing too and waiting for their byes only delays the
+  /// launcher's diagnosis.
+  void abandon_linger() { linger_abandoned_.store(true, std::memory_order_release); }
+
+  /// Faults this endpoint injected into its outgoing channels.
+  [[nodiscard]] FaultCounters injected();
+  /// Flight-recorder inbox stats, mirroring the in-process JobReport fields.
+  [[nodiscard]] std::size_t inbox_depth_high_water() {
+    return inbox_.depth_high_water();
+  }
+  [[nodiscard]] std::uint64_t inbox_delivered() { return inbox_.delivered(); }
+
+  [[nodiscard]] Stats stats() override {
+    return {injected(), inbox_depth_high_water(), inbox_delivered()};
+  }
+
+ private:
+  /// One outgoing channel rank_→dest (faults only): frame sequencing, the
+  /// bounded pristine send log, the reorder hold slot, and injected-fault
+  /// tallies. Touched by this rank's comm thread (sends) and by the reader
+  /// thread of `dest`'s connection (retransmit service), hence the mutex.
+  struct OutChannel {
+    util::Mutex mutex;
+    std::uint64_t next_seq DI_GUARDED_BY(mutex) = 0;
+    std::map<int, std::uint64_t> tag_seq DI_GUARDED_BY(mutex);
+    std::deque<Message> log DI_GUARDED_BY(mutex);
+    bool evicted DI_GUARDED_BY(mutex) = false;  ///< sticky history loss
+    bool holding DI_GUARDED_BY(mutex) = false;
+    Message held DI_GUARDED_BY(mutex);
+    FaultCounters injected DI_GUARDED_BY(mutex);
+  };
+
+  OutChannel& out_channel(int dest) {
+    return *out_[static_cast<std::size_t>(dest)];
+  }
+
+  void connect_mesh(unsigned connect_timeout_ms);
+  void reader_loop(int peer);
+  void serve_retx_tag(int peer, int tag, std::span<const std::byte> payload);
+  void serve_retx_seq(int peer, std::uint64_t seq);
+  /// Write one data frame to `peer`; returns false when the connection is
+  /// gone (EPIPE / reset), which marks the peer exited.
+  bool write_data_frame(int peer, const Message& m);
+  bool write_control(int peer, std::uint8_t kind, int tag, std::uint64_t seq,
+                     std::span<const std::byte> payload);
+  /// Single-outstanding retransmit RPC to `peer`; encodes the consumed-seq
+  /// set for that channel and waits for the verdict (frames arrive via the
+  /// reader before the verdict does).
+  std::uint64_t rpc(int peer, std::uint8_t kind, int tag, std::uint64_t seq,
+                    std::span<const std::byte> payload);
+  /// EOF / watchdog checks run between receive attempts; throws the typed
+  /// CommFault this backend exists to report.
+  void check_liveness(int source, int tag);
+  [[noreturn]] void stall(int dest);
+  void shutdown_and_join(bool linger);
+
+  int rank_;
+  int size_;
+  SocketTransportOptions options_;
+  TransportTuning tuning_;
+  bool faults_enabled_;
+
+  Mailbox inbox_;
+  int listen_fd_ = -1;
+  std::vector<int> fds_;  ///< per peer; own slot unused (-1)
+  /// One writer lock per connection: this rank's comm thread (data frames)
+  /// and its reader threads (retransmit service) share each outgoing fd.
+  std::vector<std::unique_ptr<util::Mutex>> write_mutexes_;
+  std::vector<std::unique_ptr<OutChannel>> out_;  ///< empty unless faults
+  std::vector<std::thread> readers_;
+
+  std::vector<std::atomic<bool>> peer_eof_;
+  std::vector<std::atomic<bool>> peer_bye_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> linger_abandoned_{false};
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::uint64_t> remote_sends_{0};
+
+  /// Reply slot for the single-outstanding retransmit RPC (Comm is
+  /// single-threaded per rank, so one slot suffices). Readers post verdicts
+  /// and EOF wake-ups here.
+  util::Mutex rpc_mutex_;
+  std::condition_variable rpc_cv_;
+  bool rpc_have_reply_ DI_GUARDED_BY(rpc_mutex_) = false;
+  std::uint64_t rpc_reply_ DI_GUARDED_BY(rpc_mutex_) = 0;
+
+  /// Local watchdog state (comm thread only): last observed progress count
+  /// and when it last changed, re-armed by set_waiting(true).
+  std::uint64_t wd_last_progress_ = 0;
+  std::chrono::steady_clock::time_point wd_since_{};
+};
+
+}  // namespace dinfomap::comm

@@ -1,0 +1,167 @@
+// Transport abstraction under comm::Comm (DESIGN.md §14).
+//
+// Comm implements MPI-shaped semantics (two-sided matching, collectives,
+// receiver-driven fault recovery) on top of a small per-rank endpoint
+// interface: frame a payload and put it on the wire, pull the next matching
+// frame off the local inbox, and answer the recovery layer's retransmit /
+// gap queries. Two backends implement it:
+//
+//  * comm::Runtime — the in-process mailbox backend (one rank per thread,
+//    default, semantics unchanged from the pre-split runtime), and
+//  * comm::SocketTransport — the multi-process backend, one rank per worker
+//    process over a full mesh of Unix-domain stream sockets.
+//
+// The contract across backends: for a fixed (seed, ranks, threads) the
+// algorithm above Comm produces bit-identical partitions, codelengths, and
+// round traces, because every reduction Comm performs is rank-ordered and
+// both backends preserve per-channel sender order (directly, or via the
+// seq-numbered recovery protocol when a fault plan is active).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/message.hpp"
+
+namespace dinfomap::comm {
+
+/// Receiver-recovery tuning shared by every backend. A recv charges one
+/// retry per retransmit request; the budget only limits *provable* losses (a
+/// frame the send log can still answer for, or a channel that has evicted
+/// history) — a merely slow sender is waited on patiently, because the
+/// watchdog owns liveness.
+struct TransportTuning {
+  /// Seeded transport faults (see comm/fault.hpp). Recovery is transparent:
+  /// results must stay bit-identical to the fault-free run.
+  FaultPlan faults;
+  int max_recv_retries = 12;
+  unsigned retry_backoff_us = 200;  ///< first timeout; doubles, capped 20 ms
+  std::size_t retransmit_window = 4096;  ///< frames retained per channel
+  /// Liveness: when > 0, a rank making no transport progress for this long
+  /// is convicted (in-process: a monitor thread convicts the globally
+  /// quiescent job's frozen rank; socket backend: each endpoint convicts the
+  /// peer it is blocked on). 0 disables.
+  unsigned watchdog_timeout_ms = 0;
+};
+
+/// Outcome of a receiver's retransmit request against a sender's log.
+enum class RetransmitOutcome {
+  kRedelivered,  ///< a pristine unconsumed match was re-delivered
+  kNoneSafe,     ///< nothing matched and the log has never evicted: the
+                 ///< frame was simply never sent yet — keep waiting
+  kNoneEvicted,  ///< nothing matched but history was evicted: the loss may
+                 ///< be unprovable — charge the retry budget
+};
+
+/// Receiver-side bookkeeping of consumed frames, per source rank. `seqs` is
+/// the dedup filter (frame seqs are per-channel, so per-source sets
+/// suffice); `tag_counts` counts consumed frames per (source, tag) — the
+/// socket backend's local gap detector, matched against the per-(channel,
+/// tag) ordinal each frame carries in Message::tag_seq.
+struct ConsumedFrames {
+  std::vector<std::unordered_set<std::uint64_t>> seqs;
+  std::map<std::pair<int, int>, std::uint64_t> tag_counts;
+
+  explicit ConsumedFrames(int nranks)
+      : seqs(static_cast<std::size_t>(nranks)) {}
+
+  void note(const Message& m) {
+    seqs[static_cast<std::size_t>(m.source)].insert(m.seq);
+    tag_counts[{m.source, m.tag}] += 1;
+  }
+  [[nodiscard]] bool contains(const Message& m) const {
+    return seqs[static_cast<std::size_t>(m.source)].count(m.seq) != 0;
+  }
+  [[nodiscard]] std::uint64_t tag_count(int source, int tag) const {
+    const auto it = tag_counts.find({source, tag});
+    return it == tag_counts.end() ? 0 : it->second;
+  }
+};
+
+/// One rank's endpoint onto the wire. All methods are called from the rank's
+/// own thread (Comm is single-threaded per rank); implementations may run
+/// internal service threads but must keep these entry points race-free.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int rank() const = 0;
+  [[nodiscard]] virtual int size() const = 0;
+  [[nodiscard]] virtual const TransportTuning& tuning() const = 0;
+  [[nodiscard]] virtual bool faults_enabled() const = 0;
+
+  // ---- frame path --------------------------------------------------------
+  /// Frame `data` (seq + per-tag ordinal + checksum when fault injection is
+  /// active), roll the fault dice, and put it on the wire toward `dest`.
+  /// Self-sends bypass injection — a local copy cannot be lost.
+  virtual void send_frame(int dest, int tag, std::span<const std::byte> data) = 0;
+
+  /// Block until a frame matching (source|kAnySource, tag) is in the local
+  /// inbox; remove and return it. Throws CommAborted on shutdown and — on
+  /// backends that can observe it — CommFault{kPeerExited} when the awaited
+  /// peer's connection closed with no matching frame queued, or
+  /// CommFault{kStalled} when the backend's liveness watchdog convicts the
+  /// awaited peer.
+  virtual Message blocking_recv(int source, int tag) = 0;
+
+  /// Timed variant for the recovery layer: wait up to `timeout` for a match,
+  /// returning nullopt on expiry so the caller can request a retransmit.
+  /// With `by_min_seq`, the *lowest-seq* queued match is taken instead of
+  /// the first — this restores per-channel sender order when faults reorder
+  /// deliveries.
+  virtual std::optional<Message> timed_recv(int source, int tag,
+                                            std::chrono::microseconds timeout,
+                                            bool by_min_seq) = 0;
+
+  /// Put a deferred frame back into the local inbox (the recovery layer's
+  /// gap handling requeues a too-new candidate while it pulls the missing
+  /// older frame).
+  virtual void requeue(Message m) = 0;
+
+  /// Non-blocking probe: true if a matching frame is queued locally.
+  [[nodiscard]] virtual bool probe(int source, int tag) = 0;
+
+  // ---- receiver-driven recovery assists ----------------------------------
+  /// Ask the sender's log to re-deliver the lowest-seq unconsumed frame on
+  /// source→me matching `tag`. `source == kAnySource` queries every peer.
+  virtual RetransmitOutcome request_retransmit(int source, int tag,
+                                               const ConsumedFrames& consumed) = 0;
+  /// Re-deliver the exact frame `seq` of source→me (corruption repair);
+  /// false when the frame left the sender's window — unrecoverable.
+  virtual bool request_retransmit_seq(int source, std::uint64_t seq) = 0;
+  /// True when consuming `m` now would skip over an earlier same-(channel,
+  /// tag) frame that is still missing (dropped or in flight) — the
+  /// receiver's gap detector.
+  [[nodiscard]] virtual bool gap_before(const Message& m,
+                                        const ConsumedFrames& consumed) = 0;
+
+  // ---- liveness ----------------------------------------------------------
+  /// Called by Comm on every real transport event (send, consumed recv) and
+  /// around blocking receives, so the backend's watchdog can tell "blocked
+  /// on a dead peer" from "frozen mid-send".
+  virtual void note_progress() {}
+  virtual void set_waiting(bool /*waiting*/) {}
+
+  // ---- local observability ------------------------------------------------
+  /// This endpoint's transport-level tallies. The in-process backend reports
+  /// these through Runtime's JobReport instead (its fault counters live on
+  /// the shared channels), so its endpoints keep the empty default; the
+  /// socket backend fills them in — each worker process can only see its own
+  /// side of the mesh.
+  struct Stats {
+    FaultCounters injected;  ///< faults this endpoint's sends injected
+    std::uint64_t inbox_depth_high_water = 0;
+    std::uint64_t inbox_delivered = 0;
+  };
+  [[nodiscard]] virtual Stats stats() { return {}; }
+};
+
+}  // namespace dinfomap::comm

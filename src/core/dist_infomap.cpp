@@ -1740,6 +1740,21 @@ obs::RunReport build_run_report(const graph::Csr& graph,
   return rep;
 }
 
+/// Dense-relabel a raw per-vertex module array (final module ids are
+/// arbitrary VertexIds) into contiguous [0, k) — shared by the in-process
+/// driver and the multi-process rank-0 assembly, so both backends produce
+/// the same labels bit-for-bit.
+graph::Partition densify_assignment(const std::vector<graph::VertexId>& raw) {
+  std::unordered_map<graph::VertexId, graph::VertexId> remap;
+  std::vector<graph::VertexId> sorted = raw;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (graph::VertexId i = 0; i < sorted.size(); ++i) remap[sorted[i]] = i;
+  graph::Partition dense(raw.size(), 0);
+  for (std::size_t v = 0; v < raw.size(); ++v) dense[v] = remap.at(raw[v]);
+  return dense;
+}
+
 }  // namespace
 
 DistInfomapResult distributed_infomap(const graph::Csr& graph,
@@ -1781,20 +1796,10 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
       rt_options);
 
   DistInfomapResult result;
-  result.assignment.assign(graph.num_vertices(), 0);
   std::vector<graph::VertexId> raw(graph.num_vertices(), 0);
   for (const auto& rank : ranks)
     for (const auto& [v, m] : rank->final_assignment()) raw[v] = m;
-  // Densify final labels.
-  {
-    std::unordered_map<graph::VertexId, graph::VertexId> remap;
-    std::vector<graph::VertexId> sorted = raw;
-    std::sort(sorted.begin(), sorted.end());
-    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-    for (graph::VertexId i = 0; i < sorted.size(); ++i) remap[sorted[i]] = i;
-    for (graph::VertexId v = 0; v < graph.num_vertices(); ++v)
-      result.assignment[v] = remap.at(raw[v]);
-  }
+  result.assignment = densify_assignment(raw);
 
   const detail::DistRank& r0 = *ranks[0];
   result.codelength = r0.codelength();
@@ -1875,6 +1880,134 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
   const auto part = partition::make_delegate(
       graph, config.num_ranks, resolve_degree_threshold(graph, config));
   return distributed_infomap(graph, part, config);
+}
+
+DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
+                                           const DistInfomapConfig& config,
+                                           comm::Transport& transport) {
+  DINFOMAP_REQUIRE_MSG(config.num_ranks == transport.size(),
+                       "worker bootstrap: config.num_ranks ("
+                           << config.num_ranks << ") != transport size ("
+                           << transport.size() << ")");
+  // Rebuilt deterministically on every rank from the same (graph, config) —
+  // identical to the partition the single-process overload builds.
+  const auto part = partition::make_delegate(
+      graph, config.num_ranks, resolve_degree_threshold(graph, config));
+  for (graph::VertexId v = 0; v < graph.num_vertices(); ++v)
+    DINFOMAP_REQUIRE_MSG(graph.self_weight(v) == 0,
+                         "distributed path expects a self-loop-free input "
+                         "(the builder separates them)");
+
+  const int p = config.num_ranks;
+  const int self = transport.rank();
+  obs::Recorder recorder(p, config.obs);
+  comm::Comm comm(transport);
+  comm.set_metrics(recorder.metrics(self));
+  comm.set_trace(recorder.track(self));
+  detail::DistRank rank(comm, part, config, &recorder);
+  rank.execute();
+
+  // Algorithm traffic ends here: snapshot the counters before the result
+  // gathers below so the reported values match the in-process driver (which
+  // collects results through shared memory) bit-for-bit.
+  const comm::CommCounters algo_counters = comm.counters();
+  const comm::Transport::Stats my_stats = transport.stats();
+
+  // ---- gather per-rank products to rank 0 over the transport itself ------
+  std::vector<graph::VertexId> flat;
+  flat.reserve(rank.final_assignment().size() * 2);
+  for (const auto& [v, m] : rank.final_assignment()) {
+    flat.push_back(v);
+    flat.push_back(m);
+  }
+  const auto pair_batches = comm.gatherv(0, flat);
+
+  std::vector<perf::WorkCounters> wc;
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    wc.push_back(rank.work(static_cast<Phase>(ph)));
+  for (int stage = 0; stage < 2; ++stage) wc.push_back(rank.stage_work(stage));
+  const auto wc_batches = comm.gatherv(0, wc);
+
+  std::vector<double> secs;
+  for (int ph = 0; ph < kNumPhases; ++ph)
+    secs.push_back(rank.phase_seconds(static_cast<Phase>(ph)));
+  const auto secs_batches = comm.gatherv(0, secs);
+
+  const auto counter_batches =
+      comm.gatherv(0, std::vector<comm::CommCounters>{algo_counters});
+  const auto stats_batches =
+      comm.gatherv(0, std::vector<comm::Transport::Stats>{my_stats});
+
+  DistInfomapResult result;
+  // Locally visible fields are valid on every rank (the codelengths and
+  // round series are global values every rank holds identically).
+  result.codelength = rank.codelength();
+  result.singleton_codelength = rank.singleton_codelength();
+  result.trace = rank.trace();
+  result.stage1_round_codelengths = rank.stage1_round_codelengths();
+  result.stage1_rounds = rank.stage1_rounds();
+  result.stage2_levels = rank.stage2_levels();
+  result.stage1_wall_seconds = rank.stage1_seconds();
+  result.stage2_wall_seconds = rank.stage2_seconds();
+
+  if (recorder.enabled()) {
+    auto* m = recorder.metrics(self);
+    m->absorb(algo_counters, "comm");
+    if (config.faults.any()) m->absorb(my_stats.injected, "comm.faults");
+    m->counter("mailbox.depth_high_water").set(my_stats.inbox_depth_high_water);
+    m->counter("mailbox.delivered").set(my_stats.inbox_delivered);
+  }
+
+  if (self == 0) {
+    std::vector<graph::VertexId> raw(graph.num_vertices(), 0);
+    for (const auto& batch : pair_batches)
+      for (std::size_t i = 0; i + 1 < batch.size(); i += 2)
+        raw[batch[i]] = batch[i + 1];
+    result.assignment = densify_assignment(raw);
+
+    std::vector<comm::FaultCounters> injected(static_cast<std::size_t>(p));
+    for (int ph = 0; ph < kNumPhases; ++ph) {
+      result.work[static_cast<std::size_t>(ph)].resize(p);
+      result.phase_seconds[static_cast<std::size_t>(ph)].resize(p);
+    }
+    for (int stage = 0; stage < 2; ++stage)
+      result.stage_work[static_cast<std::size_t>(stage)].resize(p);
+    result.comm_counters.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      for (int ph = 0; ph < kNumPhases; ++ph) {
+        result.work[static_cast<std::size_t>(ph)][rr] =
+            wc_batches[rr][static_cast<std::size_t>(ph)];
+        result.phase_seconds[static_cast<std::size_t>(ph)][rr] =
+            secs_batches[rr][static_cast<std::size_t>(ph)];
+      }
+      for (int stage = 0; stage < 2; ++stage)
+        result.stage_work[static_cast<std::size_t>(stage)][rr] =
+            wc_batches[rr][static_cast<std::size_t>(kNumPhases + stage)];
+      result.comm_counters[rr] = counter_batches[rr].at(0);
+      injected[rr] = stats_batches[rr].at(0).injected;
+    }
+
+    // The cross-rank profile digest needs one trace holding every rank's
+    // track (in-process mode); here the watchdog checks the one round
+    // stream this process recorded — the global MDL series, identical on
+    // all ranks.
+    if (recorder.enabled() && config.obs.watchdog) {
+      for (obs::Anomaly& a :
+           obs::analyze_rounds({recorder.round_streams()[0]},
+                               config.obs.watchdog_options))
+        recorder.report_anomaly(0, std::move(a));
+    }
+    result.report = build_run_report(graph, config, result, recorder);
+    if (config.faults.any()) result.report.faults_injected = injected;
+    if (recorder.enabled() && !config.obs.report_path.empty())
+      (void)result.report.write(config.obs.report_path);
+  }
+  // Every worker writes its own per-process trace; the launcher merges them
+  // (obs/trace_merge.hpp).
+  if (recorder.enabled() && !config.obs.trace_path.empty())
+    (void)recorder.trace().write(config.obs.trace_path);
+  return result;
 }
 
 }  // namespace dinfomap::core

@@ -23,6 +23,10 @@
 #include "partition/arc_partition.hpp"
 #include "perf/work_counters.hpp"
 
+namespace dinfomap::comm {
+class Transport;
+}
+
 namespace dinfomap::core {
 
 /// The paper's four profiled components (Fig. 8).
@@ -170,6 +174,28 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
 DistInfomapResult distributed_infomap(const graph::Csr& graph,
                                       const partition::ArcPartition& part,
                                       const DistInfomapConfig& config);
+
+/// One rank's share of a multi-process distributed run: the SPMD entry the
+/// socket-transport worker role calls with its own endpoint. Every rank of
+/// the job must call this with the same (graph, config) — the delegate
+/// partition is rebuilt deterministically on each rank, exactly as the
+/// single-process overloads build it — and `config.num_ranks` must equal
+/// `transport.size()`.
+///
+/// Per-rank results (assignment fragments, work counters, comm counters,
+/// injected-fault tallies) are gathered to rank 0 over the transport itself;
+/// rank 0 returns the fully assembled DistInfomapResult, other ranks return
+/// a skeleton carrying only their locally visible fields. Bit-identical to
+/// the in-process driver for a fixed (seed, ranks, threads): same partition,
+/// codelengths, round traces, and comm counters.
+///
+/// Observability: the recorder only sees this rank's track, so per-process
+/// trace files are written by the caller (one per worker) and merged by the
+/// launcher (obs/trace_merge.hpp); the cross-rank profile digest is not
+/// built here.
+DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
+                                           const DistInfomapConfig& config,
+                                           comm::Transport& transport);
 
 /// The d_high actually used when `config.degree_threshold == 0`: the paper's
 /// d_high = p, floored at several times the mean degree so scaled-down runs

@@ -12,6 +12,14 @@ namespace dinfomap::core::detail {
 DistRank::DistRank(comm::Comm& comm, const partition::ArcPartition& part,
                    const DistInfomapConfig& cfg, obs::Recorder* recorder)
     : comm_(comm), cfg_(cfg), recorder_(recorder) {
+  // Bootstrap guard: a multi-process worker handed a config whose rank
+  // count disagrees with the live transport would address vertices
+  // (v mod p) inconsistently with its peers — fail loudly before any
+  // traffic, not with a hung collective.
+  DINFOMAP_REQUIRE_MSG(cfg_.num_ranks == comm_.size(),
+                       "DistRank bootstrap: cfg.num_ranks ("
+                           << cfg_.num_ranks << ") != comm size ("
+                           << comm_.size() << ")");
   if (recorder_ != nullptr) {
     trace_buf_ = recorder_->track(comm_.rank());
     metrics_ = recorder_->metrics(comm_.rank());

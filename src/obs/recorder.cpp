@@ -7,7 +7,8 @@ namespace dinfomap::obs {
 Recorder::Recorder(int num_ranks, const ObsOptions& options)
     : options_(options),
       num_ranks_(num_ranks),
-      trace_(num_ranks, options.enabled && options.trace) {
+      trace_(num_ranks, options.enabled && options.trace,
+             options.trace_epoch_steady_ns) {
   metrics_.resize(static_cast<std::size_t>(num_ranks));
   rounds_.resize(static_cast<std::size_t>(num_ranks));
   rank_anomalies_.resize(static_cast<std::size_t>(num_ranks));

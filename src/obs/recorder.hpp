@@ -34,6 +34,11 @@ struct ObsOptions {
   /// When non-empty, the driver writes the standalone profile-digest JSON
   /// here (the digest is also embedded in the run report either way).
   std::string profile_path;
+  /// Pin the trace epoch to this steady-clock reading (ns since the clock's
+  /// origin); 0 = the recorder's construction time. Socket-transport workers
+  /// all receive the launcher's reading so their per-process traces merge
+  /// onto one timeline (obs/trace_merge.hpp).
+  std::uint64_t trace_epoch_steady_ns = 0;
 };
 
 class Recorder {

@@ -7,9 +7,15 @@
 
 namespace dinfomap::obs {
 
-Trace::Trace(int num_tracks, bool enabled) : enabled_(enabled) {
+Trace::Trace(int num_tracks, bool enabled, std::uint64_t epoch_steady_ns)
+    : enabled_(enabled) {
   tracks_.resize(static_cast<std::size_t>(num_tracks < 0 ? 0 : num_tracks));
-  const auto epoch = TraceBuffer::Clock::now();
+  const auto epoch =
+      epoch_steady_ns == 0
+          ? TraceBuffer::Clock::now()
+          : TraceBuffer::Clock::time_point(
+                std::chrono::duration_cast<TraceBuffer::Clock::duration>(
+                    std::chrono::nanoseconds(epoch_steady_ns)));
   for (auto& t : tracks_) t.attach(epoch, enabled);
 }
 

@@ -147,7 +147,12 @@ class SpanScope {
 /// `tid = r` of process 0, named "rank r".
 class Trace {
  public:
-  Trace(int num_tracks, bool enabled);
+  /// `epoch_steady_ns` pins the trace epoch to an absolute steady-clock
+  /// reading (nanoseconds since the clock's arbitrary origin); 0 means "now".
+  /// Worker processes of one multi-process job are all given the launcher's
+  /// reading — CLOCK_MONOTONIC is machine-wide, so their merged per-process
+  /// traces share a timeline.
+  Trace(int num_tracks, bool enabled, std::uint64_t epoch_steady_ns = 0);
 
   [[nodiscard]] int num_tracks() const {
     return static_cast<int>(tracks_.size());

@@ -1,0 +1,82 @@
+#include "obs/trace_merge.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace dinfomap::obs {
+
+namespace {
+
+/// Pull the event lines out of one Trace::write file. The exporter emits one
+/// event object per line inside a fixed frame ("traceEvents": [ ... ]), so a
+/// line-level scan is exact for files we wrote ourselves; anything else is
+/// rejected by the frame match.
+bool extract_event_lines(const std::string& path, bool keep_metadata,
+                         std::vector<std::string>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG_WARN << "trace merge: cannot read " << path << ", skipping";
+    return false;
+  }
+  std::string line;
+  bool inside = false;
+  bool saw_frame = false;
+  while (std::getline(in, line)) {
+    if (!inside) {
+      if (line.find("\"traceEvents\"") != std::string::npos) {
+        inside = true;
+        saw_frame = true;
+      }
+      continue;
+    }
+    if (line == "]" || line == "]\n") break;
+    if (line.empty()) continue;
+    if (!keep_metadata &&
+        line.find("\"thread_name\"") != std::string::npos)
+      continue;
+    // Normalize: strip one trailing comma; the writer re-separates.
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    if (line.find('{') == std::string::npos) continue;
+    out.push_back(line);
+  }
+  if (!saw_frame) {
+    LOG_WARN << "trace merge: " << path << " is not a trace file, skipping";
+  }
+  return saw_frame;
+}
+
+}  // namespace
+
+bool merge_trace_files(const std::vector<std::string>& inputs,
+                       const std::string& out_path) {
+  std::vector<std::string> events;
+  bool first = true;
+  bool any = false;
+  for (const std::string& path : inputs) {
+    if (extract_event_lines(path, /*keep_metadata=*/first, events)) {
+      any = true;
+      first = false;
+    }
+  }
+  if (!any) {
+    LOG_WARN << "trace merge: no readable inputs, not writing " << out_path;
+    return false;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    LOG_WARN << "trace merge: cannot open " << out_path << " for writing";
+    return false;
+  }
+  out << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << events[i];
+    if (i + 1 < events.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace dinfomap::obs

@@ -1,0 +1,26 @@
+// Merge the per-process trace files of a multi-process (socket-transport)
+// run into one Chrome trace-event JSON.
+//
+// Each worker of a socket-transport job records only its own rank's track
+// but exports the full p-track file shape (Trace::write), all pinned to the
+// launcher's shared steady-clock epoch. The launcher concatenates the
+// workers' traceEvents arrays — dropping the duplicated thread_name metadata
+// after the first file — so the merged file looks exactly like an in-process
+// trace: p populated rank tracks on one timeline, with the PR 7 flow arrows
+// intact (send and consume sides carry matching (src, dst, tag, ordinal)
+// tuples even though they were recorded by different processes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dinfomap::obs {
+
+/// Merge `inputs` (in rank order) into `out_path`. Inputs must be files
+/// written by Trace::write. Missing/unreadable inputs are skipped with a
+/// warning; returns false when the output cannot be written or no input
+/// contributed any events.
+bool merge_trace_files(const std::vector<std::string>& inputs,
+                       const std::string& out_path);
+
+}  // namespace dinfomap::obs

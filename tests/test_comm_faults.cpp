@@ -116,8 +116,10 @@ TEST(FaultRecovery, PlanProbabilitiesValidated) {
   dc::Runtime::Options opt;
   opt.faults.drop = 0.7;
   opt.faults.duplicate = 0.7;
+  // Config-time validation throws the typed error (not a generic contract
+  // violation) so the CLI can map it to a clean exit-2 diagnostic.
   EXPECT_THROW(dc::Runtime::run(2, [](dc::Comm&) {}, opt),
-               dinfomap::ContractViolation);
+               dc::FaultPlanError);
 }
 
 TEST(FaultRecovery, DropsRecoveredTransparently) {
