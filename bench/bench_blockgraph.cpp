@@ -1,0 +1,240 @@
+// Micro-bench for the out-of-core graph substrate (DESIGN.md §15): codec
+// encode/decode throughput, the weighted-gather kernel on the resident Csr
+// vs the blocks backend, and the rank-resident memory comparison that is the
+// point of the substrate.
+//
+// Two access patterns are measured at each cache budget:
+//   streaming   — repeated full-graph scans. A budget below the graph size
+//                 thrashes by construction (cyclic access defeats clock
+//                 eviction), so this row shows the decode-bound worst case.
+//   rank slice  — repeated scans of one rank's contiguous 1/8 slice, the
+//                 pattern a worker in an 8-process deployment actually
+//                 drives. The slice fits the 25% budget, so steady state is
+//                 all cache hits.
+//
+// Acceptance gate (ISSUE 9): at a 25% cache budget the blocks backend's
+// rank-resident graph memory must be ≤ 50% of the resident Csr's, with the
+// rank-slice gather no more than 2× slower. Both land in
+// bench_results/BENCH_blockgraph.json; `identical` asserts that every
+// backend/budget combination gathered bit-identical sums.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/blockgraph/blockgraph.hpp"
+#include "graph/blockgraph/writer.hpp"
+#include "graph/gen/generators.hpp"
+#include "graph/graph_view.hpp"
+#include "util/timer.hpp"
+
+namespace bgx = dinfomap::graph::blockgraph;
+namespace dg = dinfomap::graph;
+namespace gen = dinfomap::graph::gen;
+using dinfomap::bench::JsonSink;
+using dinfomap::util::Timer;
+
+namespace {
+
+constexpr int kGatherPasses = 5;
+constexpr int kSliceRanks = 8;  ///< deployment modeled by the rank-slice rows
+
+/// The gather kernel: the shape of every hot loop in the engines — walk each
+/// vertex's adjacency in stored order, accumulate weight. Returns the sum so
+/// backends can be checked for bit-identical accumulation.
+double gather_resident(const dg::Csr& g, dg::VertexId lo, dg::VertexId hi) {
+  double sum = 0;
+  for (dg::VertexId u = lo; u < hi; ++u)
+    for (const auto& nb : g.neighbors(u)) sum += nb.weight;
+  return sum;
+}
+
+double gather_blocks(const bgx::BlockGraph& g, dg::VertexId lo,
+                     dg::VertexId hi) {
+  double sum = 0;
+  auto cur = g.cursor();
+  for (dg::VertexId u = lo; u < hi; ++u)
+    for (const auto& nb : g.neighbors(u, cur)) sum += nb.weight;
+  return sum;
+}
+
+/// Rank-resident memory of the resident Csr backend: offsets, adjacency,
+/// and the per-vertex weighted-degree/self-weight caches.
+std::uint64_t resident_graph_bytes(const dg::Csr& g) {
+  return (static_cast<std::uint64_t>(g.num_vertices()) + 1) * 8 +
+         static_cast<std::uint64_t>(g.num_arcs()) * sizeof(dg::Neighbor) +
+         static_cast<std::uint64_t>(g.num_vertices()) * 16;
+}
+
+/// Rank-resident memory of the blocks backend: the vertex-proportional
+/// sections read in place from the mapping (offsets, block ids, wdeg, self),
+/// the block index, and the decode-cache budget. The encoded payload region
+/// is file-backed and not counted — the kernel touches it only through the
+/// cache, which is exactly what the budget bounds.
+std::uint64_t blocks_graph_bytes(const bgx::BlockGraph& g,
+                                 std::size_t cache_bytes) {
+  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  return (n + 1) * 8 + n * 4 + n * 8 + n * 8 + g.num_blocks() * 32 +
+         cache_bytes;
+}
+
+struct GatherRow {
+  double resident_ms = 0;
+  double blocks_ms = 0;
+  double speedup = 0;
+  double hit_pct = 0;
+  std::uint64_t evictions = 0;
+  bool identical = false;
+};
+
+GatherRow run_gather(const dg::Csr& csr, const bgx::BlockGraph& blocks,
+                     dg::VertexId lo, dg::VertexId hi) {
+  GatherRow row;
+  Timer t;
+  double resident_sum = 0;
+  for (int pass = 0; pass < kGatherPasses; ++pass)
+    resident_sum = gather_resident(csr, lo, hi);
+  row.resident_ms = t.seconds() * 1e3 / kGatherPasses;
+  const auto before = blocks.stats();
+  double blocks_sum = 0;
+  t.restart();
+  for (int pass = 0; pass < kGatherPasses; ++pass)
+    blocks_sum = gather_blocks(blocks, lo, hi);
+  row.blocks_ms = t.seconds() * 1e3 / kGatherPasses;
+  const auto after = blocks.stats();
+  const double faults = static_cast<double>((after.hits - before.hits) +
+                                            (after.misses - before.misses));
+  row.hit_pct = faults > 0
+                    ? 100.0 * static_cast<double>(after.hits - before.hits) /
+                          faults
+                    : 0.0;
+  row.evictions = after.evictions - before.evictions;
+  row.speedup = row.blocks_ms > 0 ? row.resident_ms / row.blocks_ms : 0.0;
+  row.identical = blocks_sum == resident_sum;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  dinfomap::bench::banner(
+      "blockgraph: codec throughput, gather kernel, memory vs cache budget",
+      "ISSUE 9 acceptance (out-of-core substrate, DESIGN.md §15)");
+
+  const auto gg = gen::erdos_renyi(20'000, 300'000, 42);
+  const auto csr = dg::build_csr(gg.edges, gg.num_vertices);
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_blockgraph_" + std::to_string(::getpid()) + ".blockgraph"))
+          .string();
+
+  JsonSink json("blockgraph");
+
+  // --- encode -------------------------------------------------------------
+  bgx::WriteOptions wopts;
+  wopts.block_payload_bytes = 16 * 1024;  // fine blocks: real budget sweep
+  Timer t;
+  const auto summary = bgx::write_block_file(path, csr, wopts);
+  const double encode_s = t.seconds();
+  const double arcs = static_cast<double>(summary.num_arcs);
+  std::printf("encode: %.0f arcs in %.2f ms (%.1f Marcs/s), %.2f bytes/arc "
+              "(resident CSR: 16)\n",
+              arcs, encode_s * 1e3, arcs / encode_s / 1e6,
+              static_cast<double>(summary.payload_bytes) / arcs);
+
+  // --- cold decode (budget > graph: every block decoded exactly once) -----
+  const std::uint64_t adjacency_bytes =
+      summary.num_arcs * sizeof(dg::Neighbor);
+  {
+    bgx::BlockGraph::Options opts;
+    opts.cache_bytes = 2 * adjacency_bytes;
+    opts.cache_slots = 1;
+    const auto g = bgx::BlockGraph::open(path, opts);
+    t.restart();
+    const double sum = gather_blocks(g, 0, g.num_vertices());
+    const double decode_s = t.seconds();
+    std::printf("decode: cold full pass %.2f ms (%.1f Marcs/s), %llu blocks, "
+                "gather %s\n",
+                decode_s * 1e3, arcs / decode_s / 1e6,
+                static_cast<unsigned long long>(summary.num_blocks),
+                sum == gather_resident(csr, 0, csr.num_vertices())
+                    ? "identical"
+                    : "DIVERGED");
+    json.begin_row()
+        .field("kernel", "codec_throughput")
+        .field("graph", "er_20k_300k")
+        .field("num_arcs", summary.num_arcs)
+        .field("num_blocks", summary.num_blocks)
+        .field("payload_bytes_per_arc",
+               static_cast<double>(summary.payload_bytes) / arcs)
+        .field("encode_ms", encode_s * 1e3)
+        .field("cold_decode_ms", decode_s * 1e3);
+  }
+
+  // --- gather sweep --------------------------------------------------------
+  const std::uint64_t resident_bytes = resident_graph_bytes(csr);
+  const dg::VertexId n = csr.num_vertices();
+  std::printf("\n%-10s %7s %12s %12s %8s %8s %6s %10s\n", "pattern",
+              "cache%", "resident ms", "blocks ms", "ratio", "hit%", "mem%",
+              "identical");
+  bool accept_mem = false;
+  bool accept_speed = false;
+  double accept_mem_pct = 0;
+  double accept_ratio = 0;
+  for (const int budget_pct : {100, 50, 25}) {
+    bgx::BlockGraph::Options opts;
+    opts.cache_bytes =
+        static_cast<std::size_t>(adjacency_bytes * budget_pct / 100);
+    opts.cache_slots = 1;  // single-threaded kernel: one slot owns the budget
+    const auto g = bgx::BlockGraph::open(path, opts);
+    const std::uint64_t mem = blocks_graph_bytes(g, opts.cache_bytes);
+    const double mem_pct =
+        100.0 * static_cast<double>(mem) / static_cast<double>(resident_bytes);
+    const struct {
+      const char* name;
+      dg::VertexId lo, hi;
+    } patterns[] = {{"streaming", 0, n}, {"rank-slice", 0, n / kSliceRanks}};
+    for (const auto& pat : patterns) {
+      const GatherRow row = run_gather(csr, g, pat.lo, pat.hi);
+      const double ratio = row.speedup > 0 ? 1.0 / row.speedup : 0.0;
+      std::printf("%-10s %6d%% %12.3f %12.3f %7.2fx %7.1f%% %5.0f%% %10s\n",
+                  pat.name, budget_pct, row.resident_ms, row.blocks_ms, ratio,
+                  row.hit_pct, mem_pct, row.identical ? "yes" : "NO");
+      json.begin_row()
+          .field("kernel", std::string("weighted_gather_") +
+                               (pat.lo == 0 && pat.hi == n ? "streaming"
+                                                           : "rank_slice"))
+          .field("graph", "er_20k_300k")
+          .field("cache_budget_pct", budget_pct)
+          .field("resident_gather_ms", row.resident_ms)
+          .field("blocks_gather_ms", row.blocks_ms)
+          .field("gather_speedup_vs_resident", row.speedup)
+          .field("cache_hit_ratio_pct", row.hit_pct)
+          .field("evictions", row.evictions)
+          .field("memory_bytes_resident", resident_bytes)
+          .field("memory_bytes_blocks", mem)
+          .field("memory_vs_resident_pct", mem_pct)
+          .field("identical",
+                 static_cast<std::int64_t>(row.identical ? 1 : 0));
+      if (budget_pct == 25 && pat.lo == 0 && pat.hi == n / kSliceRanks) {
+        accept_mem = mem * 2 <= resident_bytes;
+        accept_speed = row.blocks_ms <= 2.0 * row.resident_ms;
+        accept_mem_pct = mem_pct;
+        accept_ratio = ratio;
+      }
+    }
+  }
+
+  std::printf("\nacceptance @25%% budget (rank-slice): memory %.0f%% of "
+              "resident (need ≤50%%) %s, gather %.2fx resident (need ≤2x) "
+              "%s\n",
+              accept_mem_pct, accept_mem ? "OK" : "FAIL", accept_ratio,
+              accept_speed ? "OK" : "FAIL");
+
+  std::filesystem::remove(path);
+  return accept_mem && accept_speed ? 0 : 1;
+}

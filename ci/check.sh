@@ -65,6 +65,15 @@ ctest --test-dir "$werror_dir" --output-on-failure -j "$jobs"
 step "socket transport cross-backend suite (ctest -L transport)"
 ctest --test-dir "$werror_dir" --output-on-failure -L transport
 
+# --- Leg 4c: out-of-core backend gate. -----------------------------------
+# The blockgraph label is the acceptance gate for the compressed-block
+# substrate (DESIGN.md §15): codec round-trips, corrupt-block detection,
+# cache bounds, and bit-identical dist/dist-louvain results between the
+# resident and blocks backends across engines, thread counts, and fault
+# plans — so its verdict gets its own line in the CI log too.
+step "out-of-core backend suite (ctest -L blockgraph)"
+ctest --test-dir "$werror_dir" --output-on-failure -L blockgraph
+
 # --- Leg 5: bench drift vs checked-in baselines (informational). ---------
 # Reruns the engine-comparison bench and diffs its artifact against
 # bench_results/. Deterministic metrics (final_L, eval counters) must
@@ -73,13 +82,19 @@ ctest --test-dir "$werror_dir" --output-on-failure -L transport
 # lands in the CI log for humans.
 step "benchdiff vs bench_results/ baselines (informational)"
 benchdiff_tmp="$(mktemp -d)"
+# bench_blockgraph exits non-zero when the ISSUE 9 acceptance bounds fail
+# (memory ≤50% of resident at a 25% cache budget, gather ≤2×) — that part is
+# a real gate, not informational.
 if (cd "$benchdiff_tmp" && "$werror_dir/bench/bench_async_convergence" \
-      >bench.log 2>&1); then
+      >bench.log 2>&1 \
+    && "$werror_dir/bench/bench_blockgraph" >>bench.log 2>&1); then
   "$werror_dir/tools/benchdiff/benchdiff" "$root/bench_results" \
     "$benchdiff_tmp/bench_results" || true
 else
-  echo "bench run failed; benchdiff skipped (informational leg)"
-  tail -5 "$benchdiff_tmp/bench.log" || true
+  echo "bench run failed (or blockgraph acceptance bounds violated)"
+  tail -15 "$benchdiff_tmp/bench.log" || true
+  rm -rf "$benchdiff_tmp"
+  exit 1
 fi
 rm -rf "$benchdiff_tmp"
 
@@ -100,17 +115,18 @@ configure_build "$asan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 ctest --test-dir "$asan_dir" --output-on-failure -j "$jobs"
 
 # --- Leg 6 (full): TSan on the concurrency suites. -----------------------
-# Scope: the comm substrate, thread-pool, and async-engine tests (the async
-# worklist drain is single-threaded per rank, but its reconciliation sweeps
-# share the pooled hot loops). RelaxMap is excluded by
+# Scope: the comm substrate, thread-pool, async-engine, and blockgraph tests
+# (the async worklist drain is single-threaded per rank, but its
+# reconciliation sweeps share the pooled hot loops; the decode cache hands
+# slots across threads through its lease mutex). RelaxMap is excluded by
 # repo convention — its module reads are racy by design (published
 # consistency model; see the SharedLevel comment in src/core/relaxmap.cpp).
-step "TSan (comm-faults + threads + async + transport, RelaxMap excluded)"
+step "TSan (comm-faults + threads + async + transport + blockgraph, RelaxMap excluded)"
 tsan_dir="$ci_root/tsan"
 mkdir -p "$tsan_dir"
 configure_build "$tsan_dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDINFOMAP_SANITIZE=thread
 ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-  -L 'comm-faults|threads|async|transport' -E RelaxMap
+  -L 'comm-faults|threads|async|transport|blockgraph' -E RelaxMap
 
 step "full gate passed"

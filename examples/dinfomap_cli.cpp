@@ -32,6 +32,8 @@
 #include "core/louvain.hpp"
 #include "core/relaxmap.hpp"
 #include "core/seq_infomap.hpp"
+#include "graph/blockgraph/blockgraph.hpp"
+#include "graph/blockgraph/writer.hpp"
 #include "graph/builder.hpp"
 #include "graph/edgelist_io.hpp"
 #include "graph/gen/generators.hpp"
@@ -118,6 +120,9 @@ int usage() {
                "                [--watchdog-ms N]  (dist only; e.g. --faults drop=0.01,dup=0.01)\n"
                "                [--active-set]  (dist only: exact pruning of unchanged vertices)\n"
                "                [--async [--async-max-lag K]]  (dist only: priority-worklist engine)\n"
+               "                [--graph-backend resident|blocks] [--block-cache-mb N]\n"
+               "                 (dist/dist-louvain; blocks streams an mmap-ed .blockgraph file\n"
+               "                  through a bounded decode cache — see tools/graphpack)\n"
                "  dinfomap_cli eval <edges.txt> <a.clu> <b.clu>\n"
                "  dinfomap_cli partition-stats <edges.txt> <ranks>\n");
   return 2;
@@ -320,7 +325,7 @@ int run_socket_launcher(int argc, char** argv, int ranks,
 /// Worker side of --transport socket (--rank-role R): open this rank's
 /// endpoint, run the SPMD entry, and on a comm fault file the typed verdict
 /// the launcher's diagnosis reads (stalled vs peer_exited vs transport).
-int run_socket_worker(const graph::Csr& g, core::DistInfomapConfig cfg,
+int run_socket_worker(const graph::GraphView& g, core::DistInfomapConfig cfg,
                       int rank, const std::string& dir,
                       std::uint64_t trace_epoch_ns, bool want_trace,
                       const std::string& out) {
@@ -384,6 +389,8 @@ int cmd_cluster(int argc, char** argv) {
   int async_max_lag = 4;
   std::string transport = "inproc";
   unsigned hang_grace_ms = 0;  ///< 0 = ProcessGroup's default
+  std::string graph_backend = "resident";
+  int block_cache_mb = 64;
   // Internal worker-role flags, appended by the socket launcher; never
   // passed by hand.
   std::string transport_dir;
@@ -422,6 +429,8 @@ int cmd_cluster(int argc, char** argv) {
     else if (!std::strcmp(flag, "--watchdog-ms")) watchdog_ms = static_cast<unsigned>(parse_ll(flag, value, 0, 86'400'000));
     else if (!std::strcmp(flag, "--async-max-lag")) async_max_lag = parse_int(flag, value, 0, 1 << 16);
     else if (!std::strcmp(flag, "--transport")) transport = value;
+    else if (!std::strcmp(flag, "--graph-backend")) graph_backend = value;
+    else if (!std::strcmp(flag, "--block-cache-mb")) block_cache_mb = parse_int(flag, value, 1, 1 << 20);
     else if (!std::strcmp(flag, "--hang-grace-ms")) hang_grace_ms = static_cast<unsigned>(parse_ll(flag, value, 1, 86'400'000));
     else if (!std::strcmp(flag, "--transport-dir")) transport_dir = value;
     else if (!std::strcmp(flag, "--rank-role")) rank_role = parse_int(flag, value, 0, 1 << 16);
@@ -446,6 +455,26 @@ int cmd_cluster(int argc, char** argv) {
         "--rank-role is internal (the socket launcher appends it, in [0, "
         "ranks), together with --transport-dir)");
 
+  if (graph_backend != "resident" && graph_backend != "blocks")
+    throw CliParseError(
+        "--graph-backend: expected 'resident' or 'blocks', got '" +
+        graph_backend + "'");
+  const bool blocks_mode = graph_backend == "blocks";
+  const bool input_is_blockgraph =
+      in.size() > 11 &&
+      in.compare(in.size() - 11, 11, ".blockgraph") == 0;
+  if (blocks_mode && algo != "dist" && algo != "dist-louvain")
+    throw CliParseError(
+        "--graph-backend blocks requires --algo dist or dist-louvain");
+  if (blocks_mode && transport == "socket" && !input_is_blockgraph)
+    throw CliParseError(
+        "--graph-backend blocks with --transport socket needs a pre-packed "
+        ".blockgraph input (run tools/graphpack first; every worker process "
+        "maps the same file)");
+  if (input_is_blockgraph && !blocks_mode)
+    throw CliParseError(
+        "a .blockgraph input requires --graph-backend blocks");
+
   // Fault plans are validated at configuration time — a typo'd rate or rank
   // is rejected here with the offending field named, not discovered as a
   // plan that silently never fires.
@@ -469,13 +498,39 @@ int cmd_cluster(int argc, char** argv) {
   if (transport == "socket" && rank_role < 0)
     return run_socket_launcher(argc, argv, ranks, trace_out, hang_grace_ms);
 
-  const auto g = graph::build_csr(graph::read_edge_list(in));
+  // Exactly one backend is populated; `gv` is the type-erased handle the
+  // dist engines run on. Non-dist algorithms stay resident-only and bind
+  // `*resident` directly (blocks_mode was rejected for them above).
+  std::optional<graph::Csr> resident;
+  std::optional<graph::blockgraph::BlockGraph> blocks;
+  if (blocks_mode) {
+    graph::blockgraph::BlockGraph::Options bopts;
+    bopts.cache_bytes = static_cast<std::size_t>(block_cache_mb) << 20;
+    std::string block_path = in;
+    std::string packed_tmp;
+    if (!input_is_blockgraph) {
+      // Inproc convenience: auto-pack a temporary .blockgraph next to the
+      // output. The file is unlinked right after open — the mmap keeps the
+      // bytes alive for the run's lifetime.
+      packed_tmp = out + ".blockgraph.tmp";
+      (void)graph::blockgraph::write_block_file(
+          packed_tmp, graph::build_csr(graph::read_edge_list(in)), {});
+      block_path = packed_tmp;
+    }
+    blocks.emplace(graph::blockgraph::BlockGraph::open(block_path, bopts));
+    if (!packed_tmp.empty()) ::unlink(packed_tmp.c_str());
+  } else {
+    resident.emplace(graph::build_csr(graph::read_edge_list(in)));
+  }
+  const graph::GraphView gv =
+      blocks_mode ? graph::GraphView(*blocks) : graph::GraphView(*resident);
   if (rank_role <= 0)
-    std::printf("graph: %u vertices, %llu edges\n", g.num_vertices(),
-                static_cast<unsigned long long>(g.num_edges()));
+    std::printf("graph: %u vertices, %llu edges\n", gv.num_vertices(),
+                static_cast<unsigned long long>(gv.num_edges()));
 
   graph::Partition assignment;
   if (algo == "seq") {
+    const graph::Csr& g = *resident;
     core::InfomapConfig cfg;
     cfg.seed = seed;
     cfg.num_threads = threads;
@@ -508,10 +563,10 @@ int cmd_cluster(int argc, char** argv) {
       // Socket-transport worker: the per-worker trace path and epoch are
       // substituted inside, and only rank 0 writes the shared outputs.
       cfg.obs.trace_path.clear();
-      return run_socket_worker(g, cfg, rank_role, transport_dir,
+      return run_socket_worker(gv, cfg, rank_role, transport_dir,
                                trace_epoch_ns, !trace_out.empty(), out);
     }
-    const auto r = core::distributed_infomap(g, cfg);
+    const auto r = core::distributed_infomap(gv, cfg);
     assignment = r.assignment;
     print_dist_summary(r, ranks, cfg.faults.any());
     if (profile_summary && r.report.has_profile)
@@ -524,6 +579,7 @@ int cmd_cluster(int argc, char** argv) {
     if (!profile_out.empty())
       std::printf("profile digest written to %s\n", profile_out.c_str());
   } else if (algo == "louvain") {
+    const graph::Csr& g = *resident;
     core::LouvainConfig cfg;
     cfg.seed = seed;
     cfg.num_threads = threads;
@@ -531,12 +587,14 @@ int cmd_cluster(int argc, char** argv) {
     assignment = r.assignment;
     std::printf("Louvain: Q = %.6f\n", r.modularity);
   } else if (algo == "lpa") {
+    const graph::Csr& g = *resident;
     core::LabelFlowConfig cfg;
     cfg.seed = seed;
     const auto r = core::distributed_labelflow(g, ranks, cfg);
     assignment = r.assignment;
     std::printf("label-flow (p=%d): L = %.6f\n", ranks, r.codelength);
   } else if (algo == "relaxmap") {
+    const graph::Csr& g = *resident;
     core::RelaxMapConfig cfg;
     cfg.num_threads = threads > 1 ? threads : ranks;
     cfg.seed = seed;
@@ -547,10 +605,11 @@ int cmd_cluster(int argc, char** argv) {
     core::DistLouvainConfig cfg;
     cfg.num_ranks = ranks;
     cfg.seed = seed;
-    const auto r = core::distributed_louvain(g, cfg);
+    const auto r = core::distributed_louvain(gv, cfg);
     assignment = r.assignment;
     std::printf("distributed Louvain (p=%d): Q = %.6f\n", ranks, r.modularity);
   } else if (algo == "hier") {
+    const graph::Csr& g = *resident;
     core::HierInfomapConfig cfg;
     cfg.two_level.seed = seed;
     const auto r = core::hierarchical_infomap(g, cfg);

@@ -941,6 +941,7 @@ void DistRank::sample_table_metrics() {
   metrics_->gauge("module_table.size").set(static_cast<double>(modules_.size()));
   metrics_->gauge("module_table.capacity")
       .set(static_cast<double>(modules_.capacity()));
+  metrics_->counter("flatmap.rehashes").set(modules_.rehashes());
 }
 
 DistRank::RoundResult DistRank::round(bool with_delegates,
@@ -1659,7 +1660,7 @@ namespace {
 
 /// Fold the result arrays, the recorder's metrics dumps, and the watchdog
 /// findings into one structured run report.
-obs::RunReport build_run_report(const graph::Csr& graph,
+obs::RunReport build_run_report(const graph::GraphView& graph,
                                 const DistInfomapConfig& config,
                                 const DistInfomapResult& result,
                                 const obs::Recorder& recorder) {
@@ -1684,6 +1685,9 @@ obs::RunReport build_run_report(const graph::Csr& graph,
     rep.add_config("async_max_lag",
                    static_cast<std::uint64_t>(config.async_max_lag));
   rep.add_config("plogp_memo", config.plogp_memo);
+  if (config.module_table_max_load_pct > 0)
+    rep.add_config("module_table_max_load_pct",
+                   config.module_table_max_load_pct);
   rep.add_config("chaos_delay_us",
                  static_cast<std::uint64_t>(config.chaos_delay_us));
   if (config.faults.any()) {
@@ -1755,9 +1759,33 @@ graph::Partition densify_assignment(const std::vector<graph::VertexId>& raw) {
   return dense;
 }
 
+/// Blocks-backend epilogue: publish the decode-cache counters as
+/// `blockgraph.*` metrics on rank 0's registry and feed them to the
+/// cache_thrash watchdog rule. A no-op on the resident backend. Purely
+/// observational (the stats read synchronizes on the lease mutex, after
+/// every rank's cursors are released).
+void publish_blockgraph_stats(const graph::GraphView& graph,
+                              const DistInfomapConfig& config,
+                              obs::Recorder& recorder) {
+  if (!graph.out_of_core() || !recorder.enabled()) return;
+  const graph::blockgraph::BlockGraphStats bs = graph.blocks()->stats();
+  auto* m = recorder.metrics(0);
+  m->counter("blockgraph.hits").set(bs.hits);
+  m->counter("blockgraph.misses").set(bs.misses);
+  m->counter("blockgraph.evictions").set(bs.evictions);
+  m->counter("blockgraph.decode_ns").set(bs.decode_ns);
+  m->counter("blockgraph.resident_blocks").set(bs.resident_blocks);
+  m->counter("blockgraph.bytes_mapped").set(bs.bytes_mapped);
+  if (config.obs.watchdog) {
+    for (obs::Anomaly& a : obs::analyze_block_cache(
+             {bs.hits, bs.misses, bs.evictions}, config.obs.watchdog_options))
+      recorder.report_anomaly(0, std::move(a));
+  }
+}
+
 }  // namespace
 
-DistInfomapResult distributed_infomap(const graph::Csr& graph,
+DistInfomapResult distributed_infomap(const graph::GraphView& graph,
                                       const partition::ArcPartition& part,
                                       const DistInfomapConfig& config) {
   DINFOMAP_REQUIRE_MSG(config.num_ranks == part.num_ranks,
@@ -1841,6 +1869,7 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
     // Profile first: the digest's wall-clock window must close before the
     // watchdog mirrors its findings into the trace as post-run instants.
     recorder.finish_profile();
+    publish_blockgraph_stats(graph, config, recorder);
     recorder.finish_watchdog();
   }
   result.report = build_run_report(graph, config, result, recorder);
@@ -1856,7 +1885,7 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
   return result;
 }
 
-graph::EdgeIndex resolve_degree_threshold(const graph::Csr& graph,
+graph::EdgeIndex resolve_degree_threshold(const graph::GraphView& graph,
                                           const DistInfomapConfig& config) {
   if (config.degree_threshold != 0) return config.degree_threshold;
   // The paper sets d_high = p, which on Titan-scale runs (p ≥ 256, mean
@@ -1875,14 +1904,14 @@ graph::EdgeIndex resolve_degree_threshold(const graph::Csr& graph,
       static_cast<graph::EdgeIndex>(anchored));
 }
 
-DistInfomapResult distributed_infomap(const graph::Csr& graph,
+DistInfomapResult distributed_infomap(const graph::GraphView& graph,
                                       const DistInfomapConfig& config) {
   const auto part = partition::make_delegate(
       graph, config.num_ranks, resolve_degree_threshold(graph, config));
   return distributed_infomap(graph, part, config);
 }
 
-DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
+DistInfomapResult distributed_infomap_rank(const graph::GraphView& graph,
                                            const DistInfomapConfig& config,
                                            comm::Transport& transport) {
   DINFOMAP_REQUIRE_MSG(config.num_ranks == transport.size(),
@@ -1890,9 +1919,12 @@ DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
                            << config.num_ranks << ") != transport size ("
                            << transport.size() << ")");
   // Rebuilt deterministically on every rank from the same (graph, config) —
-  // identical to the partition the single-process overload builds.
-  const auto part = partition::make_delegate(
+  // identical to the partition the single-process overload builds. Only this
+  // rank's slice survives: the transient full partition is the peak-memory
+  // point of a blocks-mode worker, and the other ranks' arcs are never read.
+  auto part = partition::make_delegate(
       graph, config.num_ranks, resolve_degree_threshold(graph, config));
+  part.keep_only_rank(transport.rank());
   for (graph::VertexId v = 0; v < graph.num_vertices(); ++v)
     DINFOMAP_REQUIRE_MSG(graph.self_weight(v) == 0,
                          "distributed path expects a self-loop-free input "
@@ -1998,6 +2030,10 @@ DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
                                config.obs.watchdog_options))
         recorder.report_anomaly(0, std::move(a));
     }
+    // Blocks mode: each worker process has its own mapping and cache; the
+    // counters reported here are rank 0's own (representative — every rank
+    // streams a similarly sized slice).
+    publish_blockgraph_stats(graph, config, recorder);
     result.report = build_run_report(graph, config, result, recorder);
     if (config.faults.any()) result.report.faults_injected = injected;
     if (recorder.enabled() && !config.obs.report_path.empty())
@@ -2008,6 +2044,30 @@ DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
   if (recorder.enabled() && !config.obs.trace_path.empty())
     (void)recorder.trace().write(config.obs.trace_path);
   return result;
+}
+
+// ---- resident-backend wrappers -------------------------------------------
+
+DistInfomapResult distributed_infomap(const graph::Csr& graph,
+                                      const DistInfomapConfig& config) {
+  return distributed_infomap(graph::GraphView(graph), config);
+}
+
+DistInfomapResult distributed_infomap(const graph::Csr& graph,
+                                      const partition::ArcPartition& part,
+                                      const DistInfomapConfig& config) {
+  return distributed_infomap(graph::GraphView(graph), part, config);
+}
+
+DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
+                                           const DistInfomapConfig& config,
+                                           comm::Transport& transport) {
+  return distributed_infomap_rank(graph::GraphView(graph), config, transport);
+}
+
+graph::EdgeIndex resolve_degree_threshold(const graph::Csr& graph,
+                                          const DistInfomapConfig& config) {
+  return resolve_degree_threshold(graph::GraphView(graph), config);
 }
 
 }  // namespace dinfomap::core

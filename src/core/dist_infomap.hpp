@@ -17,6 +17,7 @@
 #include "comm/fault.hpp"
 #include "core/seq_infomap.hpp"
 #include "graph/csr.hpp"
+#include "graph/graph_view.hpp"
 #include "graph/types.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
@@ -105,6 +106,13 @@ struct DistInfomapConfig {
   /// the uncached path by construction; asserted under chaos by the
   /// determinism regression test). Off selects the memo-free reference path.
   bool plogp_memo = true;
+  /// Maximum fill (percent) of the per-rank FlatMap module tables before
+  /// they grow; 0 keeps the built-in 7/8 default. Lower values trade memory
+  /// for shorter probe chains on hub-heavy graphs. Purely a performance
+  /// knob: the tables are never iterated on a result-bearing path, so any
+  /// value produces identical results (rehash work is surfaced through the
+  /// `flatmap.rehashes` metric).
+  int module_table_max_load_pct = 0;
   /// Chaos testing: random per-message delivery delay (µs). The synchronous
   /// protocol must produce identical results under any delivery timing —
   /// asserted by tests. 0 disables.
@@ -165,12 +173,22 @@ struct DistInfomapResult {
 };
 
 /// Run the full distributed pipeline on `graph` with `config.num_ranks`
-/// ranks. Deterministic for a fixed (graph, config) pair.
+/// ranks. Deterministic for a fixed (graph, config) pair. The GraphView
+/// overloads are the implementation — they stream the input from either the
+/// resident CSR or the out-of-core block file and produce bit-identical
+/// partitions and codelengths on both backends (the ranks themselves only
+/// ever see the ArcPartition, which the view-based builders construct
+/// identically); the Csr overloads are thin wrappers.
+DistInfomapResult distributed_infomap(const graph::GraphView& graph,
+                                      const DistInfomapConfig& config);
 DistInfomapResult distributed_infomap(const graph::Csr& graph,
                                       const DistInfomapConfig& config);
 
 /// Same, but over an already-built stage-1 partition (lets benchmarks reuse
 /// one partitioning across runs and ablate the partitioner).
+DistInfomapResult distributed_infomap(const graph::GraphView& graph,
+                                      const partition::ArcPartition& part,
+                                      const DistInfomapConfig& config);
 DistInfomapResult distributed_infomap(const graph::Csr& graph,
                                       const partition::ArcPartition& part,
                                       const DistInfomapConfig& config);
@@ -193,6 +211,9 @@ DistInfomapResult distributed_infomap(const graph::Csr& graph,
 /// trace files are written by the caller (one per worker) and merged by the
 /// launcher (obs/trace_merge.hpp); the cross-rank profile digest is not
 /// built here.
+DistInfomapResult distributed_infomap_rank(const graph::GraphView& graph,
+                                           const DistInfomapConfig& config,
+                                           comm::Transport& transport);
 DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
                                            const DistInfomapConfig& config,
                                            comm::Transport& transport);
@@ -200,6 +221,8 @@ DistInfomapResult distributed_infomap_rank(const graph::Csr& graph,
 /// The d_high actually used when `config.degree_threshold == 0`: the paper's
 /// d_high = p, floored at several times the mean degree so scaled-down runs
 /// do not delegate the whole graph (see DESIGN.md).
+graph::EdgeIndex resolve_degree_threshold(const graph::GraphView& graph,
+                                          const DistInfomapConfig& config);
 graph::EdgeIndex resolve_degree_threshold(const graph::Csr& graph,
                                           const DistInfomapConfig& config);
 

@@ -33,16 +33,51 @@ struct MassTotal {
   double sigma;
 };
 
+/// Uniform flow-scaled adjacency for one Louvain level. Level 0 streams
+/// straight from the GraphView (resident or out-of-core), scaling each arc
+/// weight by 1/2W on the fly — the same division make_flow_graph bakes into
+/// its rebuilt CSR, so both routes feed bit-identical flows to the rank.
+/// Coarser levels wrap the vertex-proportional contracted FlowGraph. One
+/// instance per rank: it owns that rank's block cursor.
+class FlowAccess {
+ public:
+  explicit FlowAccess(const FlowGraph& fg) : fg_(&fg) {}
+  FlowAccess(const graph::GraphView& view, const NodeFlows& nf)
+      : view_(&view), nf_(&nf), cursor_(view.cursor()) {}
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return fg_ != nullptr ? fg_->num_vertices() : view_->num_vertices();
+  }
+  [[nodiscard]] double node_flow(VertexId u) const {
+    return fg_ != nullptr ? fg_->node_flow[u] : nf_->node_flow[u];
+  }
+  /// Visit u's arcs in stored order as fn(target, flow).
+  template <typename Fn>
+  void for_neighbors(VertexId u, Fn&& fn) {
+    if (fg_ != nullptr) {
+      for (const auto& nb : fg_->csr.neighbors(u)) fn(nb.target, nb.weight);
+    } else {
+      for (const auto& nb : view_->neighbors(u, cursor_))
+        fn(nb.target, nb.weight / nf_->two_w);
+    }
+  }
+
+ private:
+  const FlowGraph* fg_ = nullptr;
+  const graph::GraphView* view_ = nullptr;
+  const NodeFlows* nf_ = nullptr;
+  graph::GraphView::Cursor cursor_;
+};
+
 /// One rank of the distributed Louvain level. All flows are normalized
 /// (2W = 1), so ΔQ = 2[f(u,c) − f(u,cur∖u)] − 2·p_u[Σtot(c) − (Σtot(cur)−p_u)].
 class LouvainRank {
  public:
-  LouvainRank(comm::Comm& comm, const FlowGraph& fg,
-              const DistLouvainConfig& cfg)
-      : comm_(comm), fg_(fg), cfg_(cfg) {
+  LouvainRank(comm::Comm& comm, FlowAccess& fa, const DistLouvainConfig& cfg)
+      : comm_(comm), fa_(fa), cfg_(cfg) {
     const auto p = static_cast<VertexId>(comm_.size());
     for (VertexId v = static_cast<VertexId>(comm_.rank());
-         v < fg_.num_vertices(); v += p)
+         v < fa_.num_vertices(); v += p)
       owned_.push_back(v);
     for (VertexId v : owned_) community_[v] = v;
   }
@@ -57,11 +92,11 @@ class LouvainRank {
     std::vector<std::vector<VertexId>> wanted(p);
     std::unordered_set<VertexId> ghosts;
     for (VertexId u : owned_) {
-      for (const auto& nb : fg_.csr.neighbors(u)) {
-        const int owner = static_cast<int>(nb.target % static_cast<VertexId>(p));
-        if (owner == comm_.rank()) continue;
-        if (ghosts.insert(nb.target).second) wanted[owner].push_back(nb.target);
-      }
+      fa_.for_neighbors(u, [&](VertexId t, double) {
+        const int owner = static_cast<int>(t % static_cast<VertexId>(p));
+        if (owner == comm_.rank()) return;
+        if (ghosts.insert(t).second) wanted[owner].push_back(t);
+      });
     }
     for (VertexId g : util::sorted_elems(ghosts)) community_[g] = g;
     auto requests = comm_.alltoallv(wanted);
@@ -80,12 +115,12 @@ class LouvainRank {
       for (VertexId u : order) {
         const VertexId cur = community_.at(u);
         flow_to.clear();
-        for (const auto& nb : fg_.csr.neighbors(u)) {
-          flow_to[community_.at(nb.target)] += nb.weight;
+        fa_.for_neighbors(u, [&](VertexId t, double f) {
+          flow_to[community_.at(t)] += f;
           ++work_.arcs_scanned;
-        }
+        });
         if (flow_to.empty()) continue;
-        const double p_u = fg_.node_flow[u];
+        const double p_u = fa_.node_flow(u);
         const auto f_old_it = flow_to.find(cur);
         const double f_old = f_old_it != flow_to.end() ? f_old_it->second : 0.0;
         const auto sigma_it = sigma_.find(cur);
@@ -146,7 +181,7 @@ class LouvainRank {
   void sync_masses() {
     const int p = comm_.size();
     std::unordered_map<VertexId, double> partial;
-    for (VertexId u : owned_) partial[community_.at(u)] += fg_.node_flow[u];
+    for (VertexId u : owned_) partial[community_.at(u)] += fa_.node_flow(u);
     // Declarations for every referenced community.
     // dlint:allow(unordered-iter): keys-only pass feeding try_emplace into
     // another map — no FP reduction, no ordering escapes this statement.
@@ -177,7 +212,7 @@ class LouvainRank {
   }
 
   comm::Comm& comm_;
-  const FlowGraph& fg_;
+  FlowAccess& fa_;
   const DistLouvainConfig& cfg_;
   std::vector<VertexId> owned_;
   std::unordered_map<VertexId, VertexId> community_;  // owned + ghosts
@@ -189,24 +224,33 @@ class LouvainRank {
 
 }  // namespace
 
-DistLouvainResult distributed_louvain(const graph::Csr& graph,
+DistLouvainResult distributed_louvain(const graph::GraphView& graph,
                                       const DistLouvainConfig& config) {
   DINFOMAP_REQUIRE_MSG(config.num_ranks >= 1, "need at least one rank");
   util::Timer wall;
 
-  FlowGraph level = make_flow_graph(graph);
+  // Level 0 streams flows from the view (each rank scales arcs by 1/2W on
+  // the fly), so the blocks backend never materializes a flow-weighted CSR
+  // of the full edge set. The contraction after level 0 produces an
+  // ordinary vertex-proportional FlowGraph for the coarser levels.
+  const NodeFlows flows = compute_node_flows(graph);
   DistLouvainResult result;
   result.assignment.resize(graph.num_vertices());
   std::iota(result.assignment.begin(), result.assignment.end(), 0);
   result.work_per_rank.assign(config.num_ranks, {});
 
+  FlowGraph level;  // levels ≥ 1 only
   for (int lv = 0; lv < config.max_levels; ++lv) {
-    std::vector<VertexId> labels(level.num_vertices());
+    const bool level0 = lv == 0;
+    const VertexId level_n =
+        level0 ? graph.num_vertices() : level.num_vertices();
+    std::vector<VertexId> labels(level_n);
     util::Mutex sink_mutex;
     int level_rounds = 0;
 
     auto report = comm::Runtime::run(config.num_ranks, [&](comm::Comm& comm) {
-      LouvainRank rank(comm, level, config);
+      FlowAccess fa = level0 ? FlowAccess(graph, flows) : FlowAccess(level);
+      LouvainRank rank(comm, fa, config);
       rank.setup();
       util::Xoshiro256 rng(util::derive_seed(
           config.seed + static_cast<std::uint64_t>(lv) * 7919,
@@ -229,9 +273,10 @@ DistLouvainResult distributed_louvain(const graph::Csr& graph,
     result.total_rounds += level_rounds;
     ++result.levels;
 
-    CoarsenResult coarse = coarsen(level, labels);
+    CoarsenResult coarse = level0 ? coarsen_level0(graph, flows, labels)
+                                  : coarsen(level, labels);
     for (auto& a : result.assignment) a = coarse.fine_to_coarse[a];
-    const bool merged = coarse.graph.num_vertices() < level.num_vertices();
+    const bool merged = coarse.graph.num_vertices() < level_n;
     level = std::move(coarse.graph);
     if (!merged || level.num_vertices() <= 1) break;
   }
@@ -241,10 +286,20 @@ DistLouvainResult distributed_louvain(const graph::Csr& graph,
   return result;
 }
 
-DistLouvainResult distributed_louvain(const graph::Csr& graph, int num_ranks) {
+DistLouvainResult distributed_louvain(const graph::GraphView& graph,
+                                      int num_ranks) {
   DistLouvainConfig config;
   config.num_ranks = num_ranks;
   return distributed_louvain(graph, config);
+}
+
+DistLouvainResult distributed_louvain(const graph::Csr& graph,
+                                      const DistLouvainConfig& config) {
+  return distributed_louvain(graph::GraphView(graph), config);
+}
+
+DistLouvainResult distributed_louvain(const graph::Csr& graph, int num_ranks) {
+  return distributed_louvain(graph::GraphView(graph), num_ranks);
 }
 
 }  // namespace dinfomap::core

@@ -28,6 +28,12 @@ DistRank::DistRank(comm::Comm& comm, const partition::ArcPartition& part,
     pool_ = std::make_unique<util::ThreadPool>(cfg_.threads_per_rank);
     scratch_.resize(static_cast<std::size_t>(cfg_.threads_per_rank));
   }
+  if (cfg_.module_table_max_load_pct > 0 &&
+      cfg_.module_table_max_load_pct < 100) {
+    const auto pct = static_cast<std::size_t>(cfg_.module_table_max_load_pct);
+    modules_.set_max_load(pct, 100);
+    prev_modules_.set_max_load(pct, 100);
+  }
   // Event-clock activity tracking feeds both the active-set fast path and
   // the async worklist; off (the default) every stamp site is a dead branch.
   track_activity_ = cfg_.active_set || cfg_.async;

@@ -1,0 +1,383 @@
+#include "graph/blockgraph/blockgraph.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/blockgraph/codec.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+#include "util/timer.hpp"
+
+namespace dinfomap::graph::blockgraph {
+
+namespace detail {
+
+/// One shard of the decode cache. Leased exclusively to a single cursor, so
+/// every member is thread-private while leased; the lease hand-off through
+/// DecodeCache's mutex is what publishes a slot's state (including its
+/// counters) between successive holders and to stats().
+struct CacheSlot {
+  struct Entry {
+    std::uint32_t block = kInvalidBlock;
+    std::uint8_t referenced = 0;
+    EdgeIndex first_arc = 0;
+    std::size_t charged = 0;      ///< bytes attributed to the budget
+    std::vector<Neighbor> arcs;   ///< decoded adjacency; capacity reused
+  };
+
+  std::vector<Entry> ring;  ///< clock order; entry buffers live on the heap
+  std::unordered_map<std::uint32_t, std::uint32_t> where;  ///< block → ring idx
+  std::vector<std::uint32_t> free_entries;
+  std::size_t hand = 0;
+  std::size_t bytes = 0;
+  std::size_t budget = 0;
+  bool verify = true;
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t decode_ns = 0;
+  std::uint64_t decoded_bytes = 0;
+
+  /// Clock / second-chance: clear referenced bits until an unreferenced
+  /// occupied entry comes under the hand, then drop it. Callers guarantee
+  /// at least one occupied entry exists (`!where.empty()`).
+  void evict_one() {
+    while (true) {
+      Entry& e = ring[hand];
+      hand = (hand + 1) % ring.size();
+      if (e.block == kInvalidBlock) continue;
+      if (e.referenced != 0) {
+        e.referenced = 0;
+        continue;
+      }
+      where.erase(e.block);
+      bytes -= e.charged;
+      e.block = kInvalidBlock;
+      e.charged = 0;
+      free_entries.push_back(
+          static_cast<std::uint32_t>(&e - ring.data()));
+      ++evictions;
+      return;
+    }
+  }
+};
+
+/// Slot pool. A std::deque keeps slot addresses stable across growth, so a
+/// leased CacheSlot* stays valid while new slots are created for additional
+/// concurrent cursors.
+class DecodeCache {
+ public:
+  DecodeCache(std::size_t per_slot_budget, bool verify)
+      : per_slot_budget_(per_slot_budget), verify_(verify) {}
+
+  CacheSlot* lease() {
+    util::MutexLock lock(mu_);
+    if (!free_.empty()) {
+      CacheSlot* s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    slots_.emplace_back();
+    CacheSlot& s = slots_.back();
+    s.budget = per_slot_budget_;
+    s.verify = verify_;
+    return &s;
+  }
+
+  void release(CacheSlot* slot) {
+    util::MutexLock lock(mu_);
+    free_.push_back(slot);
+  }
+
+  [[nodiscard]] BlockGraphStats aggregate() const {
+    util::MutexLock lock(mu_);
+    BlockGraphStats out;
+    for (const CacheSlot& s : slots_) {
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.evictions += s.evictions;
+      out.decode_ns += s.decode_ns;
+      out.decoded_bytes += s.decoded_bytes;
+      out.resident_blocks += s.where.size();
+      out.resident_bytes += s.bytes;
+    }
+    return out;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::deque<CacheSlot> slots_ DI_GUARDED_BY(mu_);
+  std::vector<CacheSlot*> free_ DI_GUARDED_BY(mu_);
+  std::size_t per_slot_budget_;
+  bool verify_;
+};
+
+}  // namespace detail
+
+void BlockCursor::release() {
+  if (owner_ != nullptr && slot_ != nullptr) {
+    // Reach the cache through the owner; the graph outlives every cursor.
+    owner_->cache_->release(slot_);
+  }
+  owner_ = nullptr;
+  slot_ = nullptr;
+  last_block_ = kInvalidBlock;
+  last_data_ = nullptr;
+}
+
+BlockGraph::BlockGraph(BlockGraph&& other) noexcept { *this = std::move(other); }
+
+BlockGraph& BlockGraph::operator=(BlockGraph&& other) noexcept {
+  if (this == &other) return *this;
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  path_ = std::move(other.path_);
+  map_ = std::exchange(other.map_, nullptr);
+  map_bytes_ = std::exchange(other.map_bytes_, 0);
+  n_ = other.n_;
+  num_arcs_ = other.num_arcs_;
+  num_blocks_ = other.num_blocks_;
+  total_weight_ = other.total_weight_;
+  total_link_weight_ = other.total_link_weight_;
+  arc_offsets_ = std::exchange(other.arc_offsets_, nullptr);
+  block_of_ = std::exchange(other.block_of_, nullptr);
+  wdeg_ = std::exchange(other.wdeg_, nullptr);
+  self_ = std::exchange(other.self_, nullptr);
+  index_ = std::exchange(other.index_, nullptr);
+  payload_ = std::exchange(other.payload_, nullptr);
+  cache_ = std::move(other.cache_);
+  return *this;
+}
+
+BlockGraph::~BlockGraph() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_bytes_);
+    map_ = nullptr;
+  }
+}
+
+namespace {
+[[noreturn]] void bad(const std::string& path, const std::string& what) {
+  throw BlockFormatError(path + ": " + what);
+}
+}  // namespace
+
+BlockGraph BlockGraph::open(const std::string& path) {
+  return open(path, Options{});
+}
+
+BlockGraph BlockGraph::open(const std::string& path, const Options& opts) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0)
+    throw std::runtime_error("blockgraph: cannot open " + path + ": " +
+                             std::strerror(errno));
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("blockgraph: fstat failed: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(FileHeader)) {
+    ::close(fd);
+    bad(path, "file smaller than header");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED)
+    throw std::runtime_error("blockgraph: mmap failed: " + path);
+
+  BlockGraph g;
+  g.path_ = path;
+  g.map_ = map;
+  g.map_bytes_ = size;
+
+  const auto* base = static_cast<const std::uint8_t*>(map);
+  FileHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (std::memcmp(hdr.magic, kMagic, sizeof(hdr.magic)) != 0)
+    bad(path, "not a dinfomap.blockgraph file");
+  if (hdr.version != kFormatVersion) bad(path, "unsupported format version");
+  if (hdr.file_bytes != size) bad(path, "file size mismatch (truncated?)");
+  if (hdr.num_vertices == 0 || hdr.num_vertices > 0xFFFFFFFFull)
+    bad(path, "vertex count out of range");
+
+  const std::uint64_t n = hdr.num_vertices;
+  const std::uint64_t nb = hdr.num_blocks;
+  auto section = [&](std::uint64_t off, std::uint64_t bytes,
+                     const char* name) -> const std::uint8_t* {
+    if (off % 8 != 0 || off < sizeof(FileHeader) || off + bytes > size)
+      bad(path, std::string(name) + " section out of bounds");
+    return base + off;
+  };
+  const auto* arc_offsets = reinterpret_cast<const EdgeIndex*>(
+      section(hdr.off_arc_offsets, (n + 1) * 8, "arc_offsets"));
+  // block_of is u32 so only 4-byte alignment is inherent; the writer still
+  // places it on an 8-byte boundary.
+  const auto* block_of = reinterpret_cast<const std::uint32_t*>(
+      section(hdr.off_block_of, n * 4, "block_of"));
+  const auto* wdeg = reinterpret_cast<const double*>(
+      section(hdr.off_wdeg, n * 8, "wdeg"));
+  const auto* self = reinterpret_cast<const double*>(
+      section(hdr.off_self, n * 8, "self_weight"));
+  const auto* index = reinterpret_cast<const BlockIndexEntry*>(
+      section(hdr.off_index, nb * sizeof(BlockIndexEntry), "block index"));
+  if (hdr.off_payload % 8 != 0 || hdr.off_payload > size)
+    bad(path, "payload section out of bounds");
+
+  // Integrity of everything resident: one CRC over the metadata region.
+  const std::uint64_t meta_bytes = hdr.off_payload - sizeof(FileHeader);
+  if (crc32(base + sizeof(FileHeader), meta_bytes) != hdr.section_crc)
+    bad(path, "metadata checksum mismatch");
+
+  // Geometry checks on the now-trusted metadata.
+  if (arc_offsets[0] != 0 || arc_offsets[n] != hdr.num_arcs)
+    bad(path, "arc offset array inconsistent with header");
+  const std::uint64_t payload_region = size - hdr.off_payload;
+  for (std::uint64_t b = 0; b < nb; ++b) {
+    const BlockIndexEntry& e = index[b];
+    if (e.payload_offset % 8 != 0 ||
+        e.payload_offset + e.payload_bytes > payload_region)
+      bad(path, "block payload out of bounds");
+    if (e.first_vertex + static_cast<std::uint64_t>(e.vertex_count) > n ||
+        e.vertex_count == 0)
+      bad(path, "block vertex range out of bounds");
+  }
+  // Every vertex must map into the block that covers it: the neighbor-span
+  // arithmetic (arc_offsets_[u] - first_arc of the block) indexes the
+  // decoded buffer with no further bounds check.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::uint32_t b = block_of[v];
+    if (b >= nb || v < index[b].first_vertex ||
+        v >= index[b].first_vertex + static_cast<std::uint64_t>(index[b].vertex_count))
+      bad(path, "block_of entry inconsistent with block index");
+  }
+
+  g.n_ = static_cast<VertexId>(n);
+  g.num_arcs_ = hdr.num_arcs;
+  g.num_blocks_ = nb;
+  g.total_weight_ = hdr.total_weight;
+  g.total_link_weight_ = hdr.total_link_weight;
+  g.arc_offsets_ = arc_offsets;
+  g.block_of_ = block_of;
+  g.wdeg_ = wdeg;
+  g.self_ = self;
+  g.index_ = index;
+  g.payload_ = base + hdr.off_payload;
+
+  const int nominal_slots = opts.cache_slots > 0 ? opts.cache_slots : 16;
+  const std::size_t per_slot =
+      std::max<std::size_t>(opts.cache_bytes / static_cast<std::size_t>(nominal_slots),
+                            64 * 1024);
+  g.cache_ = std::make_unique<detail::DecodeCache>(
+      per_slot, opts.verify_block_checksums);
+  return g;
+}
+
+BlockCursor BlockGraph::cursor() const {
+  BlockCursor cur;
+  cur.owner_ = this;
+  cur.slot_ = cache_->lease();
+  return cur;
+}
+
+void BlockGraph::fault_block(std::uint32_t block, BlockCursor& cur) const {
+  detail::CacheSlot& slot = *cur.slot_;
+  const BlockIndexEntry& ie = index_[block];
+  const EdgeIndex first_arc = arc_offsets_[ie.first_vertex];
+
+  auto it = slot.where.find(block);
+  if (it != slot.where.end()) {
+    ++slot.hits;
+    detail::CacheSlot::Entry& e = slot.ring[it->second];
+    e.referenced = 1;
+    cur.last_block_ = block;
+    cur.last_data_ = e.arcs.data();
+    cur.last_first_arc_ = first_arc;
+    return;
+  }
+
+  // Miss: the memo may point at a block the eviction loop is about to drop,
+  // so detach it before any buffer can be recycled.
+  cur.last_block_ = kInvalidBlock;
+  cur.last_data_ = nullptr;
+  ++slot.misses;
+
+  const std::size_t need =
+      static_cast<std::size_t>(
+          arc_offsets_[ie.first_vertex + ie.vertex_count] - first_arc) *
+      sizeof(Neighbor);
+  // A block larger than the whole slot budget is still admitted (after
+  // draining the slot) — progress beats the bound for pathological hubs.
+  while (!slot.where.empty() && slot.bytes + need > slot.budget)
+    slot.evict_one();
+
+  std::uint32_t idx;
+  if (!slot.free_entries.empty()) {
+    idx = slot.free_entries.back();
+    slot.free_entries.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slot.ring.size());
+    slot.ring.emplace_back();
+  }
+  detail::CacheSlot::Entry& e = slot.ring[idx];
+
+  // Right-size the recycled scratch before decode_block's resize touches it.
+  // The budget is charged by capacity, and vector growth is geometric, so an
+  // unbounded recycled buffer creeps toward 2× the largest block ever
+  // decoded — silently halving how many blocks the budget actually holds
+  // (observed as a working set that fits the budget yet thrashes forever).
+  const std::size_t arc_count = need / sizeof(Neighbor);
+  if (e.arcs.capacity() < arc_count ||
+      e.arcs.capacity() > arc_count + arc_count / 8) {
+    e.arcs = std::vector<Neighbor>();
+    e.arcs.reserve(arc_count);
+  }
+
+  const std::uint8_t* bytes = payload_ + ie.payload_offset;
+  try {
+    if (slot.verify &&
+        crc32(bytes, static_cast<std::size_t>(ie.payload_bytes)) !=
+            ie.payload_crc)
+      throw BlockFormatError(path_ + ": block " + std::to_string(block) +
+                             " checksum mismatch");
+    const util::Timer timer;
+    decode_block(ie.first_vertex,
+                 {arc_offsets_ + ie.first_vertex,
+                  static_cast<std::size_t>(ie.vertex_count) + 1},
+                 {bytes, static_cast<std::size_t>(ie.payload_bytes)}, e.arcs);
+    slot.decode_ns += static_cast<std::uint64_t>(timer.seconds() * 1e9);
+  } catch (...) {
+    slot.free_entries.push_back(idx);  // keep the slot reusable after a bad block
+    throw;
+  }
+  slot.decoded_bytes += ie.payload_bytes;
+
+  e.block = block;
+  e.referenced = 1;
+  e.first_arc = first_arc;
+  e.charged = e.arcs.capacity() * sizeof(Neighbor);
+  slot.bytes += e.charged;
+  slot.where.emplace(block, idx);
+
+  cur.last_block_ = block;
+  cur.last_data_ = e.arcs.data();
+  cur.last_first_arc_ = first_arc;
+}
+
+BlockGraphStats BlockGraph::stats() const {
+  BlockGraphStats out = cache_->aggregate();
+  out.bytes_mapped = map_bytes_;
+  return out;
+}
+
+}  // namespace dinfomap::graph::blockgraph

@@ -1,0 +1,158 @@
+#include "graph/blockgraph/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace dinfomap::graph::blockgraph {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(x) | 0x80);
+    x >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(x));
+}
+
+const std::uint8_t* get_varint(const std::uint8_t* p, const std::uint8_t* end,
+                               std::uint64_t& x) {
+  x = 0;
+  int shift = 0;
+  while (true) {
+    if (p == end) throw BlockFormatError("varint truncated");
+    const std::uint8_t byte = *p++;
+    if (shift == 63 && (byte & 0xFE) != 0)
+      throw BlockFormatError("varint overflows 64 bits");
+    x |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return p;
+    shift += 7;
+  }
+}
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+/// Bitwise weight identity — the run-splitting predicate. memcmp (not ==)
+/// so that -0.0 vs 0.0 and NaN payload bits round-trip exactly.
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void put_weight_bits(std::vector<std::uint8_t>& out, double w) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &w, sizeof(bits));
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+double get_weight_bits(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  double w = 0;
+  std::memcpy(&w, &bits, sizeof(w));
+  return w;
+}
+}  // namespace
+
+void encode_block(VertexId first_vertex, std::span<const EdgeIndex> arc_off,
+                  std::span<const Neighbor> arcs,
+                  std::vector<std::uint8_t>& out) {
+  const std::size_t count = arc_off.size() - 1;
+  const EdgeIndex base = arc_off[0];
+
+  // Target stream into a scratch so its byte length can prefix it (the
+  // decoder needs the boundary between the two streams).
+  std::vector<std::uint8_t> targets;
+  targets.reserve(arcs.size() * 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::int64_t prev =
+        static_cast<std::int64_t>(first_vertex) + static_cast<std::int64_t>(i);
+    for (EdgeIndex a = arc_off[i] - base; a < arc_off[i + 1] - base; ++a) {
+      const std::int64_t t = static_cast<std::int64_t>(arcs[a].target);
+      put_varint(targets, zigzag_encode(t - prev));
+      prev = t;
+    }
+  }
+  put_varint(out, targets.size());
+  out.insert(out.end(), targets.begin(), targets.end());
+
+  // Weight stream: maximal runs of bitwise-equal weights.
+  std::size_t i = 0;
+  while (i < arcs.size()) {
+    std::size_t j = i + 1;
+    while (j < arcs.size() && same_bits(arcs[j].weight, arcs[i].weight)) ++j;
+    put_varint(out, j - i);
+    put_weight_bits(out, arcs[i].weight);
+    i = j;
+  }
+}
+
+void decode_block(VertexId first_vertex, std::span<const EdgeIndex> arc_off,
+                  std::span<const std::uint8_t> payload,
+                  std::vector<Neighbor>& arcs) {
+  const std::size_t count = arc_off.size() - 1;
+  const EdgeIndex base = arc_off[0];
+  const std::size_t num_arcs = static_cast<std::size_t>(arc_off[count] - base);
+  arcs.resize(num_arcs);
+
+  const std::uint8_t* p = payload.data();
+  const std::uint8_t* end = payload.data() + payload.size();
+
+  std::uint64_t target_bytes = 0;
+  p = get_varint(p, end, target_bytes);
+  if (target_bytes > static_cast<std::uint64_t>(end - p))
+    throw BlockFormatError("target stream truncated");
+  const std::uint8_t* tend = p + target_bytes;
+
+  std::size_t a = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::int64_t prev =
+        static_cast<std::int64_t>(first_vertex) + static_cast<std::int64_t>(i);
+    for (EdgeIndex k = arc_off[i] - base; k < arc_off[i + 1] - base; ++k) {
+      std::uint64_t zz = 0;
+      p = get_varint(p, tend, zz);
+      const std::int64_t t = prev + zigzag_decode(zz);
+      if (t < 0 || t > static_cast<std::int64_t>(0xFFFFFFFFll))
+        throw BlockFormatError("decoded target out of VertexId range");
+      arcs[a].target = static_cast<VertexId>(t);
+      prev = t;
+      ++a;
+    }
+  }
+  if (p != tend) throw BlockFormatError("target stream has trailing bytes");
+
+  a = 0;
+  while (a < num_arcs) {
+    std::uint64_t run = 0;
+    p = get_varint(p, end, run);
+    if (run == 0 || run > num_arcs - a)
+      throw BlockFormatError("weight run length out of range");
+    if (end - p < 8) throw BlockFormatError("weight stream truncated");
+    const double w = get_weight_bits(p);
+    p += 8;
+    for (std::uint64_t k = 0; k < run; ++k) arcs[a++].weight = w;
+  }
+  if (p != end) throw BlockFormatError("payload has trailing bytes");
+}
+
+}  // namespace dinfomap::graph::blockgraph

@@ -1,0 +1,87 @@
+// Edge-block codec for the out-of-core graph substrate (DESIGN.md §15).
+//
+// A block covers a contiguous vertex range and stores two streams:
+//
+//   targets: per vertex, per neighbor, a zig-zag varint *delta* — the first
+//            neighbor relative to the vertex's own id, each subsequent one
+//            relative to its predecessor. Signed deltas mean the codec
+//            preserves the adjacency *exactly as given*, in order; it never
+//            assumes sortedness. That matters because every consumer's
+//            floating-point accumulation order follows adjacency order, and
+//            the backend-equivalence guarantee (resident CSR vs blocks) is
+//            bit-level.
+//   weights: run-length encoded — varint run length followed by the raw
+//            8-byte little-endian IEEE-754 image of the weight. Runs split
+//            on bitwise inequality, so decoding reproduces the exact bits
+//            (1.0-weighted unweighted graphs collapse to a single run per
+//            block).
+//
+// Degrees are *not* stored in the payload: the container file keeps the
+// global arc-offset array resident (see format.hpp), and the decoder takes
+// the offset slice as input. A CRC-32 over the payload guards against
+// truncation and bit rot; `decode_block` additionally validates that varints
+// terminate, targets fit VertexId, and the payload is consumed exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace dinfomap::graph::blockgraph {
+
+/// Thrown on malformed, truncated, or corrupt block-graph bytes.
+class BlockFormatError : public std::runtime_error {
+ public:
+  explicit BlockFormatError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// LEB128 append of `x` to `out` (1–10 bytes).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t x);
+
+/// Decode one varint at `p` (strictly before `end`). Returns the byte after
+/// the varint and stores the value in `x`; throws BlockFormatError when the
+/// varint runs off `end` or exceeds 10 bytes.
+const std::uint8_t* get_varint(const std::uint8_t* p, const std::uint8_t* end,
+                               std::uint64_t& x);
+
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected). `seed` chains partial
+/// computations: crc32(b, crc32(a)) == crc32(a ⧺ b).
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+/// Encode the adjacency of vertices [first_vertex, first_vertex + count).
+///
+/// `arc_off` holds count+1 entries of the *global* offset array (so
+/// arc_off[i+1] - arc_off[i] is the degree of first_vertex + i) and `arcs`
+/// the concatenated adjacency, arc_off[count] - arc_off[0] entries. The
+/// encoded payload is appended to `out`.
+void encode_block(VertexId first_vertex,
+                  std::span<const EdgeIndex> arc_off,
+                  std::span<const Neighbor> arcs, std::vector<std::uint8_t>& out);
+
+/// Inverse of encode_block: decode `payload` into `arcs` (resized to the
+/// exact arc count; capacity is reused across calls, which is what makes a
+/// cache slot's entry buffer a lock-free decode scratch). Throws
+/// BlockFormatError on any structural violation.
+void decode_block(VertexId first_vertex,
+                  std::span<const EdgeIndex> arc_off,
+                  std::span<const std::uint8_t> payload,
+                  std::vector<Neighbor>& arcs);
+
+}  // namespace dinfomap::graph::blockgraph

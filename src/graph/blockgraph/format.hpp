@@ -1,0 +1,72 @@
+// On-disk layout of `dinfomap.blockgraph/1` (DESIGN.md §15).
+//
+// The file is designed to be mapped read-only and consumed in place:
+//
+//   [FileHeader]                      144 bytes, magic = "dinfomap.blockgraph/1"
+//   [arc_offsets]  u64 × (n+1)        global CSR offsets — O(1) degree and the
+//                                     decoder's per-vertex run boundaries
+//   [block_of]     u32 × n            vertex → block id
+//   [wdeg]         f64 × n            weighted degrees, the exact bits the
+//                                     resident Csr constructor produced
+//   [self_weight]  f64 × n            accumulated self-loop weight
+//   [block index]  BlockIndexEntry × num_blocks
+//   [payloads]     checksummed codec blocks, each 8-byte aligned
+//
+// Every multi-byte field is little-endian and every section offset is a
+// multiple of 8, so the mapped sections can be read through typed pointers
+// on any LE host without copying. The resident sections are vertex-
+// proportional (~28 bytes/vertex); only the payload region — the O(|E|)
+// part — stays on disk and streams through the decode cache.
+//
+// `section_crc` covers everything between the header and the payload region
+// (the resident sections plus the index), so header/index corruption is
+// caught at open() time; each payload block carries its own CRC-32, checked
+// on decode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dinfomap::graph::blockgraph {
+
+/// Identifies format and version in one string; files with a different
+/// magic (including a future "/2") are rejected at open().
+inline constexpr char kMagic[24] = "dinfomap.blockgraph/1";
+
+inline constexpr std::uint64_t kFormatVersion = 1;
+
+/// Sentinel for "no block" (vertex with the invalid id, cursor memo reset).
+inline constexpr std::uint32_t kInvalidBlock = 0xFFFFFFFFu;
+
+struct FileHeader {
+  char magic[24];                   ///< kMagic, NUL-padded
+  std::uint64_t version;            ///< kFormatVersion
+  std::uint64_t num_vertices;
+  std::uint64_t num_arcs;           ///< directed arcs (2 × non-self edges)
+  std::uint64_t num_blocks;
+  std::uint64_t block_budget_bytes; ///< writer's target payload size per block
+  double total_weight;              ///< Csr::total_weight(), exact bits
+  double total_link_weight;         ///< Csr::total_link_weight(), exact bits
+  std::uint64_t off_arc_offsets;    ///< file offset of u64[n+1]
+  std::uint64_t off_block_of;       ///< file offset of u32[n]
+  std::uint64_t off_wdeg;           ///< file offset of f64[n]
+  std::uint64_t off_self;           ///< file offset of f64[n]
+  std::uint64_t off_index;          ///< file offset of BlockIndexEntry[num_blocks]
+  std::uint64_t off_payload;        ///< file offset of the payload region
+  std::uint64_t file_bytes;         ///< total file size, validated vs stat()
+  std::uint64_t section_crc;        ///< CRC-32 of [end of header, off_payload)
+};
+static_assert(sizeof(FileHeader) == 24 + 15 * 8,
+              "FileHeader must be packed and 8-byte multiple");
+
+struct BlockIndexEntry {
+  std::uint64_t payload_offset;  ///< relative to off_payload, 8-byte aligned
+  std::uint64_t payload_bytes;   ///< encoded size (unpadded)
+  std::uint32_t first_vertex;
+  std::uint32_t vertex_count;
+  std::uint32_t payload_crc;     ///< CRC-32 of the payload bytes
+  std::uint32_t reserved;
+};
+static_assert(sizeof(BlockIndexEntry) == 32);
+
+}  // namespace dinfomap::graph::blockgraph

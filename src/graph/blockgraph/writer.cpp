@@ -1,0 +1,174 @@
+#include "graph/blockgraph/writer.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/blockgraph/codec.hpp"
+#include "graph/blockgraph/format.hpp"
+#include "util/check.hpp"
+
+namespace dinfomap::graph::blockgraph {
+
+namespace {
+std::size_t varint_len(std::uint64_t x) {
+  std::size_t len = 1;
+  while (x >= 0x80) {
+    x >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+/// Deterministic per-vertex payload size estimate used ONLY to place block
+/// boundaries: exact target-delta bytes plus weight runs split at vertex
+/// boundaries (a slight overestimate — final runs may merge across
+/// vertices). Both the planner and any re-run compute the same value, so
+/// block boundaries are a pure function of the graph and the budget.
+std::size_t vertex_payload_estimate(const Csr& csr, VertexId u) {
+  std::size_t bytes = 0;
+  std::int64_t prev = static_cast<std::int64_t>(u);
+  double run_w = 0;
+  bool in_run = false;
+  for (const Neighbor& nb : csr.neighbors(u)) {
+    const std::int64_t t = static_cast<std::int64_t>(nb.target);
+    bytes += varint_len(zigzag_encode(t - prev));
+    prev = t;
+    if (!in_run || std::memcmp(&run_w, &nb.weight, sizeof(double)) != 0) {
+      bytes += 1 + 8;  // new run: varint length (≥1 byte) + raw weight
+      run_w = nb.weight;
+      in_run = true;
+    }
+  }
+  return bytes;
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p,
+                  std::size_t len) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + len);
+}
+}  // namespace
+
+WriteSummary write_block_file(const std::string& path, const Csr& csr,
+                              const WriteOptions& opts) {
+  DINFOMAP_REQUIRE_MSG(csr.num_vertices() > 0, "blockgraph: empty graph");
+  const VertexId n = csr.num_vertices();
+  const std::size_t budget = opts.block_payload_bytes > 0
+                                 ? opts.block_payload_bytes
+                                 : WriteOptions{}.block_payload_bytes;
+
+  // Plan block boundaries: minimal vertex prefixes whose estimated payload
+  // reaches the budget.
+  std::vector<BlockIndexEntry> index;
+  std::vector<std::uint32_t> block_of(n, 0);
+  {
+    VertexId first = 0;
+    std::size_t est = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      block_of[u] = static_cast<std::uint32_t>(index.size());
+      est += vertex_payload_estimate(csr, u);
+      if (est >= budget || u + 1 == n) {
+        BlockIndexEntry e{};
+        e.first_vertex = first;
+        e.vertex_count = u - first + 1;
+        index.push_back(e);
+        first = u + 1;
+        est = 0;
+      }
+    }
+  }
+  const std::uint64_t num_blocks = index.size();
+  DINFOMAP_REQUIRE_MSG(num_blocks < kInvalidBlock,
+                       "blockgraph: too many blocks");
+
+  // Resident sections, contiguous in memory so the section CRC is one pass.
+  std::vector<std::uint8_t> meta;
+  const std::uint64_t off_arc_offsets = sizeof(FileHeader);
+  append_bytes(meta, csr.offsets().data(),
+               (static_cast<std::size_t>(n) + 1) * sizeof(EdgeIndex));
+  const std::uint64_t off_block_of = off_arc_offsets + meta.size();
+  append_bytes(meta, block_of.data(), block_of.size() * sizeof(std::uint32_t));
+  while ((sizeof(FileHeader) + meta.size()) % 8 != 0) meta.push_back(0);
+  const std::uint64_t off_wdeg = sizeof(FileHeader) + meta.size();
+  {
+    std::vector<double> wdeg(n), self(n);
+    for (VertexId u = 0; u < n; ++u) {
+      wdeg[u] = csr.weighted_degree(u);
+      self[u] = csr.self_weight(u);
+    }
+    append_bytes(meta, wdeg.data(), wdeg.size() * sizeof(double));
+    append_bytes(meta, self.data(), self.size() * sizeof(double));
+  }
+  const std::uint64_t off_self = off_wdeg + static_cast<std::uint64_t>(n) * 8;
+  const std::uint64_t off_index = off_self + static_cast<std::uint64_t>(n) * 8;
+  const std::uint64_t off_payload =
+      off_index + num_blocks * sizeof(BlockIndexEntry);
+
+  // Encode payloads, filling in the index entries as offsets become known.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("blockgraph: cannot write " + path);
+  out.seekp(static_cast<std::streamoff>(off_payload));
+
+  WriteSummary summary;
+  summary.num_vertices = n;
+  summary.num_arcs = csr.num_arcs();
+  summary.num_blocks = num_blocks;
+
+  std::vector<std::uint8_t> payload;
+  std::uint64_t cursor = 0;  // relative to off_payload, kept 8-aligned
+  const auto& offsets = csr.offsets();
+  const auto& adjacency = csr.adjacency();
+  for (BlockIndexEntry& e : index) {
+    payload.clear();
+    const std::span<const EdgeIndex> off_slice{
+        offsets.data() + e.first_vertex,
+        static_cast<std::size_t>(e.vertex_count) + 1};
+    const std::span<const Neighbor> arc_slice{
+        adjacency.data() + offsets[e.first_vertex],
+        static_cast<std::size_t>(offsets[e.first_vertex + e.vertex_count] -
+                                 offsets[e.first_vertex])};
+    encode_block(e.first_vertex, off_slice, arc_slice, payload);
+    e.payload_offset = cursor;
+    e.payload_bytes = payload.size();
+    e.payload_crc = crc32(payload.data(), payload.size());
+    while (payload.size() % 8 != 0) payload.push_back(0);
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    cursor += payload.size();
+    summary.payload_bytes += e.payload_bytes;
+  }
+  summary.file_bytes = off_payload + cursor;
+
+  append_bytes(meta, index.data(), index.size() * sizeof(BlockIndexEntry));
+
+  FileHeader hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof(hdr.magic));
+  hdr.version = kFormatVersion;
+  hdr.num_vertices = n;
+  hdr.num_arcs = csr.num_arcs();
+  hdr.num_blocks = num_blocks;
+  hdr.block_budget_bytes = budget;
+  hdr.total_weight = csr.total_weight();
+  hdr.total_link_weight = csr.total_link_weight();
+  hdr.off_arc_offsets = off_arc_offsets;
+  hdr.off_block_of = off_block_of;
+  hdr.off_wdeg = off_wdeg;
+  hdr.off_self = off_self;
+  hdr.off_index = off_index;
+  hdr.off_payload = off_payload;
+  hdr.file_bytes = summary.file_bytes;
+  hdr.section_crc = crc32(meta.data(), meta.size());
+
+  out.seekp(0);
+  out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out.write(reinterpret_cast<const char*>(meta.data()),
+            static_cast<std::streamsize>(meta.size()));
+  if (!out) throw std::runtime_error("blockgraph: write failed: " + path);
+  out.close();
+  if (!out) throw std::runtime_error("blockgraph: close failed: " + path);
+  return summary;
+}
+
+}  // namespace dinfomap::graph::blockgraph

@@ -1,0 +1,36 @@
+// Serializer for `dinfomap.blockgraph/1`: converts a resident Csr into the
+// mmap-able block file (format.hpp). The conversion is the one step that
+// needs the graph resident; everything downstream streams blocks through the
+// decode cache. `tools/graphpack` is the CLI front-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace dinfomap::graph::blockgraph {
+
+struct WriteOptions {
+  /// Target encoded payload size per block. Blocks close at the first vertex
+  /// boundary where the (deterministic) size estimate reaches this, so a
+  /// single hub vertex can exceed it — a block never splits a vertex's run.
+  std::size_t block_payload_bytes = 64 * 1024;
+};
+
+struct WriteSummary {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t payload_bytes = 0;  ///< encoded adjacency bytes (unpadded)
+  std::uint64_t file_bytes = 0;
+};
+
+/// Write `csr` to `path` in blockgraph format. Totals and weighted degrees
+/// are copied bit-exactly from the Csr, which is what makes resident and
+/// blocks backends produce identical partitions and MDL. Throws
+/// std::runtime_error on I/O failure.
+WriteSummary write_block_file(const std::string& path, const Csr& csr,
+                              const WriteOptions& opts = {});
+
+}  // namespace dinfomap::graph::blockgraph

@@ -1,37 +1,55 @@
 #include "graph/edgelist_io.hpp"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 namespace dinfomap::graph {
 
-EdgeList read_edge_list(const std::string& path) {
+namespace {
+[[noreturn]] void parse_error(const std::string& path, std::size_t lineno,
+                              const char* what) {
+  throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " + what);
+}
+}  // namespace
+
+std::size_t for_each_edge(const std::string& path,
+                          const std::function<void(const Edge&)>& fn) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open edge list: " + path);
-  EdgeList edges;
-  std::string line;
+  std::size_t count = 0;
+  std::string line;  // reused across lines; getline keeps its capacity
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#' || line[first] == '%')
-      continue;
-    std::istringstream ls(line);
-    std::uint64_t u = 0, v = 0;
-    double w = 1.0;
-    if (!(ls >> u >> v)) {
-      throw std::runtime_error(path + ":" + std::to_string(lineno) +
-                               ": expected 'u v [w]'");
-    }
-    ls >> w;  // optional weight
-    if (w <= 0) {
-      throw std::runtime_error(path + ":" + std::to_string(lineno) +
-                               ": non-positive weight");
-    }
-    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
+    const char* s = line.c_str();
+    while (*s == ' ' || *s == '\t' || *s == '\r') ++s;
+    if (*s == '\0' || *s == '#' || *s == '%') continue;
+    // Manual strtoull/strtod parse: no per-line stringstream construction.
+    char* end = nullptr;
+    if (*s == '-') parse_error(path, lineno, "expected 'u v [w]'");
+    const std::uint64_t u = std::strtoull(s, &end, 10);
+    if (end == s) parse_error(path, lineno, "expected 'u v [w]'");
+    s = end;
+    while (*s == ' ' || *s == '\t') ++s;
+    if (*s == '-') parse_error(path, lineno, "expected 'u v [w]'");
+    const std::uint64_t v = std::strtoull(s, &end, 10);
+    if (end == s) parse_error(path, lineno, "expected 'u v [w]'");
+    s = end;
+    double w = 1.0;  // optional weight
+    const double parsed_w = std::strtod(s, &end);
+    if (end != s) w = parsed_w;
+    if (w <= 0) parse_error(path, lineno, "non-positive weight");
+    fn({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
+    ++count;
   }
+  return count;
+}
+
+EdgeList read_edge_list(const std::string& path) {
+  EdgeList edges;
+  for_each_edge(path, [&](const Edge& e) { edges.push_back(e); });
   return edges;
 }
 

@@ -2,14 +2,23 @@
 // interchange format of the SNAP datasets the paper uses.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "graph/types.hpp"
 
 namespace dinfomap::graph {
 
-/// Parse an edge list from a file. Throws std::runtime_error on I/O or
-/// parse errors (with line number).
+/// Stream a text edge list line by line, invoking `fn` per parsed edge —
+/// the whole file is never resident, and one line buffer is reused across
+/// the scan (tools/graphpack converts multi-GB lists through this with flat
+/// memory). Throws std::runtime_error on I/O or parse errors (with line
+/// number). Returns the number of edges visited.
+std::size_t for_each_edge(const std::string& path,
+                          const std::function<void(const Edge&)>& fn);
+
+/// Parse an edge list from a file (materialized; built on for_each_edge).
+/// Throws std::runtime_error on I/O or parse errors (with line number).
 EdgeList read_edge_list(const std::string& path);
 
 /// Write "u v w" lines; returns the number of edges written.

@@ -139,4 +139,22 @@ std::vector<Anomaly> analyze_rounds(
   return out;
 }
 
+std::vector<Anomaly> analyze_block_cache(const BlockCacheSample& sample,
+                                         const WatchdogOptions& options) {
+  std::vector<Anomaly> out;
+  const std::uint64_t faults = sample.hits + sample.misses;
+  if (faults < options.min_cache_faults) return out;
+  if (sample.evictions == 0) return out;  // cold misses only: budget suffices
+  const double miss_ratio =
+      static_cast<double>(sample.misses) / static_cast<double>(faults);
+  if (miss_ratio <= options.cache_miss_ratio_threshold) return out;
+  std::ostringstream os;
+  os << "decode cache miss ratio " << miss_ratio << " over " << faults
+     << " block faults with " << sample.evictions
+     << " evictions — working set cycles through the cache budget; raise "
+        "--block-cache-mb or repartition for block locality";
+  out.push_back({-1, 0, 0, "cache_thrash", os.str()});
+  return out;
+}
+
 }  // namespace dinfomap::obs

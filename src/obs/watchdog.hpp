@@ -99,6 +99,15 @@ struct WatchdogOptions {
   /// Phases accumulating less cross-rank collective wait than this are below
   /// the noise floor for a straggler verdict.
   double min_straggler_wait_us = 5'000.0;
+
+  // ---- decode-cache rule (out-of-core blocks backend) --------------------
+  /// Flag the run when the block cache's miss ratio exceeds this while it is
+  /// also evicting — the decoded working set cycles through a too-small
+  /// budget, and every scan pays the decode bill again (cache thrash).
+  double cache_miss_ratio_threshold = 0.5;
+  /// Runs with fewer block faults (hits + misses) than this are below the
+  /// noise floor for a thrash verdict.
+  std::uint64_t min_cache_faults = 1024;
 };
 
 /// Analyze per-rank round streams (`streams[r]` is rank r's samples, all the
@@ -107,5 +116,18 @@ struct WatchdogOptions {
 [[nodiscard]] std::vector<Anomaly> analyze_rounds(
     const std::vector<std::vector<RoundSample>>& streams,
     const WatchdogOptions& options);
+
+/// Decode-cache counters of one out-of-core run (a plain mirror of
+/// graph::blockgraph::BlockGraphStats — obs does not link the graph layer).
+struct BlockCacheSample {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Judge the decode cache of a blocks-backend run against the cache_thrash
+/// rule. Returns at most one anomaly (kind "cache_thrash", rank -1).
+[[nodiscard]] std::vector<Anomaly> analyze_block_cache(
+    const BlockCacheSample& sample, const WatchdogOptions& options);
 
 }  // namespace dinfomap::obs

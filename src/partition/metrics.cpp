@@ -24,7 +24,7 @@ std::vector<std::uint64_t> ghosts_per_rank(const ArcPartition& part) {
   return counts;
 }
 
-bool validate_partition(const ArcPartition& part, const Csr& graph) {
+bool validate_partition(const ArcPartition& part, const GraphView& graph) {
   // Multiset of all assigned arcs must equal the CSR's arc multiset.
   std::vector<Arc> assigned;
   assigned.reserve(graph.num_arcs());
@@ -34,8 +34,9 @@ bool validate_partition(const ArcPartition& part, const Csr& graph) {
 
   std::vector<Arc> expected;
   expected.reserve(graph.num_arcs());
+  auto cursor = graph.cursor();
   for (VertexId u = 0; u < graph.num_vertices(); ++u)
-    for (const auto& nb : graph.neighbors(u))
+    for (const auto& nb : graph.neighbors(u, cursor))
       expected.push_back({u, nb.target, nb.weight});
 
   auto arc_less = [](const Arc& a, const Arc& b) {
@@ -54,6 +55,10 @@ bool validate_partition(const ArcPartition& part, const Csr& graph) {
     }
   }
   return true;
+}
+
+bool validate_partition(const ArcPartition& part, const Csr& graph) {
+  return validate_partition(part, GraphView(graph));
 }
 
 }  // namespace dinfomap::partition

@@ -1,0 +1,57 @@
+// Decode-cost calibration for the out-of-core blocks backend: measure the
+// ns/arc varint-decode coefficient on the actual block file, feed it into
+// the CostModel, and convert model + live cache counters into the
+// partition::DelegateDecodeCost the delegate rebalance consumes.
+//
+// The loop closes as: measure_decode_cost (one-time, on open) →
+// CostModel.sec_per_arc_decode → make_delegate(..., decode_cost) biases arc
+// placement toward block locality → after a run, apply_decode_feedback folds
+// the observed hit ratio back into the model so the next partitioning sees
+// the cache behaviour the previous one produced.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/blockgraph/blockgraph.hpp"
+#include "partition/arc_partition.hpp"
+#include "perf/cost_model.hpp"
+
+namespace dinfomap::perf {
+
+/// Result of one calibration pass over a prefix of the block file.
+struct DecodeCostMeasurement {
+  double sec_per_arc_decode = 0;  ///< measured decode seconds per arc
+  double arcs_per_block = 0;      ///< global mean decoded arcs per block
+  std::uint64_t blocks_timed = 0; ///< cold blocks the pass actually decoded
+  std::uint64_t arcs_scanned = 0; ///< arcs streamed during the pass
+
+  [[nodiscard]] bool valid() const {
+    return blocks_timed > 0 && sec_per_arc_decode > 0;
+  }
+};
+
+/// Stream the first `max_blocks` blocks through a private cursor and derive
+/// sec_per_arc_decode from the cache's decode_ns delta. Timing-based, so the
+/// *number* is machine-dependent — but it only parameterizes the (opt-in)
+/// cost-aware rebalance, never a result bit. Run it right after open(),
+/// before other cursors exist: warm blocks decode for free and would dilute
+/// the measurement.
+DecodeCostMeasurement measure_decode_cost(
+    const graph::blockgraph::BlockGraph& bg, std::uint64_t max_blocks = 64);
+
+/// Fold a measurement into the model (decode coefficient only; the hit
+/// ratio is fed back separately from run counters).
+void apply_decode_cost(CostModel& model, const DecodeCostMeasurement& m);
+
+/// Hit-ratio feedback: update model.decode_hit_ratio from a run's cache
+/// counters. No-op when the run faulted no blocks.
+void apply_decode_feedback(CostModel& model,
+                           const graph::blockgraph::BlockGraphStats& stats);
+
+/// Assemble the rebalance input from the calibrated model. Returns an inert
+/// (disabled) cost when the model carries no decode coefficient — handing it
+/// to make_delegate then reproduces the count-based rebalance exactly.
+partition::DelegateDecodeCost delegate_decode_cost(
+    const CostModel& model, const DecodeCostMeasurement& m);
+
+}  // namespace dinfomap::perf

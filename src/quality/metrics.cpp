@@ -73,16 +73,17 @@ double jaccard_index(const Partition& a, const Partition& b) {
   return pc.a11 / denom;
 }
 
-double modularity(const graph::Csr& graph, const Partition& partition) {
+double modularity(const graph::GraphView& graph, const Partition& partition) {
   DINFOMAP_REQUIRE_MSG(partition.size() == graph.num_vertices(),
                        "modularity: partition size mismatch");
   // Community totals: internal weight and total incident weight.
   std::unordered_map<VertexId, double> internal, total;
+  auto cursor = graph.cursor();
   for (graph::VertexId u = 0; u < graph.num_vertices(); ++u) {
     const VertexId cu = partition[u];
     total[cu] += graph.weighted_degree(u) + 2.0 * graph.self_weight(u);
     internal[cu] += 2.0 * graph.self_weight(u);
-    for (const auto& nb : graph.neighbors(u)) {
+    for (const auto& nb : graph.neighbors(u, cursor)) {
       if (partition[nb.target] == cu) internal[cu] += nb.weight;
     }
   }
@@ -95,6 +96,10 @@ double modularity(const graph::Csr& graph, const Partition& partition) {
     q += in_c / two_w - (tot / two_w) * (tot / two_w);
   }
   return q;
+}
+
+double modularity(const graph::Csr& graph, const Partition& partition) {
+  return modularity(graph::GraphView(graph), partition);
 }
 
 }  // namespace dinfomap::quality

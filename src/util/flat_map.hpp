@@ -59,6 +59,22 @@ class FlatMap {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
+  /// Growth rehashes so far: times a non-empty table re-inserted all its
+  /// entries into a larger slot array (feeds the `flatmap.rehashes` metric).
+  /// clear() keeps the count — it tracks lifetime rehash work.
+  [[nodiscard]] std::uint64_t rehashes() const { return rehashes_; }
+
+  /// Set the maximum load factor to `num/den` (entries ≤ capacity·num/den).
+  /// Lower = fewer probe collisions, more memory; higher = denser tables,
+  /// longer probes. Affects only future growth decisions — the slot layout
+  /// is untouched, so a map that never calls this behaves bit-for-bit like
+  /// the built-in 7/8 default. Degenerate fractions (0, ≥ 1) are ignored.
+  void set_max_load(std::size_t num, std::size_t den) {
+    if (num == 0 || den == 0 || num >= den) return;
+    max_load_num_ = num;
+    max_load_den_ = den;
+  }
+
   /// Drop all entries; keeps the slot array (O(capacity), no deallocation).
   void clear() {
     for (Slot& s : slots_) s.used = false;
@@ -67,7 +83,7 @@ class FlatMap {
 
   void reserve(std::size_t expected) {
     std::size_t cap = kMinCapacity;
-    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    while (cap * max_load_num_ < expected * max_load_den_) cap <<= 1;
     if (cap > slots_.size()) rehash(cap);
   }
 
@@ -137,10 +153,6 @@ class FlatMap {
 
  private:
   static constexpr std::size_t kMinCapacity = 16;
-  // Entries fill at most 7/8 of the slots; linear probing degrades sharply
-  // past that.
-  static constexpr std::size_t kMaxLoadNum = 7;
-  static constexpr std::size_t kMaxLoadDen = 8;
 
   /// Slot holding `key`, or the empty slot where it would be inserted.
   /// Null only when the table has no storage yet.
@@ -155,12 +167,13 @@ class FlatMap {
   void grow_if_needed() {
     if (slots_.empty()) {
       rehash(kMinCapacity);
-    } else if ((size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+    } else if ((size_ + 1) * max_load_den_ > slots_.size() * max_load_num_) {
       rehash(slots_.size() * 2);
     }
   }
 
   void rehash(std::size_t new_cap) {
+    if (size_ > 0) ++rehashes_;
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_cap, Slot{});
     shift_ = 64;
@@ -179,6 +192,11 @@ class FlatMap {
   std::vector<Slot> slots_;
   std::size_t size_ = 0;
   int shift_ = 64;  ///< top-bits shift for the current capacity
+  // Entries fill at most num/den of the slots (default 7/8; linear probing
+  // degrades sharply past that). Adjustable per table via set_max_load.
+  std::size_t max_load_num_ = 7;
+  std::size_t max_load_den_ = 8;
+  std::uint64_t rehashes_ = 0;
 };
 
 }  // namespace dinfomap::util

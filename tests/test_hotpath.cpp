@@ -208,6 +208,46 @@ TEST(FlatMap, AgreesWithUnorderedMapUnderRandomWorkload) {
   for (const auto& [k, v] : ref) EXPECT_DOUBLE_EQ(m.find(k)->second, v);
 }
 
+TEST(FlatMap, RehashCounterTracksGrowthOnly) {
+  du::FlatMap<std::uint64_t, int> m;
+  EXPECT_EQ(m.rehashes(), 0u);
+  m.reserve(1000);  // allocation of an empty table is not a rehash
+  EXPECT_EQ(m.rehashes(), 0u);
+  for (std::uint64_t k = 0; k < 1000; ++k) m[k] = 1;
+  EXPECT_EQ(m.rehashes(), 0u) << "reserve should have pre-sized the table";
+  for (std::uint64_t k = 1000; k < 20'000; ++k) m[k] = 1;
+  EXPECT_GT(m.rehashes(), 0u);
+}
+
+TEST(FlatMap, ConfigurableLoadFactorIsHonored) {
+  // A denser table (95%) grows later than the default 7/8; a sparser one
+  // (50%) grows earlier. Contents are unaffected either way.
+  du::FlatMap<std::uint64_t, int> dense;
+  dense.set_max_load(95, 100);
+  du::FlatMap<std::uint64_t, int> sparse;
+  sparse.set_max_load(1, 2);
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    dense[k * 31 + 7] = static_cast<int>(k);
+    sparse[k * 31 + 7] = static_cast<int>(k);
+  }
+  EXPECT_GE(dense.capacity() * 95, dense.size() * 100);
+  EXPECT_GE(sparse.capacity(), sparse.size() * 2);
+  EXPECT_LT(dense.capacity(), sparse.capacity());
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(dense.find(k * 31 + 7), dense.end());
+    EXPECT_EQ(dense.find(k * 31 + 7)->second, static_cast<int>(k));
+    ASSERT_NE(sparse.find(k * 31 + 7), sparse.end());
+    EXPECT_EQ(sparse.find(k * 31 + 7)->second, static_cast<int>(k));
+  }
+  // Degenerate ratios are ignored, not applied.
+  du::FlatMap<std::uint64_t, int> bad;
+  bad.set_max_load(0, 10);
+  bad.set_max_load(10, 10);
+  bad.set_max_load(12, 10);
+  for (std::uint64_t k = 0; k < 100; ++k) bad[k] = 1;
+  EXPECT_GE(bad.capacity() * 7, bad.size() * 8);  // still the 7/8 default
+}
+
 // --- PlogpMemo --------------------------------------------------------------
 
 TEST(PlogpMemo, BitIdenticalToPlainPlogp) {
