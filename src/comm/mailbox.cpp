@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/sched_point.hpp"
+
 namespace dinfomap::comm {
 
 namespace {
@@ -11,6 +13,7 @@ bool matches(const Message& m, int source, int tag) {
 }  // namespace
 
 void Mailbox::deliver(Message message) {
+  DI_SCHED_REGION("mailbox.deliver", this);
   {
     util::MutexLock lock(mutex_);
     if (poisoned_) throw CommAborted("deliver to poisoned mailbox");
@@ -18,10 +21,21 @@ void Mailbox::deliver(Message message) {
     ++delivered_;
     if (queue_.size() > depth_high_water_) depth_high_water_ = queue_.size();
   }
+#if defined(DINFOMAP_DCHECK)
+  if (util::dcheck::mutation_enabled("mailbox.notify-one")) {
+    // Seeded mutation for the dcheck harness: notify_one can hand the wakeup
+    // to a receiver whose (source, tag) does not match the delivered message
+    // — it re-waits, the matching receiver is never woken, and the channel
+    // deadlocks. notify_all below is what makes the real code safe.
+    cv_.notify_one();
+    return;
+  }
+#endif
   cv_.notify_all();
 }
 
 Message Mailbox::recv(int source, int tag) {
+  DI_SCHED_REGION("mailbox.recv", this);
   util::MutexLock lock(mutex_);
   for (;;) {
     if (poisoned_) throw CommAborted("recv aborted: runtime shut down");
@@ -39,6 +53,7 @@ Message Mailbox::recv(int source, int tag) {
 std::optional<Message> Mailbox::try_recv_for(int source, int tag,
                                              std::chrono::microseconds timeout,
                                              bool by_min_seq) {
+  DI_SCHED_REGION("mailbox.try_recv_for", this);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   util::MutexLock lock(mutex_);
   for (;;) {

@@ -3,7 +3,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -59,7 +58,7 @@ class Mailbox {
 
  private:
   util::Mutex mutex_;
-  std::condition_variable cv_;
+  util::CondVar cv_;
   std::deque<Message> queue_ DI_GUARDED_BY(mutex_);
   bool poisoned_ DI_GUARDED_BY(mutex_) = false;
   std::size_t depth_high_water_ DI_GUARDED_BY(mutex_) = 0;

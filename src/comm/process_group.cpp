@@ -126,6 +126,8 @@ ProcessGroup::Result ProcessGroup::launch(const Spec& spec) {
       killed_stragglers = true;
     }
     if (!reaped_one)
+      // dlint:allow(sleep-sync): reaper polls waitpid(WNOHANG) over forked
+      // workers; there is no fd or cv that signals child exit here
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 

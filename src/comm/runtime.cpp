@@ -36,6 +36,7 @@ void Runtime::maybe_delay() {
   const std::uint64_t z = splitmix64(chaos_state_.fetch_add(
       0x9E3779B97F4A7C15ULL, std::memory_order_relaxed));
   const auto delay = chaos_delay_us(z, options_.chaos_max_delay_us);
+  // dlint:allow(sleep-sync): chaos fault injection — the delay IS the feature
   if (delay > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay));
 }
 
@@ -68,6 +69,7 @@ void Runtime::set_waiting(int rank, bool waiting) {
 void Runtime::stall_forever(int rank) {
   LOG_WARN << "fault plan: rank " << rank << " stalling mid-send";
   while (!aborted())
+    // dlint:allow(sleep-sync): fault-plan stall — wasting time is the point
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   throw CommAborted("stalled rank released by abort");
 }
@@ -307,6 +309,8 @@ Runtime::JobReport Runtime::run(int nranks, const RankFn& fn,
       std::vector<clock::time_point> since(static_cast<std::size_t>(nranks),
                                            clock::now());
       while (!job_joined.load(std::memory_order_acquire)) {
+        // dlint:allow(sleep-sync): straggler watchdog polls rank progress
+        // counters at a fixed cadence; there is no event to wait on
         std::this_thread::sleep_for(poll);
         if (runtime.aborted()) return;  // a real failure already pulled the cord
         const auto now = clock::now();

@@ -185,6 +185,8 @@ void SocketTransport::connect_mesh(unsigned connect_timeout_ms) {
                             " within " + std::to_string(connect_timeout_ms) +
                             " ms — worker never came up",
                         s, /*tag=*/-1, CommFault::Kind::kPeerExited);
+      // dlint:allow(sleep-sync): connect retry backoff against a peer that
+      // has not bound its socket yet; nothing to wait on until it exists
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     WireHeader hello;
@@ -259,6 +261,7 @@ void SocketTransport::stall(int dest) {
   }
   LOG_WARN << "fault plan: rank " << rank_ << " stalling mid-send";
   while (!shutdown_.load(std::memory_order_acquire))
+    // dlint:allow(sleep-sync): fault-plan stall — the hang is the scenario
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   throw CommAborted("stalled rank released by shutdown");
 }
@@ -679,6 +682,8 @@ void SocketTransport::shutdown_and_join(bool linger) {
         }
       }
       if (all_done || std::chrono::steady_clock::now() >= deadline) break;
+      // dlint:allow(sleep-sync): shutdown drain polls per-peer EOF flags
+      // under a deadline; the reader threads own the fds we would select on
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }

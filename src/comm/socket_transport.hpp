@@ -35,7 +35,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -205,7 +204,7 @@ class SocketTransport final : public Transport {
   /// single-threaded per rank, so one slot suffices). Readers post verdicts
   /// and EOF wake-ups here.
   util::Mutex rpc_mutex_;
-  std::condition_variable rpc_cv_;
+  util::CondVar rpc_cv_;
   bool rpc_have_reply_ DI_GUARDED_BY(rpc_mutex_) = false;
   std::uint64_t rpc_reply_ DI_GUARDED_BY(rpc_mutex_) = 0;
 

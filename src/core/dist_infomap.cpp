@@ -990,39 +990,6 @@ DistRank::RoundResult DistRank::round(bool with_delegates,
 // Async priority-worklist engine (DESIGN.md §12)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Worklist sentinel: priorities are non-negative (gains and flows), so any
-/// negative value marks "not queued".
-constexpr double kNotQueued = -1.0;
-
-/// Max-heap order with a deterministic tie-break: higher priority first,
-/// smaller local index on equal priority. (Generic lambda: the item type is
-/// private to DistRank and deduced at the call sites.)
-constexpr auto worklist_less = [](const auto& a, const auto& b) {
-  return a.prio < b.prio || (a.prio == b.prio && a.li > b.li);
-};
-
-}  // namespace
-
-void DistRank::worklist_activate(std::uint32_t li, double prio) {
-  double& q = queued_prio_[li];
-  if (q == kNotQueued) {
-    q = prio;
-    heap_.push_back({prio, li});
-    std::push_heap(heap_.begin(), heap_.end(), worklist_less);
-    ++wl_pushed_;
-    ++wl_live_;
-  } else if (prio > q) {
-    // Lazy deletion: leave the old entry in the heap (discarded at pop when
-    // its priority no longer matches) and push the raised one.
-    q = prio;
-    heap_.push_back({prio, li});
-    std::push_heap(heap_.begin(), heap_.end(), worklist_less);
-    ++wl_requeued_;
-  }
-}
-
 std::uint64_t DistRank::async_reconcile(bool with_delegates,
                                         std::uint64_t local_moves_since) {
   // Hub consensus first (stage 1 only): hubs are deliberately kept off the
@@ -1056,7 +1023,7 @@ std::uint64_t DistRank::async_reconcile(bool with_delegates,
   // can no longer be proven current.
   for (std::uint32_t li : movable_) {
     if (verts_[li].kind == Kind::kDelegate) continue;
-    if (!can_prune(li)) worklist_activate(li, verts_[li].out_flow);
+    if (!can_prune(li)) worklist_.activate(li, verts_[li].out_flow);
   }
   return global_moves;
 }
@@ -1081,10 +1048,7 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
   // Seed every movable non-hub; boundary vertices get a flat bonus on top of
   // their out-flow so the first drains work the rank frontier, where cross-
   // rank conflicts are resolved earliest.
-  heap_.clear();
-  queued_prio_.assign(verts_.size(), kNotQueued);
-  wl_pushed_ = wl_popped_ = wl_requeued_ = wl_stale_ = 0;
-  wl_live_ = 0;
+  worklist_.reset(verts_.size());
   std::uint64_t n_movable = 0;
   for (std::uint32_t li : movable_) {
     if (verts_[li].kind == Kind::kDelegate) continue;
@@ -1096,7 +1060,7 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
         break;
       }
     }
-    worklist_activate(li, verts_[li].out_flow + (boundary ? 1.0 : 0.0));
+    worklist_.activate(li, verts_[li].out_flow + (boundary ? 1.0 : 0.0));
   }
 
   // Per-epoch drain budget: enough to retire the whole seed in a handful of
@@ -1134,40 +1098,30 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
     {
       PhaseScope scope(*this, Phase::kFindBestModule);
       std::uint64_t drained = 0;
-      while (drained < budget && !heap_.empty()) {
-        const WorklistItem top = heap_.front();
-        std::pop_heap(heap_.begin(), heap_.end(), worklist_less);
-        heap_.pop_back();
-        if (queued_prio_[top.li] != top.prio) {
-          ++wl_stale_;  // lazy-deleted duplicate
-          continue;
-        }
-        queued_prio_[top.li] = kNotQueued;
-        ++wl_popped_;
-        --wl_live_;
+      std::uint32_t li = 0;
+      while (drained < budget && worklist_.try_pop(li)) {
         ++drained;
         BestMove mv;
-        if (!best_move_for(top.li, mv)) continue;
-        const ModuleId old_mod = verts_[top.li].module;
-        apply_local_move(top.li, mv);
+        if (!best_move_for(li, mv)) continue;
+        const ModuleId old_mod = verts_[li].module;
+        apply_local_move(li, mv);
         ++epoch_local_moves;
-        if (!dirty_flag_[top.li]) {
-          dirty_flag_[top.li] = 1;
-          dirty_owned_.push_back(top.li);
+        if (!dirty_flag_[li]) {
+          dirty_flag_[li] = 1;
+          dirty_owned_.push_back(li);
         }
         const double gain = -mv.delta_l;
-        for (std::uint32_t a = arc_off_[top.li]; a < arc_off_[top.li + 1];
-             ++a) {
+        for (std::uint32_t a = arc_off_[li]; a < arc_off_[li + 1]; ++a) {
           const std::uint32_t t = arcs_[a].target;
-          if (verts_[t].kind == Kind::kOwned) worklist_activate(t, gain);
+          if (verts_[t].kind == Kind::kOwned) worklist_.activate(t, gain);
         }
         ModuleDeltaRecord rec;
-        rec.vertex = verts_[top.li].global;
+        rec.vertex = verts_[li].global;
         rec.old_module = old_mod;
         rec.new_module = mv.target;
-        rec.node_flow = verts_[top.li].node_flow;
+        rec.node_flow = verts_[li].node_flow;
         rec.gain = gain;
-        if (auto sub = subscribers_.find(top.li); sub != subscribers_.end())
+        if (auto sub = subscribers_.find(li); sub != subscribers_.end())
           for (int dest : sub->second)
             delta_out[static_cast<std::size_t>(dest)].push_back(rec);
       }
@@ -1184,7 +1138,7 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
       PhaseScope scope(*this, Phase::kSwapBoundaryInfo);
       EpochStatus st;
       st.moves = epoch_local_moves;
-      st.queued = wl_live_;
+      st.queued = worklist_.live();
       std::vector<std::vector<EpochStatus>> status_out(p);
       for (int d = 0; d < p; ++d) status_out[static_cast<std::size_t>(d)].push_back(st);
       auto [deltas_in, status_in] = comm_.alltoallv_packed(delta_out, status_out);
@@ -1232,7 +1186,7 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
           stamp_stats(rec.new_module, t);
           ++wk(Phase::kSwapBoundaryInfo).module_updates;
           for (std::uint32_t reader : ghost_readers_[g])
-            worklist_activate(reader, rec.gain);
+            worklist_.activate(reader, rec.gain);
         }
       }
     }
@@ -1267,26 +1221,28 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
       sample.moves = reconciled ? recon_moves : epoch_global_moves;
       sample.rank_work = wk(Phase::kFindBestModule).arcs_scanned - arcs0;
       sample.skipped_unsynced = skipped_unsynced_round_;
-      sample.worklist_pushed = wl_pushed_;
-      sample.worklist_popped = wl_popped_;
-      sample.worklist_requeued = wl_requeued_;
-      sample.worklist_stale = wl_stale_;
+      const auto& wl = worklist_.counters();
+      sample.worklist_pushed = wl.pushed;
+      sample.worklist_popped = wl.popped;
+      sample.worklist_requeued = wl.requeued;
+      sample.worklist_stale = wl.stale;
       recorder_->record_round(comm_.rank(), sample);
       if (trace_buf_ != nullptr) {
         trace_buf_->counter("codelength", codelength_);
-        trace_buf_->counter("worklist_live", static_cast<double>(wl_live_));
+        trace_buf_->counter("worklist_live",
+                            static_cast<double>(worklist_.live()));
       }
       if (metrics_ != nullptr) {
-        metrics_->counter("worklist.pushed").inc(wl_pushed_);
-        metrics_->counter("worklist.popped").inc(wl_popped_);
-        metrics_->counter("worklist.requeued").inc(wl_requeued_);
-        metrics_->counter("worklist.stale").inc(wl_stale_);
+        metrics_->counter("worklist.pushed").inc(wl.pushed);
+        metrics_->counter("worklist.popped").inc(wl.popped);
+        metrics_->counter("worklist.requeued").inc(wl.requeued);
+        metrics_->counter("worklist.stale").inc(wl.stale);
         metrics_->counter("moves.skipped_unsynced").inc(skipped_unsynced_round_);
       }
     }
     skipped_unsynced_total_ += skipped_unsynced_round_;
     skipped_unsynced_round_ = 0;
-    wl_pushed_ = wl_popped_ = wl_requeued_ = wl_stale_ = 0;
+    worklist_.reset_counters();
     ++round_index_;
 
     if (reconciled) {
@@ -1302,7 +1258,8 @@ std::uint64_t DistRank::async_level(bool with_delegates, int& recons_out) {
       // stale estimates with exact statistics, and vertices it reactivates
       // must get one drain on that exact state before the level may close.
       if (quiet && recon_moves == 0 &&
-          comm_.allreduce<std::uint64_t>(wl_live_, comm::ReduceOp::kSum) == 0)
+          comm_.allreduce<std::uint64_t>(worklist_.live(),
+                                         comm::ReduceOp::kSum) == 0)
         break;
       // Break on the first regressing reconciliation, like the synchronous
       // loop breaks on a regressing round — running further mostly deepens

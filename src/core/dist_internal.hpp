@@ -18,6 +18,7 @@
 #include "util/sparse_accumulator.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/worklist.hpp"
 
 #include <memory>
 
@@ -186,7 +187,6 @@ class DistRank {
   std::uint64_t async_level(bool with_delegates, int& recons_out);
   /// Push/raise `li` on the worklist with priority `prio` (lazy deletion:
   /// stale entries are discarded at pop time).
-  void worklist_activate(std::uint32_t li, double prio);
   /// Reconciliation: hub consensus (stage 1), whole-module swap, exact L;
   /// then a stamp-driven sweep reactivates every vertex can_prune cannot
   /// clear. Returns the epoch's global move count (allreduced).
@@ -382,20 +382,14 @@ class DistRank {
   std::uint64_t pruned_round_ = 0;  ///< active-set skips this round
 
   // ---- async worklist state (cfg_.async) ----------------------------------
-  struct WorklistItem {
-    double prio = 0;
-    std::uint32_t li = 0;
-  };
-  std::vector<WorklistItem> heap_;       ///< max-heap: (prio, smaller li) wins
-  std::vector<double> queued_prio_;      ///< per vertex; negative = not queued
+  /// Lazy-deletion priority queue over local vertex indices (extracted to
+  /// util so the dcheck harness drives the same implementation).
+  util::LazyPriorityWorklist worklist_;
   std::vector<std::uint8_t> dirty_flag_; ///< async dedup for dirty_owned_
-  std::uint64_t wl_live_ = 0;            ///< live (non-stale) queued entries
   /// Per local *non-owned* vertex: owned local readers (reverse adjacency),
   /// built per level in async mode so an incoming delta for a ghost/hub can
   /// reactivate exactly the local vertices that read it.
   std::vector<std::vector<std::uint32_t>> ghost_readers_;
-  std::uint64_t wl_pushed_ = 0, wl_popped_ = 0, wl_requeued_ = 0,
-                wl_stale_ = 0;  ///< per-epoch worklist traffic
 
   double q_total_ = 0;
   double codelength_ = 0;

@@ -221,11 +221,9 @@ void DistRank::init_singleton_modules() {
     stat_stamp_.clear();
     last_eval_.clear();
     prev_modules_.clear();
-    heap_.clear();
-    queued_prio_.clear();
+    worklist_.reset(0);
     dirty_flag_.clear();
     ghost_readers_.clear();
-    wl_live_ = 0;
   }
   for (auto& lv : verts_) {
     lv.module = lv.global;

@@ -9,6 +9,7 @@
 #include "core/coarsen.hpp"
 #include "core/flowgraph.hpp"
 #include "core/mapequation.hpp"
+#include "core/relaxmap_sync.hpp"
 #include "core/seq_infomap.hpp"
 #include "util/annotations.hpp"
 #include "util/check.hpp"
@@ -23,49 +24,8 @@ using graph::VertexId;
 
 namespace {
 
-/// Test-and-set spinlock; one per module. Move application locks the two
-/// affected modules in id order (no deadlock) while decisions run lock-free
-/// on possibly stale values — the RelaxMap consistency model.
-class DI_CAPABILITY("spinlock") SpinLock {
- public:
-  void lock() DI_ACQUIRE() {
-    // dlint:allow(raw-mutex-lock): the capability's own implementation
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-      while (flag_.test(std::memory_order_relaxed)) {
-      }
-    }
-  }
-  void unlock() DI_RELEASE() { flag_.clear(std::memory_order_release); }
-
- private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
-};
-
-/// Scoped id-order lock over the one or two modules a move touches. The
-/// specific locks are picked at runtime (min/max of two ids), which is past
-/// what the static analysis can name, so the guard itself is the scoped
-/// capability: construction acquires lo then hi, destruction releases in
-/// reverse — exception-safe where the old manual lock()/unlock() pairs were
-/// not.
-class DI_SCOPED_CAPABILITY ModulePairGuard {
- public:
-  ModulePairGuard(SpinLock& lo, SpinLock* hi) DI_ACQUIRE() : lo_(lo), hi_(hi) {
-    // dlint:allow(raw-mutex-lock): scoped-guard implementation
-    lo_.lock();
-    if (hi_ != nullptr) hi_->lock();  // dlint:allow(raw-mutex-lock): guard impl
-  }
-  ~ModulePairGuard() DI_RELEASE() {
-    // dlint:allow(raw-mutex-lock): scoped-guard implementation
-    if (hi_ != nullptr) hi_->unlock();
-    lo_.unlock();  // dlint:allow(raw-mutex-lock): guard impl
-  }
-  ModulePairGuard(const ModulePairGuard&) = delete;
-  ModulePairGuard& operator=(const ModulePairGuard&) = delete;
-
- private:
-  SpinLock& lo_;
-  SpinLock* hi_;
-};
+// SpinLock and ModulePairGuard live in core/relaxmap_sync.hpp so the dcheck
+// pair-ordering harness exercises the same implementation.
 
 // Module state (module_of, modules, q_total_snapshot) is deliberately *not*
 // DI_GUARDED_BY the per-module spinlocks: RelaxMap's published consistency

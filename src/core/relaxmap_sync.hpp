@@ -1,0 +1,83 @@
+// RelaxMap's move-application synchronization, extracted from relaxmap.cpp
+// so the dcheck model checker can drive the real guard in its pair-ordering
+// harness (DESIGN.md §16). Everything here is header-only and private to the
+// RelaxMap engine; nothing else in the repo should take these locks.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/annotations.hpp"
+#include "util/sched_point.hpp"
+
+namespace dinfomap::core {
+
+/// Test-and-set spinlock; one per module. Move application locks the two
+/// affected modules in id order (no deadlock) while decisions run lock-free
+/// on possibly stale values — the RelaxMap consistency model.
+///
+/// Under DINFOMAP_DCHECK the acquire is routed through the scheduler hooks
+/// instead of spinning: in a serialized exploration the holder is not
+/// running, so a real spin would never terminate. The hooks also give the
+/// checker the happens-before edges and the lock-order events it needs.
+class DI_CAPABILITY("spinlock") SpinLock {
+ public:
+  void lock() DI_ACQUIRE() {
+#if defined(DINFOMAP_DCHECK)
+    if (util::dcheck::modeled()) {
+      util::dcheck::hooks()->mutex_lock(this, "core::SpinLock");
+      return;
+    }
+#endif
+    // dlint:allow(raw-mutex-lock): the capability's own implementation
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() DI_RELEASE() {
+#if defined(DINFOMAP_DCHECK)
+    if (util::dcheck::modeled()) {
+      util::dcheck::hooks()->mutex_unlock(this);
+      return;
+    }
+#endif
+    flag_.clear(std::memory_order_release);
+  }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Scoped id-order lock over the one or two modules a move touches. The
+/// specific locks are picked at runtime (min/max of two ids), which is past
+/// what the static analysis can name, so the guard itself is the scoped
+/// capability: construction acquires lo then hi, destruction releases in
+/// reverse — exception-safe where the old manual lock()/unlock() pairs were
+/// not.
+///
+/// dlint:ordered-pair(SpinLock): both acquisitions happen inside this guard
+/// and callers must pass (min, max) by id, so the SpinLock→SpinLock
+/// self-edge in the global lock-order graph is sanctioned here — it is the
+/// one place a second same-rank lock may be taken while the first is held.
+class DI_SCOPED_CAPABILITY ModulePairGuard {
+ public:
+  ModulePairGuard(SpinLock& lo, SpinLock* hi) DI_ACQUIRE() : lo_(lo), hi_(hi) {
+    // dlint:allow(raw-mutex-lock): scoped-guard implementation
+    lo_.lock();
+    if (hi_ != nullptr) hi_->lock();  // dlint:allow(raw-mutex-lock): guard impl
+  }
+  ~ModulePairGuard() DI_RELEASE() {
+    // dlint:allow(raw-mutex-lock): scoped-guard implementation
+    if (hi_ != nullptr) hi_->unlock();
+    lo_.unlock();  // dlint:allow(raw-mutex-lock): guard impl
+  }
+  ModulePairGuard(const ModulePairGuard&) = delete;
+  ModulePairGuard& operator=(const ModulePairGuard&) = delete;
+
+ private:
+  SpinLock& lo_;
+  SpinLock* hi_;
+};
+
+}  // namespace dinfomap::core

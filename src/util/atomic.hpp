@@ -1,0 +1,53 @@
+// util::Atomic<T> — std::atomic with a dcheck scheduling point on every
+// access (DESIGN.md §16).
+//
+// The handful of raw atomics in the concurrency substrate (ThreadPool's
+// dispatch counter and nested-use guard, the worklist's shared counters in
+// harnesses) go through this wrapper so the model checker can interleave
+// around them and feed them to its race detector as synchronizing accesses.
+// In a normal build every method inlines to the std::atomic call — the hook
+// macro expands to nothing.
+#pragma once
+
+#include <atomic>
+
+#include "util/sched_point.hpp"
+
+namespace dinfomap::util {
+
+template <typename T>
+class Atomic {
+ public:
+  constexpr Atomic() = default;
+  constexpr Atomic(T v) : v_(v) {}  // NOLINT(*-explicit-constructor)
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    DI_SCHED_ATOMIC(this, false, "Atomic.load");
+    return v_.load(mo);
+  }
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    DI_SCHED_ATOMIC(this, true, "Atomic.store");
+    v_.store(v, mo);
+  }
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    DI_SCHED_ATOMIC(this, true, "Atomic.exchange");
+    return v_.exchange(v, mo);
+  }
+  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    DI_SCHED_ATOMIC(this, true, "Atomic.fetch_add");
+    return v_.fetch_add(v, mo);
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) {
+    DI_SCHED_ATOMIC(this, true, "Atomic.cas");
+    return v_.compare_exchange_strong(expected, desired, mo);
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+}  // namespace dinfomap::util

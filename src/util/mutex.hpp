@@ -1,4 +1,4 @@
-// Annotated mutex + scoped lock (DESIGN.md §11).
+// Annotated mutex + scoped lock + condition variable (DESIGN.md §11, §16).
 //
 // libstdc++'s std::mutex carries no thread-safety attributes, so clang's
 // -Wthread-safety cannot see std::lock_guard acquire it. These thin wrappers
@@ -7,7 +7,15 @@
 // condition-variable waits go through the guard so the "lock is reacquired
 // before the predicate runs" contract stays visible to the analysis.
 //
-// Zero overhead: both types compile down to std::mutex / std::unique_lock.
+// The same wrappers are the dcheck model checker's interception surface
+// (util/sched_point.hpp): under -DDINFOMAP_DCHECK=ON a thread participating
+// in an exploration parks at every lock/wait/notify instead of touching the
+// raw primitive, which is what lets tools/dcheck enumerate interleavings
+// exhaustively. util::CondVar exists (rather than a bare
+// std::condition_variable) so notify calls are interceptable too.
+//
+// Zero overhead in a normal build: all three types compile down to
+// std::mutex / std::unique_lock / std::condition_variable.
 #pragma once
 
 #include <chrono>
@@ -15,6 +23,7 @@
 #include <mutex>
 
 #include "util/annotations.hpp"
+#include "util/sched_point.hpp"
 
 namespace dinfomap::util {
 
@@ -27,9 +36,21 @@ class DI_CAPABILITY("mutex") Mutex {
   // The wrapper bodies are the one sanctioned place that calls the raw
   // std::mutex members; every other call site must use a scoped guard.
   void lock() DI_ACQUIRE() {
+#if defined(DINFOMAP_DCHECK)
+    if (dcheck::modeled()) {
+      dcheck::hooks()->mutex_lock(this, "util::Mutex");
+      return;
+    }
+#endif
     m_.lock();  // dlint:allow(raw-mutex-lock): annotated wrapper implementation
   }
   void unlock() DI_RELEASE() {
+#if defined(DINFOMAP_DCHECK)
+    if (dcheck::modeled()) {
+      dcheck::hooks()->mutex_unlock(this);
+      return;
+    }
+#endif
     m_.unlock();  // dlint:allow(raw-mutex-lock): annotated wrapper implementation
   }
 
@@ -38,36 +59,110 @@ class DI_CAPABILITY("mutex") Mutex {
   std::mutex m_;
 };
 
+/// Condition variable paired with util::Mutex through MutexLock's wait
+/// shims. Notifies are forwarded to the model checker when the calling
+/// thread is under exploration — with notify_one, *which* waiter wakes is an
+/// explored scheduling decision, so lost-wakeup bugs are found, not sampled.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() {
+#if defined(DINFOMAP_DCHECK)
+    if (dcheck::modeled()) {
+      dcheck::hooks()->cv_notify(this, /*all=*/false);
+      return;
+    }
+#endif
+    cv_.notify_one();
+  }
+  void notify_all() {
+#if defined(DINFOMAP_DCHECK)
+    if (dcheck::modeled()) {
+      dcheck::hooks()->cv_notify(this, /*all=*/true);
+      return;
+    }
+#endif
+    cv_.notify_all();
+  }
+
+ private:
+  friend class MutexLock;
+  std::condition_variable cv_;
+};
+
 /// RAII guard over util::Mutex — the project's std::lock_guard. Also the
 /// condition-variable shim: cv waits need the underlying std::unique_lock,
 /// and routing them through the guard keeps the capability provably held
 /// across the wait from the analysis's point of view.
 class DI_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mutex) DI_ACQUIRE(mutex) : lock_(mutex.m_) {}
-  ~MutexLock() DI_RELEASE() {}
+  explicit MutexLock(Mutex& mutex) DI_ACQUIRE(mutex) {
+#if defined(DINFOMAP_DCHECK)
+    mutex_ = &mutex;
+    if (dcheck::modeled()) {
+      modeled_ = true;
+      dcheck::hooks()->mutex_lock(&mutex, "util::Mutex");
+      return;
+    }
+#endif
+    lock_ = std::unique_lock<std::mutex>(mutex.m_);
+  }
+  ~MutexLock() DI_RELEASE() {
+#if defined(DINFOMAP_DCHECK)
+    if (modeled_) dcheck::hooks()->mutex_unlock(mutex_);
+#endif
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
   /// Block on `cv`; the mutex is released during the wait and reacquired
   /// before return (and before any predicate runs).
-  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+  void wait(CondVar& cv) {
+#if defined(DINFOMAP_DCHECK)
+    if (modeled_) {
+      dcheck::hooks()->cv_wait(&cv, mutex_);
+      return;
+    }
+#endif
+    cv.cv_.wait(lock_);
+  }
 
   template <typename Predicate>
-  void wait(std::condition_variable& cv, Predicate predicate) {
-    cv.wait(lock_, std::move(predicate));
+  void wait(CondVar& cv, Predicate predicate) {
+#if defined(DINFOMAP_DCHECK)
+    if (modeled_) {
+      while (!predicate()) dcheck::hooks()->cv_wait(&cv, mutex_);
+      return;
+    }
+#endif
+    cv.cv_.wait(lock_, std::move(predicate));
   }
 
   template <typename Clock, typename Duration>
   std::cv_status wait_until(
-      std::condition_variable& cv,
-      const std::chrono::time_point<Clock, Duration>& deadline) {
-    return cv.wait_until(lock_, deadline);
+      CondVar& cv, const std::chrono::time_point<Clock, Duration>& deadline) {
+#if defined(DINFOMAP_DCHECK)
+    if (modeled_) {
+      // Virtual time: the deadline's magnitude is irrelevant — the checker
+      // explores both the notify and the timeout transition.
+      return dcheck::hooks()->cv_wait_timed(&cv, mutex_)
+                 ? std::cv_status::no_timeout
+                 : std::cv_status::timeout;
+    }
+#endif
+    return cv.cv_.wait_until(lock_, deadline);
   }
 
  private:
   std::unique_lock<std::mutex> lock_;
+#if defined(DINFOMAP_DCHECK)
+  Mutex* mutex_ = nullptr;
+  bool modeled_ = false;
+#endif
 };
 
 }  // namespace dinfomap::util

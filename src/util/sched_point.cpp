@@ -1,0 +1,31 @@
+#include "util/sched_point.hpp"
+
+#if defined(DINFOMAP_DCHECK)
+
+#include <cstring>
+#include <string>
+
+namespace dinfomap::util::dcheck {
+
+namespace {
+SchedHooks* g_hooks = nullptr;
+thread_local bool t_model_thread = false;
+// Written only between explorations (single-threaded setup in tools/dcheck),
+// read by model threads while serialized under the scheduler's token.
+std::string g_mutation;
+}  // namespace
+
+SchedHooks* hooks() { return g_hooks; }
+void install_hooks(SchedHooks* h) { g_hooks = h; }
+
+bool on_model_thread() { return t_model_thread; }
+void set_on_model_thread(bool v) { t_model_thread = v; }
+
+bool mutation_enabled(const char* name) {
+  return !g_mutation.empty() && g_mutation == name;
+}
+void set_mutation(const char* name) { g_mutation = name ? name : ""; }
+
+}  // namespace dinfomap::util::dcheck
+
+#endif  // DINFOMAP_DCHECK

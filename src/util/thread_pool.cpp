@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/sched_point.hpp"
 #include "util/timer.hpp"
 
 namespace dinfomap::util {
@@ -10,9 +11,16 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)),
       errors_(static_cast<std::size_t>(num_threads_)),
       slot_seconds_(static_cast<std::size_t>(num_threads_), 0.0) {
+#if defined(DINFOMAP_DCHECK)
+  dcheck_modeled_ = dcheck::modeled();
+#endif
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
-  for (int slot = 1; slot < num_threads_; ++slot)
+  for (int slot = 1; slot < num_threads_; ++slot) {
+#if defined(DINFOMAP_DCHECK)
+    if (dcheck_modeled_) dcheck::hooks()->thread_announced();
+#endif
     workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -21,10 +29,31 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   start_cv_.notify_all();
+#if defined(DINFOMAP_DCHECK)
+  // Workers need scheduler grants to observe stop_ and exit; hand them the
+  // token until they all finish, then the real joins return immediately.
+  if (dcheck_modeled_) dcheck::hooks()->join_all();
+#endif
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::run_inline(const std::function<void(int)>& fn) {
+#if defined(DINFOMAP_DCHECK)
+  if (dcheck::mutation_enabled("threadpool.nested-slot-seconds")) {
+    // Seeded mutation: the PR 6 race, re-introduced for the dcheck harness.
+    // A nested inline dispatch recorded per-slot times while the *outer*
+    // dispatch's workers still owned their slot_seconds_ entries — two
+    // unordered writes to the same element.
+    for (int slot = 0; slot < num_threads_; ++slot) {
+      Timer t;
+      fn(slot);
+      const auto s = static_cast<std::size_t>(slot);
+      DI_SCHED_STORE(&slot_seconds_[s], "ThreadPool.slot_seconds");
+      slot_seconds_[s] = t.seconds();
+    }
+    return;
+  }
+#endif
   // Nested dispatch only: the outer job's workers are still running and
   // still own their slot_seconds_ entries, so record no per-slot times here
   // — the nested work is timed as part of the enclosing slot's measurement.
@@ -63,6 +92,7 @@ void ThreadPool::run_slots(const std::function<void(int)>& fn) {
     } catch (...) {
       errors_[0] = std::current_exception();
     }
+    DI_SCHED_STORE(&slot_seconds_[0], "ThreadPool.slot_seconds");
     slot_seconds_[0] = t.seconds();
   }
 
@@ -79,6 +109,23 @@ void ThreadPool::run_slots(const std::function<void(int)>& fn) {
 }
 
 void ThreadPool::worker_loop(int slot) {
+#if defined(DINFOMAP_DCHECK)
+  if (dcheck_modeled_) {
+    dcheck::set_on_model_thread(true);
+    dcheck::hooks()->thread_started();
+    try {
+      worker_loop_body(slot);
+    } catch (const dcheck::Aborted&) {
+      // Exploration abort: unwind quietly; the scheduler is tearing down.
+    }
+    dcheck::hooks()->thread_finished();
+    return;
+  }
+#endif
+  worker_loop_body(slot);
+}
+
+void ThreadPool::worker_loop_body(int slot) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
@@ -97,6 +144,8 @@ void ThreadPool::worker_loop(int slot) {
     } catch (...) {
       errors_[static_cast<std::size_t>(slot)] = std::current_exception();
     }
+    DI_SCHED_STORE(&slot_seconds_[static_cast<std::size_t>(slot)],
+                   "ThreadPool.slot_seconds");
     slot_seconds_[static_cast<std::size_t>(slot)] = t.seconds();
     {
       MutexLock lock(mutex_);

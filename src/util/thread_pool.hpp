@@ -20,15 +20,15 @@
 // slots on the calling thread — same results, no deadlock.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
 
 #include "util/annotations.hpp"
+#include "util/atomic.hpp"
 #include "util/mutex.hpp"
 
 namespace dinfomap::util {
@@ -75,14 +75,15 @@ class ThreadPool {
 
  private:
   void worker_loop(int slot);
+  void worker_loop_body(int slot);
   void run_inline(const std::function<void(int)>& fn);
 
   int num_threads_;
   std::vector<std::thread> workers_;
 
   util::Mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
+  util::CondVar start_cv_;
+  util::CondVar done_cv_;
   const std::function<void(int)>* job_ DI_GUARDED_BY(mutex_) = nullptr;
   std::uint64_t generation_ DI_GUARDED_BY(mutex_) = 0;  ///< bumped per dispatch
   /// Workers still running the current job.
@@ -91,7 +92,7 @@ class ThreadPool {
 
   /// Nested-use guard: set while a dispatch is in flight so a slot that
   /// re-enters the pool runs inline instead of deadlocking on its own job.
-  std::atomic<bool> active_{false};
+  util::Atomic<bool> active_{false};
 
   /// Per-slot outputs, intentionally outside mutex_: each slot writes only
   /// its own element, and the dispatch handshake (generation bump →
@@ -101,7 +102,13 @@ class ThreadPool {
   std::vector<double> slot_seconds_;        ///< per slot, last dispatch
   /// Atomic because a nested dispatch increments it from inside a running
   /// slot, concurrently with nothing else *except* another nesting slot.
-  std::atomic<std::uint64_t> dispatches_{0};
+  util::Atomic<std::uint64_t> dispatches_{0};
+
+#if defined(DINFOMAP_DCHECK)
+  /// Pool created by a model thread: workers are adopted into the running
+  /// exploration and the dtor joins through the scheduler.
+  bool dcheck_modeled_ = false;
+#endif
 };
 
 }  // namespace dinfomap::util

@@ -1,0 +1,118 @@
+// Lazy-deletion max-priority worklist — the async engine's move queue
+// (DESIGN.md §12), extracted from DistRank so the dcheck model checker can
+// drive the real implementation in its push/requeue-vs-drain harness
+// (DESIGN.md §16).
+//
+// Deterministic by construction: the heap orders by (higher priority,
+// smaller index) and a raise re-pushes instead of re-heapifying, leaving a
+// stale entry to be discarded at pop time against the per-index
+// authoritative priority. The class is NOT thread-safe; concurrent callers
+// must hold their own lock. The DI_SCHED_* markers make every mutation a
+// tracked access under DINFOMAP_DCHECK, so an unguarded caller shows up as
+// a data race in the checker; in a normal build they compile to nothing.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/sched_point.hpp"
+
+namespace dinfomap::util {
+
+class LazyPriorityWorklist {
+ public:
+  struct Counters {
+    std::uint64_t pushed = 0;    ///< first-time activations
+    std::uint64_t popped = 0;    ///< live entries handed out
+    std::uint64_t requeued = 0;  ///< priority raises (lazy re-push)
+    std::uint64_t stale = 0;     ///< lazy-deleted duplicates discarded
+  };
+
+  /// Empty the worklist and size it for indices [0, n); zeroes the counters.
+  void reset(std::size_t n) {
+    DI_SCHED_STORE(this, "LazyPriorityWorklist.reset");
+    heap_.clear();
+    queued_prio_.assign(n, kNotQueued);
+    live_ = 0;
+    counters_ = {};
+  }
+
+  /// Push `li` with priority `prio`, or raise its priority if already queued
+  /// (lazy deletion: the old entry stays in the heap and is discarded at pop
+  /// when its priority no longer matches). Lower priorities are ignored.
+  void activate(std::uint32_t li, double prio) {
+    DI_SCHED_STORE(this, "LazyPriorityWorklist.activate");
+    double& q = queued_prio_[li];
+    if (q == kNotQueued) {
+      q = prio;
+      heap_.push_back({prio, li});
+      std::push_heap(heap_.begin(), heap_.end(), less);
+      ++counters_.pushed;
+      ++live_;
+    } else if (prio > q) {
+      q = prio;
+      heap_.push_back({prio, li});
+      std::push_heap(heap_.begin(), heap_.end(), less);
+      ++counters_.requeued;
+    }
+  }
+
+  /// Pop the highest-priority live entry into `li`; stale duplicates are
+  /// discarded (and counted) along the way. False when drained.
+  bool try_pop(std::uint32_t& li) {
+    DI_SCHED_STORE(this, "LazyPriorityWorklist.try_pop");
+    while (!heap_.empty()) {
+      const Item top = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end(), less);
+      heap_.pop_back();
+      if (queued_prio_[top.li] != top.prio) {
+        ++counters_.stale;  // lazy-deleted duplicate
+        continue;
+      }
+      queued_prio_[top.li] = kNotQueued;
+      ++counters_.popped;
+      --live_;
+      li = top.li;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when nothing (live or stale) is queued.
+  [[nodiscard]] bool empty() const {
+    DI_SCHED_LOAD(this, "LazyPriorityWorklist.empty");
+    return heap_.empty();
+  }
+  /// Live (non-stale) queued entries.
+  [[nodiscard]] std::uint64_t live() const {
+    DI_SCHED_LOAD(this, "LazyPriorityWorklist.live");
+    return live_;
+  }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Zero the traffic counters (kept across epochs, reset per sample).
+  void reset_counters() { counters_ = {}; }
+
+ private:
+  /// Priorities are non-negative (gains and flows), so any negative value
+  /// marks "not queued".
+  static constexpr double kNotQueued = -1.0;
+
+  struct Item {
+    double prio = 0;
+    std::uint32_t li = 0;
+  };
+  /// Max-heap order with a deterministic tie-break: higher priority first,
+  /// smaller index on equal priority.
+  static bool less(const Item& a, const Item& b) {
+    return a.prio < b.prio || (a.prio == b.prio && a.li > b.li);
+  }
+
+  std::vector<Item> heap_;
+  std::vector<double> queued_prio_;  ///< per index; negative = not queued
+  std::uint64_t live_ = 0;
+  Counters counters_;
+};
+
+}  // namespace dinfomap::util

@@ -54,6 +54,9 @@ TEST(Dlint, EveryRuleFiresOnItsFixture) {
   EXPECT_GE(count_rule(r.output, "raw-rng"), 1u) << r.output;
   EXPECT_GE(count_rule(r.output, "wall-clock"), 1u) << r.output;
   EXPECT_GE(count_rule(r.output, "raw-mutex-lock"), 1u) << r.output;
+  EXPECT_GE(count_rule(r.output, "sleep-sync"), 1u) << r.output;
+  EXPECT_GE(count_rule(r.output, "lock-order"), 1u) << r.output;
+  EXPECT_GE(count_rule(r.output, "unknown-rule"), 1u) << r.output;
 }
 
 TEST(Dlint, FindingsCarryFileAndLine) {
@@ -74,6 +77,13 @@ TEST(Dlint, SilentOnCleanFixtures) {
       "fixtures/raw_rng_clean.cpp",
       "fixtures/wall_clock_clean.cpp",
       "fixtures/raw_mutex_clean.cpp",
+      "fixtures/sleep_sync_clean.cpp",
+      "fixtures/raw_string_prefix_clean.cpp",
+      "fixtures/comment_splice_clean.cpp",
+      "fixtures/comment_gap_allow_clean.cpp",
+      "fixtures/multi_rule_allow_clean.cpp",
+      "fixtures/lock_order_clean.cpp",
+      "fixtures/lock_order_pair_clean.cpp",
   };
   std::string paths;
   for (const char* f : clean) paths += std::string(" ") + f;
@@ -91,6 +101,82 @@ TEST(Dlint, AllowMarkerSuppressesBothPlacements) {
       " --order-dirs order_sensitive"
       " fixtures/order_sensitive/unordered_iter_allow.cpp"
       " fixtures/raw_mutex_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Dlint, AllowBlockAboveSurvivesBlankLines) {
+  // The marker sits in a comment block separated from its code line by more
+  // comment prose and a fully blank line; attachment must roll forward.
+  const RunResult r = run_dlint(
+      "--root " DLINT_FIXTURES " fixtures/comment_gap_allow_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "") << r.output;
+}
+
+TEST(Dlint, MultiRuleAllowSuppressesEveryNamedRule) {
+  // One comma-separated allow marker covers a line tripping two rules —
+  // in both the block-above and same-line (spaces around the comma) forms.
+  const RunResult r = run_dlint(
+      "--root " DLINT_FIXTURES " fixtures/multi_rule_allow_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "") << r.output;
+}
+
+TEST(Dlint, UnknownRuleNameIsItselfAFinding) {
+  // A typo'd allow would silently suppress nothing; dlint must say so.
+  const RunResult r =
+      run_dlint("--root " DLINT_FIXTURES " fixtures/unknown_rule_fire.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_rule(r.output, "unknown-rule"), 1u) << r.output;
+  EXPECT_NE(r.output.find("no-such-rule"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("--list-rules"), std::string::npos) << r.output;
+}
+
+TEST(Dlint, CrlfFilesKeepLineNumbersAndAllowMarkers) {
+  // CRLF endings must not shift line numbers, break the backslash-splice
+  // check, or hide the allow marker: exactly one finding, on line 9.
+  const RunResult r =
+      run_dlint("--root " DLINT_FIXTURES " fixtures/crlf_fire.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_rule(r.output, "raw-rng"), 1u) << r.output;
+  EXPECT_EQ(count_rule(r.output, "sleep-sync"), 0u) << r.output;
+  EXPECT_NE(r.output.find("crlf_fire.cpp:9:"), std::string::npos) << r.output;
+}
+
+TEST(Dlint, RawStringPrefixesAndCommentSplicesStripClean) {
+  // u8R/uR/UR/LR prefixes, custom delimiters, multi-line raw strings, and
+  // backslash-spliced comments/strings all hide their trigger patterns.
+  const RunResult r = run_dlint("--root " DLINT_FIXTURES
+                                " fixtures/raw_string_prefix_clean.cpp"
+                                " fixtures/comment_splice_clean.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output, "") << r.output;
+}
+
+TEST(Dlint, LockOrderCycleNamesBothSites) {
+  const RunResult r =
+      run_dlint("--root " DLINT_FIXTURES " fixtures/lock_order_fire.cpp");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_rule(r.output, "lock-order"), 1u) << r.output;
+  // One finding, but it must name BOTH order-reversing acquisition sites.
+  EXPECT_NE(
+      r.output.find(
+          "acquired lock_order_fire.cpp::b while holding lock_order_fire.cpp::a"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(
+      r.output.find(
+          "acquired lock_order_fire.cpp::a while holding lock_order_fire.cpp::b"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST(Dlint, LockOrderSanctionedPairGuardIsExempt) {
+  // lock_order_pair_clean.cpp acquires the same SpinLock pair in both orders
+  // through a guard class carrying dlint:ordered-pair(SpinLock); the
+  // promised internal total order makes that legal.
+  const RunResult r =
+      run_dlint("--root " DLINT_FIXTURES " fixtures/lock_order_pair_clean.cpp");
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
@@ -143,8 +229,9 @@ TEST(Dlint, UnknownPathExitsTwo) {
 TEST(Dlint, ListRules) {
   const RunResult r = run_dlint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
-  for (const char* rule : {"unordered-iter", "raw-rng", "wall-clock",
-                           "raw-mutex-lock", "float-accum-order"})
+  for (const char* rule :
+       {"unordered-iter", "raw-rng", "wall-clock", "raw-mutex-lock",
+        "float-accum-order", "sleep-sync", "lock-order", "unknown-rule"})
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
 }
 

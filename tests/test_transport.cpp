@@ -492,6 +492,7 @@ TEST(SocketTransport, WatchdogConvictsSilentLivePeerAsStalled) {
   run_socket_ranks(2, tuning, [&](dc::Comm& comm) {
     if (comm.rank() == 0) {
       // Stay alive well past the peer's verdict, sending nothing.
+      // dlint:allow(sleep-sync): the silent-but-alive window is the scenario
       std::this_thread::sleep_for(std::chrono::milliseconds(700));
       return;
     }

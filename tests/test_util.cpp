@@ -137,6 +137,7 @@ TEST(Stats, WithCommas) {
 
 TEST(Timer, MeasuresElapsed) {
   du::Timer t;
+  // dlint:allow(sleep-sync): a timer test must spend real wall time
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_GE(t.seconds(), 0.015);
   t.restart();
@@ -172,6 +173,7 @@ TEST(Timer, ScopedPhaseRecords) {
   du::PhaseTimer pt;
   {
     du::ScopedPhase sp(pt, "scope");
+    // dlint:allow(sleep-sync): a timer test must spend real wall time
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_GT(pt.total("scope"), 0.005);

@@ -1,0 +1,262 @@
+// dcheck CLI — explore, validate, and replay the model harnesses.
+//
+//   dcheck --list
+//   dcheck <harness> [--bound N] [--mutate NAME] [--replay SCHED]
+//   dcheck --all [--validate] [--bound N] [--max-seconds S] [--json PATH]
+//
+// --validate runs every selected harness twice: clean (must pass) and with
+// its seeded mutation (must fail, with a replayable schedule) — the CI proof
+// that each harness can actually catch its target bug class. Exit status is
+// 0 only when every selected run met its expectation.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace {
+
+using dinfomap::dcheck::Harness;
+using dinfomap::dcheck::Options;
+using dinfomap::dcheck::Result;
+
+struct Cli {
+  std::vector<std::string> names;
+  bool all = false;
+  bool list = false;
+  bool validate = false;
+  std::string mutate;
+  std::string json_path;
+  Options opts;
+};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: dcheck [--list] [--all] [<harness>...]\n"
+        "              [--bound N] [--mutate NAME] [--replay SCHEDULE]\n"
+        "              [--validate] [--max-schedules N] [--max-seconds S]\n"
+        "              [--max-steps N] [--json PATH]\n"
+        "  --bound N        max preemptions, explored iteratively 0..N\n"
+        "                   (default 3; -1 = unbounded full DFS)\n"
+        "  --mutate NAME    enable a seeded mutation for the exploration\n"
+        "  --replay SCHED   run exactly one schedule string (one harness)\n"
+        "  --validate       run clean (expect pass) + seeded mutation\n"
+        "                   (expect fail) for each selected harness\n"
+        "  --json PATH      write machine-readable results\n";
+  return code;
+}
+
+bool parse_cli(int argc, char** argv, Cli& cli, std::string& err) {
+  const auto need = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      err = std::string(flag) + " requires a value";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    try {
+      if (arg == "--list") {
+        cli.list = true;
+      } else if (arg == "--all") {
+        cli.all = true;
+      } else if (arg == "--validate") {
+        cli.validate = true;
+      } else if (arg == "--bound") {
+        if ((v = need(i, "--bound")) == nullptr) return false;
+        cli.opts.max_preemptions = std::stoi(v);
+      } else if (arg == "--mutate") {
+        if ((v = need(i, "--mutate")) == nullptr) return false;
+        cli.mutate = v;
+      } else if (arg == "--replay") {
+        if ((v = need(i, "--replay")) == nullptr) return false;
+        cli.opts.replay = v;
+      } else if (arg == "--max-schedules") {
+        if ((v = need(i, "--max-schedules")) == nullptr) return false;
+        cli.opts.max_schedules = std::stoull(v);
+      } else if (arg == "--max-seconds") {
+        if ((v = need(i, "--max-seconds")) == nullptr) return false;
+        cli.opts.max_seconds = std::stod(v);
+      } else if (arg == "--max-steps") {
+        if ((v = need(i, "--max-steps")) == nullptr) return false;
+        cli.opts.max_steps_per_run = std::stoull(v);
+      } else if (arg == "--json") {
+        if ((v = need(i, "--json")) == nullptr) return false;
+        cli.json_path = v;
+      } else if (arg == "--help" || arg == "-h") {
+        err = "help";
+        return false;
+      } else if (!arg.empty() && arg[0] == '-') {
+        err = "unknown flag: " + arg;
+        return false;
+      } else {
+        cli.names.push_back(arg);
+      }
+    } catch (const std::exception&) {
+      err = "bad value for " + arg + ": '" + std::string(v ? v : "") + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+struct RunRecord {
+  std::string harness;
+  std::string mutation;  ///< empty = clean run
+  bool expected_failure = false;
+  bool met_expectation = false;
+  Result result;
+};
+
+void print_result(const RunRecord& rec) {
+  const Result& r = rec.result;
+  std::cout << "[" << rec.harness
+            << (rec.mutation.empty() ? "" : " +" + rec.mutation) << "] "
+            << (r.failed ? "FAIL(" + r.kind + ")" : "pass") << "  schedules="
+            << r.schedules << " pruned=" << r.pruned << " steps=" << r.steps
+            << (r.truncated ? " (truncated)" : "") << "  "
+            << static_cast<int>(r.seconds * 1000) << "ms";
+  if (rec.expected_failure) {
+    std::cout << (rec.met_expectation ? "  [mutation caught]"
+                                      : "  [MUTATION NOT CAUGHT]");
+  }
+  std::cout << "\n";
+  if (r.failed) {
+    std::cout << "  kind:     " << r.kind << "\n"
+              << "  bound:    " << r.failing_bound << "\n"
+              << "  schedule: " << r.schedule << "\n";
+    std::istringstream detail(r.detail);
+    std::string line;
+    while (std::getline(detail, line)) std::cout << "  | " << line << "\n";
+    if (!r.trace.empty()) {
+      std::cout << "  replayed trace (" << r.trace.size() << " steps):\n";
+      for (const auto& step : r.trace) std::cout << "    " << step << "\n";
+    }
+    std::cout << "  replay with: dcheck " << rec.harness
+              << (rec.mutation.empty() ? "" : " --mutate " + rec.mutation)
+              << " --replay '" << r.schedule << "'\n";
+  }
+}
+
+void write_json(const std::string& path, const std::vector<RunRecord>& runs,
+                bool ok) {
+  std::ofstream out(path);
+  out << "{\n  \"ok\": " << (ok ? "true" : "false") << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& rec = runs[i];
+    const Result& r = rec.result;
+    out << "    {\"harness\": \"" << json_escape(rec.harness)
+        << "\", \"mutation\": \"" << json_escape(rec.mutation)
+        << "\", \"failed\": " << (r.failed ? "true" : "false")
+        << ", \"expected_failure\": "
+        << (rec.expected_failure ? "true" : "false")
+        << ", \"met_expectation\": "
+        << (rec.met_expectation ? "true" : "false") << ", \"kind\": \""
+        << json_escape(r.kind) << "\", \"schedule\": \""
+        << json_escape(r.schedule) << "\", \"schedules\": " << r.schedules
+        << ", \"pruned\": " << r.pruned << ", \"steps\": " << r.steps
+        << ", \"failing_bound\": " << r.failing_bound
+        << ", \"truncated\": " << (r.truncated ? "true" : "false")
+        << ", \"seconds\": " << r.seconds << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  std::string err;
+  if (!parse_cli(argc, argv, cli, err)) {
+    if (err == "help") return usage(std::cout, 0);
+    std::cerr << "dcheck: " << err << "\n";
+    return usage(std::cerr, 2);
+  }
+
+  if (cli.list) {
+    for (const auto& h : dinfomap::dcheck::harnesses()) {
+      std::cout << h.name << "\n  " << h.description << "\n  seeded mutation: "
+                << (h.mutation.empty() ? "(none)" : h.mutation) << "\n";
+    }
+    return 0;
+  }
+
+  std::vector<const Harness*> selected;
+  if (cli.all || cli.names.empty()) {
+    for (const auto& h : dinfomap::dcheck::harnesses()) selected.push_back(&h);
+  } else {
+    for (const auto& name : cli.names) {
+      const Harness* h = dinfomap::dcheck::find_harness(name);
+      if (h == nullptr) {
+        std::cerr << "dcheck: unknown harness '" << name
+                  << "' (see --list)\n";
+        return 2;
+      }
+      selected.push_back(h);
+    }
+  }
+  if (!cli.opts.replay.empty() && selected.size() != 1) {
+    std::cerr << "dcheck: --replay needs exactly one harness\n";
+    return 2;
+  }
+  if (cli.validate && (!cli.mutate.empty() || !cli.opts.replay.empty())) {
+    std::cerr << "dcheck: --validate excludes --mutate/--replay\n";
+    return 2;
+  }
+
+  std::vector<RunRecord> runs;
+  const auto run_one = [&](const Harness& h, const std::string& mutation,
+                           bool expect_failure) {
+    Options opts = cli.opts;
+    opts.mutation = mutation;
+    RunRecord rec;
+    rec.harness = h.name;
+    rec.mutation = mutation;
+    rec.expected_failure = expect_failure;
+    rec.result = dinfomap::dcheck::run_harness(h, opts);
+    rec.met_expectation = expect_failure
+                              ? (rec.result.failed &&
+                                 !rec.result.schedule.empty())
+                              : !rec.result.failed;
+    print_result(rec);
+    runs.push_back(std::move(rec));
+  };
+
+  for (const Harness* h : selected) {
+    if (cli.validate) {
+      run_one(*h, "", /*expect_failure=*/false);
+      if (!h->mutation.empty()) run_one(*h, h->mutation, /*expect_failure=*/true);
+    } else {
+      run_one(*h, cli.mutate, /*expect_failure=*/!cli.mutate.empty());
+    }
+  }
+
+  bool ok = true;
+  for (const auto& rec : runs) ok = ok && rec.met_expectation;
+  if (!cli.json_path.empty()) write_json(cli.json_path, runs, ok);
+  return ok ? 0 : 1;
+}

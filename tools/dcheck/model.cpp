@@ -1,0 +1,1170 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/sched_point.hpp"
+
+#if !defined(DINFOMAP_DCHECK)
+#error "tools/dcheck must be built with -DDINFOMAP_DCHECK=ON"
+#endif
+
+namespace dinfomap::dcheck {
+
+namespace {
+
+using util::dcheck::Aborted;
+
+/// Decision identity of the calling thread, assigned at adoption (main = 0).
+thread_local int t_tid = -1;
+
+enum class OpKind {
+  kStart,         ///< adopted thread's first visible step
+  kMutexLock,     ///< acquire (util::Mutex, SpinLock)
+  kCvWait,        ///< release mutex + park on cv
+  kCvWaitTimed,   ///< same, but the timeout transition stays enabled
+  kCvNotify,      ///< wake one/all (victim choice is a recorded decision)
+  kAccess,        ///< tracked load/store (race-detector input)
+  kRegion,        ///< labeled yield point, no memory semantics
+  kJoinAll,       ///< ThreadPool dtor: wait for all non-spawned peers
+  kJoinSpawned,   ///< Context::join_spawned: wait for all spawned threads
+};
+
+struct Op {
+  OpKind kind = OpKind::kStart;
+  const void* obj = nullptr;   ///< mutex / cv / tracked address
+  const void* obj2 = nullptr;  ///< the mutex, for cv waits
+  bool write = false;
+  bool atomic = false;
+  bool notify_all = false;
+  const char* what = "";
+};
+
+const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kStart: return "start";
+    case OpKind::kMutexLock: return "lock";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kCvWaitTimed: return "cv-wait-timed";
+    case OpKind::kCvNotify: return "notify";
+    case OpKind::kAccess: return "access";
+    case OpKind::kRegion: return "region";
+    case OpKind::kJoinAll: return "join-all";
+    case OpKind::kJoinSpawned: return "join-spawned";
+  }
+  return "?";
+}
+
+/// Sparse vector clock: tid -> epoch.
+using VClock = std::map<int, std::uint64_t>;
+
+void join_clock(VClock& into, const VClock& from) {
+  for (const auto& [t, e] : from) {
+    auto& v = into[t];
+    if (e > v) v = e;
+  }
+}
+
+bool hb_leq(std::uint64_t epoch, int tid, const VClock& vc) {
+  const auto it = vc.find(tid);
+  return it != vc.end() && epoch <= it->second;
+}
+
+enum class TState {
+  kRunning,         ///< holds the token, executing user code
+  kParked,          ///< at a scheduling point, pending op not yet executed
+  kBlockedCv,       ///< in cv wait; unschedulable until notified
+  kBlockedCvTimed,  ///< in timed cv wait; the timeout keeps it schedulable
+  kWokenCv,         ///< notified; pending mutex reacquire
+  kFinished,
+};
+
+struct ThreadRec {
+  int id = -1;
+  std::string name;
+  bool spawned = false;  ///< Context::spawn (vs ThreadPool adoption / main)
+  TState state = TState::kRunning;
+  Op pending;
+  VClock vc;
+  VClock wake_clock;  ///< cv clock captured at notify, joined at reacquire
+  std::vector<std::pair<const void*, const char*>> held;  ///< lock stack
+};
+
+struct MutexRec {
+  int owner = -1;
+  VClock clock;
+  const char* what = "";
+};
+
+struct CvRec {
+  VClock clock;
+};
+
+struct Access {
+  int tid = -1;
+  std::uint64_t epoch = 0;
+  const char* what = "";
+  std::string thread;
+};
+
+struct AddrRec {
+  Access write;
+  std::map<int, Access> reads;
+  VClock sync;  ///< acq/rel clock for Atomic<> accesses
+};
+
+struct TrailEntry {
+  bool victim = false;          ///< cv_notify victim decision
+  std::vector<int> candidates;  ///< thread ids, exploration order
+  int chosen = 0;               ///< index into candidates
+};
+
+struct LockEdge {
+  const void* from;
+  const void* to;
+  std::string desc;  ///< "T1(...) acquired B@0x.. while holding A@0x.."
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+class Model final : public util::dcheck::SchedHooks {
+ public:
+  Result explore_all(const Options& options,
+                     const std::function<void(Context&)>& body);
+
+  // --- Context surface -----------------------------------------------------
+  void spawn_thread(std::string name, std::function<void()> fn);
+  void join_spawned_op();
+  void check_invariant(bool ok, const std::string& what);
+
+  // --- SchedHooks ----------------------------------------------------------
+  void mutex_lock(void* m, const char* what) override {
+    Op op;
+    op.kind = OpKind::kMutexLock;
+    op.obj = m;
+    op.what = what;
+    sched(op);
+  }
+  void mutex_unlock(void* m) override;
+  void cv_wait(void* cv, void* m) override {
+    Op op;
+    op.kind = OpKind::kCvWait;
+    op.obj = cv;
+    op.obj2 = m;
+    op.what = "cv";
+    sched(op);
+  }
+  bool cv_wait_timed(void* cv, void* m) override {
+    Op op;
+    op.kind = OpKind::kCvWaitTimed;
+    op.obj = cv;
+    op.obj2 = m;
+    op.what = "cv-timed";
+    return sched(op);
+  }
+  void cv_notify(void* cv, bool all) override {
+    Op op;
+    op.kind = OpKind::kCvNotify;
+    op.obj = cv;
+    op.notify_all = all;
+    op.what = all ? "notify-all" : "notify-one";
+    sched(op);
+  }
+  void access(const void* addr, bool write, bool atomic,
+              const char* what) override {
+    Op op;
+    op.kind = OpKind::kAccess;
+    op.obj = addr;
+    op.write = write;
+    op.atomic = atomic;
+    op.what = what;
+    sched(op);
+  }
+  void region(const char* what, const void* obj) override {
+    Op op;
+    op.kind = OpKind::kRegion;
+    op.obj = obj;
+    op.what = what;
+    sched(op);
+  }
+  void thread_announced() override { announce("worker", /*spawned=*/false); }
+  void thread_started() override { adopt_and_wait_for_grant(); }
+  void thread_finished() override;
+  void join_all() override {
+    Op op;
+    op.kind = OpKind::kJoinAll;
+    op.what = "join-all";
+    sched(op);
+  }
+
+ private:
+  enum class Exec { kDone, kDoneNotified, kDoneTimeout, kParkAgain };
+  static constexpr std::size_t kNoPrune = static_cast<std::size_t>(-1);
+
+  bool sched(const Op& op);
+  void announce(std::string name, bool spawned);
+  void adopt_and_wait_for_grant();
+  bool park_loop(std::unique_lock<std::mutex>& lk, int self);
+  void pick_next(std::unique_lock<std::mutex>& lk, int self);
+  int choose_victim(const std::vector<int>& waiters);
+  Exec execute(std::unique_lock<std::mutex>& lk, int self);
+  void do_acquire(ThreadRec& t, const void* m, const char* what,
+                  bool from_wait);
+  void check_lock_order(const ThreadRec& t, const void* m, const char* what);
+  void race_check(ThreadRec& t, const Op& op);
+  bool op_enabled(const ThreadRec& t) const;
+  void wake_sleepers(const Op& executed);
+  /// Record the first failure (with the current schedule) and switch the run
+  /// into drain mode. Never throws — scheduling points can sit inside
+  /// noexcept destructors (~ThreadPool), so failure must not unwind the
+  /// *discovering* thread; the run just finishes unfiltered. mu_ held.
+  void fail(std::string kind, std::string detail);
+  std::string deadlock_diagnosis(bool& cv_waiter) const;
+  std::string schedule_string() const;
+  std::string thread_label(int tid) const;
+  void note_step(int self, const std::string& desc);
+  void run_once(const std::function<void(Context&)>& body);
+  bool advance_trail();
+  static std::vector<std::pair<bool, int>> parse_schedule(const std::string& s);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+
+  // --- per-exploration -----------------------------------------------------
+  Options opts_;
+  int bound_ = 0;
+  bool replaying_ = false;
+  std::vector<std::pair<bool, int>> replay_;  ///< (victim?, id)
+  std::vector<TrailEntry> trail_;
+  std::uint64_t steps_total_ = 0;
+
+  // Failure capture — sticky until read by explore_all.
+  bool failed_ = false;
+  int fail_bound_ = -1;
+  std::string fail_kind_, fail_detail_, fail_schedule_;
+  std::vector<std::string> fail_trace_;
+
+  // --- per-run -------------------------------------------------------------
+  std::map<int, ThreadRec> threads_;
+  std::map<const void*, MutexRec> mutexes_;
+  std::map<const void*, CvRec> cvs_;
+  std::map<const void*, AddrRec> addrs_;
+  std::vector<LockEdge> lock_edges_;
+  std::set<std::pair<const void*, const void*>> edge_set_;
+  std::size_t pos_ = 0;  ///< decisions consumed this run
+  std::set<int> sleep_;
+  int prev_ = 0;
+  int preemptions_ = 0;
+  int active_ = 0;
+  /// Failure recorded: property checks and exploration filters are off and
+  /// the run is driven, still serialized, to completion.
+  bool draining_ = false;
+  bool pruned_ = false;
+  std::size_t prune_len_ = kNoPrune;  ///< trail length at the first prune
+  /// Threads being forcibly unwound (they receive Aborted at their parked
+  /// frame) because a deadlock left them unable to ever finish.
+  std::set<int> killed_;
+  int next_tid_ = 1;
+  int announced_ = 0, adopted_ = 0;
+  bool adoption_pending_ = false;
+  bool adopt_spawned_ = false;
+  VClock spawn_clock_;  ///< creator's clock at announce
+  std::string spawn_name_;
+  std::uint64_t steps_run_ = 0;
+  std::vector<std::string> trace_;
+  std::vector<std::thread> spawned_real_;
+};
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+void Context::spawn(std::string name, std::function<void()> fn) {
+  model_.spawn_thread(std::move(name), std::move(fn));
+}
+void Context::join_spawned() { model_.join_spawned_op(); }
+void Context::check(bool ok, const std::string& what) {
+  model_.check_invariant(ok, what);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling core
+// ---------------------------------------------------------------------------
+
+std::string Model::thread_label(int tid) const {
+  const auto it = threads_.find(tid);
+  std::ostringstream os;
+  os << "T" << tid;
+  if (it != threads_.end() && !it->second.name.empty())
+    os << "(" << it->second.name << ")";
+  return os.str();
+}
+
+void Model::note_step(int self, const std::string& desc) {
+  ++steps_run_;
+  ++steps_total_;
+  // The per-step log is only materialized under replay; exploration failures
+  // replay their own schedule to regenerate it, which doubles as proof that
+  // the printed schedule string reproduces the bug.
+  if (replaying_ && trace_.size() < 4000) {
+    std::ostringstream os;
+    os << "#" << steps_run_ << " " << thread_label(self) << " " << desc;
+    trace_.push_back(os.str());
+  }
+}
+
+bool Model::sched(const Op& op) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const int self = t_tid;
+  if (killed_.count(self) != 0) throw Aborted{};
+  ThreadRec& t = threads_.at(self);
+  t.pending = op;
+  t.state = TState::kParked;
+  return park_loop(lk, self);
+}
+
+/// Park with a pending op; alternate pick_next / wait-for-grant / execute
+/// until the op completes. The caller must be the token holder. Returns the
+/// notified/timeout verdict for timed waits (true = notified), else true.
+bool Model::park_loop(std::unique_lock<std::mutex>& lk, int self) {
+  ThreadRec& t = threads_.at(self);
+  for (;;) {
+    pick_next(lk, self);
+    cv_.wait(lk,
+             [&] { return killed_.count(self) != 0 || active_ == self; });
+    if (killed_.count(self) != 0) throw Aborted{};
+    const Exec r = execute(lk, self);
+    if (r == Exec::kParkAgain) continue;
+    t.state = TState::kRunning;
+    return r != Exec::kDoneTimeout;
+  }
+}
+
+void Model::announce(std::string name, bool spawned) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Serialize adoption so thread ids bind to announce order — that is what
+  // keeps decision identities deterministic across runs.
+  cv_.wait(lk, [&] {
+    return !adoption_pending_ || killed_.count(t_tid) != 0;
+  });
+  if (killed_.count(t_tid) != 0) throw Aborted{};
+  adoption_pending_ = true;
+  adopt_spawned_ = spawned;
+  spawn_name_ = std::move(name);
+  ++announced_;
+  // The child starts from everything the creator has done so far.
+  const auto it = threads_.find(t_tid);
+  if (it != threads_.end()) {
+    spawn_clock_ = it->second.vc;
+    ++it->second.vc[t_tid];
+  }
+}
+
+/// Runs on the freshly created thread. Registers it and waits for its first
+/// grant; it is NOT the token holder, so it must not pick. Its first visible
+/// op (kStart) executes when some scheduling decision selects it.
+void Model::adopt_and_wait_for_grant() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const int id = next_tid_++;
+  t_tid = id;
+  ThreadRec t;
+  t.id = id;
+  t.name = spawn_name_.empty() ? "worker" : spawn_name_;
+  if (t.name == "worker") t.name = "worker-" + std::to_string(id);
+  t.spawned = adopt_spawned_;
+  t.state = TState::kParked;
+  t.pending = Op{};  // kStart
+  t.vc = spawn_clock_;
+  t.vc[id] = 1;
+  threads_.emplace(id, std::move(t));
+  ++adopted_;
+  adoption_pending_ = false;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return killed_.count(id) != 0 || active_ == id; });
+  if (killed_.count(id) != 0) throw Aborted{};
+  execute(lk, id);  // kStart: trivially Done
+  threads_.at(id).state = TState::kRunning;
+}
+
+void Model::thread_finished() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const int self = t_tid;
+  const auto it = threads_.find(self);
+  if (it == threads_.end()) return;
+  it->second.state = TState::kFinished;
+  killed_.erase(self);
+  // A finish changes join enabledness; be conservative with the sleep set.
+  sleep_.clear();
+  note_step(self, "finished");
+  try {
+    pick_next(lk, self);  // hand the token onward
+  } catch (const Aborted&) {
+    // This thread's contract is to never throw from here; pick_next only
+    // throws for killed callers, and a finished thread cannot be one.
+  }
+}
+
+void Model::spawn_thread(std::string name, std::function<void()> fn) {
+  announce(std::move(name), /*spawned=*/true);
+  spawned_real_.emplace_back([this, fn = std::move(fn)] {
+    util::dcheck::set_on_model_thread(true);
+    try {
+      adopt_and_wait_for_grant();
+      fn();
+    } catch (const Aborted&) {
+    }
+    thread_finished();
+  });
+}
+
+void Model::join_spawned_op() {
+  Op op;
+  op.kind = OpKind::kJoinSpawned;
+  op.what = "join-spawned";
+  sched(op);
+}
+
+void Model::check_invariant(bool ok, const std::string& what) {
+  if (ok) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  fail("assert", "harness invariant failed: " + what);
+}
+
+void Model::mutex_unlock(void* m) {
+  // Not a scheduling point: release immediately; the owner's next hook call
+  // offers the switch. Blocked acquirers become enabled here, so dependent
+  // sleepers must wake. Also deliberately non-throwing: killed threads
+  // release their model locks through here while unwinding destructors.
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto tit = threads_.find(t_tid);
+  if (tit == threads_.end()) return;
+  ThreadRec& t = tit->second;
+  MutexRec& mr = mutexes_[m];
+  mr.owner = -1;
+  mr.clock = t.vc;
+  ++t.vc[t.id];
+  for (auto it = t.held.rbegin(); it != t.held.rend(); ++it) {
+    if (it->first == m) {
+      t.held.erase(std::next(it).base());
+      break;
+    }
+  }
+  Op rel;
+  rel.kind = OpKind::kMutexLock;  // same dependence footprint as an acquire
+  rel.obj = m;
+  wake_sleepers(rel);
+}
+
+// ---------------------------------------------------------------------------
+// Enabledness, choice, execution
+// ---------------------------------------------------------------------------
+
+bool Model::op_enabled(const ThreadRec& t) const {
+  switch (t.state) {
+    case TState::kBlockedCv:
+      return false;
+    case TState::kBlockedCvTimed:
+    case TState::kWokenCv: {
+      // Timeout and wakeup both reacquire the mutex first.
+      const auto it = mutexes_.find(t.pending.obj2);
+      return it == mutexes_.end() || it->second.owner == -1;
+    }
+    case TState::kParked:
+      break;
+    default:
+      return false;
+  }
+  switch (t.pending.kind) {
+    case OpKind::kMutexLock: {
+      const auto it = mutexes_.find(t.pending.obj);
+      return it == mutexes_.end() || it->second.owner == -1;
+    }
+    case OpKind::kJoinAll:
+      for (const auto& [id, u] : threads_)
+        if (id != t.id && !u.spawned && u.state != TState::kFinished)
+          return false;
+      return true;
+    case OpKind::kJoinSpawned:
+      for (const auto& [id, u] : threads_)
+        if (u.spawned && u.state != TState::kFinished) return false;
+      return true;
+    default:
+      return true;
+  }
+}
+
+void Model::pick_next(std::unique_lock<std::mutex>& lk, int self) {
+  // Every announced thread must be adopted (and therefore parked) before a
+  // sound decision can be made.
+  cv_.wait(lk, [&] {
+    return killed_.count(self) != 0 || adopted_ == announced_;
+  });
+  if (killed_.count(self) != 0) throw Aborted{};
+
+  std::vector<int> enabled;
+  bool any_live = false;
+  for (const auto& [id, t] : threads_) {
+    if (t.state == TState::kFinished) continue;
+    if (t.state == TState::kRunning && id != self) continue;  // unreachable
+    any_live = true;
+    if (op_enabled(t)) enabled.push_back(id);
+  }
+
+  if (enabled.empty()) {
+    if (!any_live) return;  // everything done; nobody to grant
+    // If killed threads are still unwinding, their finishes will re-enter
+    // pick_next and recompute; the joins waiting on them stay parked.
+    bool kill_pending = false;
+    for (const int id : killed_)
+      if (threads_.at(id).state != TState::kFinished) kill_pending = true;
+    if (!kill_pending) {
+      if (!failed_) {
+        bool cv_waiter = false;
+        const std::string why = deadlock_diagnosis(cv_waiter);
+        fail(cv_waiter ? "lost-wakeup" : "deadlock", why);
+      }
+      // Force the stuck threads to unwind (Aborted at their parked frame)
+      // so the run can finish. Join-parked threads are spared: their joins
+      // become satisfiable once the victims finish. The victims' parked
+      // frames are lock/cv waits in plain code, never noexcept destructors.
+      bool killed_any = false;
+      for (const auto& [id, t] : threads_) {
+        if (t.state == TState::kFinished) continue;
+        if (t.pending.kind == OpKind::kJoinAll ||
+            t.pending.kind == OpKind::kJoinSpawned)
+          continue;
+        if (killed_.insert(id).second) killed_any = true;
+      }
+      if (!killed_any) {
+        // Only join-parked threads remain and none can progress (a join
+        // cycle, which our primitives cannot express): last resort.
+        for (const auto& [id, t] : threads_)
+          if (t.state != TState::kFinished) killed_.insert(id);
+      }
+      cv_.notify_all();
+    }
+    if (killed_.count(self) != 0) throw Aborted{};
+    return;  // a victim's thread_finished will grant the survivors
+  }
+
+  std::sort(enabled.begin(), enabled.end());
+  const bool prev_enabled =
+      std::find(enabled.begin(), enabled.end(), prev_) != enabled.end();
+  if (prev_enabled) {
+    // Prefer continuing the previous thread: the first run of every branch
+    // is the most sequential schedule the constraints allow.
+    enabled.erase(std::find(enabled.begin(), enabled.end(), prev_));
+    enabled.insert(enabled.begin(), prev_);
+  }
+
+  if (draining_) {
+    // Post-failure: no filters, no trail bookkeeping — just run everything,
+    // still serialized, to completion.
+    active_ = enabled.front();
+    prev_ = active_;
+    cv_.notify_all();
+    return;
+  }
+
+  std::vector<int> cands;
+  for (const int id : enabled) {
+    if (!replaying_) {
+      if (sleep_.count(id) != 0) continue;
+      if (bound_ >= 0 && preemptions_ >= bound_ && prev_enabled && id != prev_)
+        continue;
+    }
+    cands.push_back(id);
+  }
+  if (cands.empty()) {
+    // Sleep-set blocked: every candidate was explored in a sibling branch.
+    // The run is redundant but still has to finish — execute it unfiltered
+    // and have the driver cut the trail back to the prune point.
+    if (prune_len_ == kNoPrune) {
+      pruned_ = true;
+      prune_len_ = trail_.size();
+    }
+    cands = enabled;
+  }
+
+  int chosen;
+  if (replaying_ && pos_ < replay_.size()) {
+    const auto [victim_step, id] = replay_[pos_];
+    if (victim_step ||
+        std::find(cands.begin(), cands.end(), id) == cands.end()) {
+      fail("replay-mismatch",
+           "schedule step " + std::to_string(pos_) + " expects T" +
+               std::to_string(id) + " but it is not an enabled thread here");
+      return pick_next(lk, self);  // drain path grants and returns
+    }
+    chosen = id;
+    TrailEntry e;
+    e.candidates = cands;
+    e.chosen = static_cast<int>(std::find(cands.begin(), cands.end(), id) -
+                                cands.begin());
+    trail_.push_back(e);
+  } else if (pos_ < trail_.size()) {
+    TrailEntry& e = trail_[pos_];
+    chosen = e.candidates[static_cast<std::size_t>(e.chosen)];
+    // Siblings explored in earlier branches sleep through this one.
+    for (int i = 0; i < e.chosen; ++i)
+      sleep_.insert(e.candidates[static_cast<std::size_t>(i)]);
+    if (std::find(enabled.begin(), enabled.end(), chosen) == enabled.end()) {
+      fail("internal", "trail divergence: recorded thread not enabled");
+      return pick_next(lk, self);
+    }
+  } else {
+    TrailEntry e;
+    e.candidates = cands;
+    e.chosen = 0;
+    trail_.push_back(e);
+    chosen = cands[0];
+  }
+  ++pos_;
+  if (prev_enabled && chosen != prev_) ++preemptions_;
+  prev_ = chosen;
+  active_ = chosen;
+  cv_.notify_all();
+}
+
+/// Victim decision for notify_one with several waiters: same trail
+/// machinery, no sleep/preemption semantics. Called with mu_ held.
+int Model::choose_victim(const std::vector<int>& waiters) {
+  if (draining_) return waiters.front();
+  TrailEntry e;
+  e.victim = true;
+  e.candidates = waiters;
+  if (replaying_ && pos_ < replay_.size()) {
+    const auto [victim_step, id] = replay_[pos_];
+    const auto it = std::find(waiters.begin(), waiters.end(), id);
+    if (!victim_step || it == waiters.end()) {
+      fail("replay-mismatch",
+           "schedule step " + std::to_string(pos_) +
+               " expects a notify victim that is not waiting here");
+      return waiters.front();
+    }
+    e.chosen = static_cast<int>(it - waiters.begin());
+    trail_.push_back(e);
+  } else if (pos_ < trail_.size()) {
+    e = trail_[pos_];
+  } else {
+    trail_.push_back(e);
+  }
+  ++pos_;
+  return e.candidates[static_cast<std::size_t>(e.chosen)];
+}
+
+void Model::check_lock_order(const ThreadRec& t, const void* m,
+                             const char* what) {
+  for (const auto& [h, h_what] : t.held) {
+    if (h == m) continue;
+    if (!edge_set_.insert({h, m}).second) continue;
+    std::ostringstream site;
+    site << thread_label(t.id) << " acquired " << what << "@" << m
+         << " while holding " << h_what << "@" << h;
+    lock_edges_.push_back({h, m, site.str()});
+    // New edge h -> m: if m already reaches h, the edge closes a cycle.
+    std::vector<const void*> stack{m};
+    std::set<const void*> seen{m};
+    bool cycle = false;
+    while (!stack.empty() && !cycle) {
+      const void* cur = stack.back();
+      stack.pop_back();
+      for (const auto& [a, b] : edge_set_) {
+        if (a != cur) continue;
+        if (b == h) {
+          cycle = true;
+          break;
+        }
+        if (seen.insert(b).second) stack.push_back(b);
+      }
+    }
+    if (cycle) {
+      std::ostringstream why;
+      why << "lock-order cycle closed by: " << site.str()
+          << "\nacquisition edges involving these locks:";
+      for (const auto& edge : lock_edges_)
+        if (edge.from == m || edge.to == m || edge.from == h || edge.to == h)
+          why << "\n  " << edge.desc;
+      fail("lock-order-cycle", why.str());
+    }
+  }
+}
+
+void Model::do_acquire(ThreadRec& t, const void* m, const char* what,
+                       bool from_wait) {
+  check_lock_order(t, m, what);
+  MutexRec& mr = mutexes_[m];
+  mr.owner = t.id;
+  mr.what = what;
+  join_clock(t.vc, mr.clock);
+  if (from_wait) join_clock(t.vc, t.wake_clock);
+  t.held.emplace_back(m, what);
+}
+
+void Model::race_check(ThreadRec& t, const Op& op) {
+  AddrRec& a = addrs_[op.obj];
+  if (op.atomic) {
+    // Atomic accesses synchronize through the address (acq/rel both ways —
+    // conservative RMW semantics) and are never themselves races.
+    join_clock(t.vc, a.sync);
+    join_clock(a.sync, t.vc);
+    return;
+  }
+  const std::uint64_t my_epoch = t.vc[t.id];
+  const Access* other = nullptr;
+  if (a.write.tid >= 0 && a.write.tid != t.id &&
+      !hb_leq(a.write.epoch, a.write.tid, t.vc))
+    other = &a.write;
+  if (op.write && other == nullptr) {
+    for (const auto& [rt, acc] : a.reads) {
+      if (rt != t.id && !hb_leq(acc.epoch, rt, t.vc)) {
+        other = &acc;
+        break;
+      }
+    }
+  }
+  if (other != nullptr) {
+    std::ostringstream os;
+    os << "data race on " << op.what << " @" << op.obj << ": "
+       << (op.write ? "write" : "read") << " by " << thread_label(t.id)
+       << " is concurrent with "
+       << (other == &a.write ? "write" : "read") << " by " << other->thread
+       << " (" << other->what << ")";
+    fail("data-race", os.str());
+  }
+  if (op.write) {
+    a.write = {t.id, my_epoch, op.what, thread_label(t.id)};
+    a.reads.clear();
+  } else {
+    a.reads[t.id] = {t.id, my_epoch, op.what, thread_label(t.id)};
+  }
+}
+
+Model::Exec Model::execute(std::unique_lock<std::mutex>& lk, int self) {
+  (void)lk;  // asserts the caller holds mu_; every path below relies on it
+  ThreadRec& t = threads_.at(self);
+  sleep_.erase(self);
+
+  // Grants to cv waiters resume via the reacquire path, not the pending op.
+  if (t.state == TState::kWokenCv || t.state == TState::kBlockedCvTimed) {
+    const bool notified = t.state == TState::kWokenCv;
+    do_acquire(t, t.pending.obj2, "util::Mutex", /*from_wait=*/notified);
+    ++t.vc[self];
+    note_step(self, std::string(notified ? "woke" : "cv timeout") +
+                        ", reacquired mutex");
+    Op reacq;
+    reacq.kind = OpKind::kMutexLock;
+    reacq.obj = t.pending.obj2;
+    wake_sleepers(reacq);
+    return notified ? Exec::kDoneNotified : Exec::kDoneTimeout;
+  }
+
+  if (steps_run_ >= opts_.max_steps_per_run) {
+    fail("step-limit",
+         "run exceeded " + std::to_string(opts_.max_steps_per_run) +
+             " operations (livelock?)");
+    if (steps_run_ >= 2 * opts_.max_steps_per_run + 1000) {
+      // Drain mode did not converge either: the body itself never
+      // terminates. Hard-kill everything as a last resort — risking a
+      // terminate if a victim sits in a noexcept destructor beats hanging.
+      for (const auto& [id, u] : threads_)
+        if (u.state != TState::kFinished) killed_.insert(id);
+      cv_.notify_all();
+      throw Aborted{};
+    }
+  }
+
+  const Op op = t.pending;
+  std::ostringstream desc;
+  desc << op_name(op.kind);
+  if (op.what != nullptr && op.what[0] != '\0') desc << " " << op.what;
+  if (op.obj != nullptr) desc << " @" << op.obj;
+
+  switch (op.kind) {
+    case OpKind::kStart:
+      break;
+    case OpKind::kMutexLock:
+      do_acquire(t, op.obj, op.what, /*from_wait=*/false);
+      break;
+    case OpKind::kCvWait:
+    case OpKind::kCvWaitTimed: {
+      // Atomically release the mutex and park on the cv.
+      MutexRec& mr = mutexes_[op.obj2];
+      mr.owner = -1;
+      mr.clock = t.vc;
+      for (auto it = t.held.rbegin(); it != t.held.rend(); ++it) {
+        if (it->first == op.obj2) {
+          t.held.erase(std::next(it).base());
+          break;
+        }
+      }
+      ++t.vc[self];
+      t.state = op.kind == OpKind::kCvWait ? TState::kBlockedCv
+                                           : TState::kBlockedCvTimed;
+      note_step(self, desc.str());
+      wake_sleepers(op);
+      return Exec::kParkAgain;
+    }
+    case OpKind::kCvNotify: {
+      CvRec& c = cvs_[op.obj];
+      join_clock(c.clock, t.vc);
+      std::vector<int> waiters;
+      for (auto& [id, u] : threads_) {
+        if ((u.state == TState::kBlockedCv ||
+             u.state == TState::kBlockedCvTimed) &&
+            u.pending.obj == op.obj)
+          waiters.push_back(id);
+      }
+      std::sort(waiters.begin(), waiters.end());
+      if (!waiters.empty()) {
+        std::vector<int> woken;
+        if (op.notify_all || waiters.size() == 1) {
+          woken = op.notify_all ? waiters : std::vector<int>{waiters.front()};
+        } else {
+          woken.push_back(choose_victim(waiters));
+        }
+        for (const int id : woken) {
+          ThreadRec& w = threads_.at(id);
+          w.state = TState::kWokenCv;
+          w.wake_clock = c.clock;
+          desc << " -> " << thread_label(id);
+        }
+      } else {
+        desc << " (no waiters)";
+      }
+      break;
+    }
+    case OpKind::kAccess:
+      race_check(t, op);
+      break;
+    case OpKind::kRegion:
+      break;
+    case OpKind::kJoinAll:
+    case OpKind::kJoinSpawned:
+      // Join point: adopt every finished thread's clock.
+      for (const auto& [id, u] : threads_)
+        if (u.state == TState::kFinished) join_clock(t.vc, u.vc);
+      break;
+  }
+  ++t.vc[self];
+  note_step(self, desc.str());
+  wake_sleepers(op);
+  return Exec::kDone;
+}
+
+/// Conservative dependence: two operations are dependent when they can touch
+/// a common object (read/read on a plain address being the one independent
+/// same-object case). Removing a sleeper too eagerly only costs pruning;
+/// removing one too lazily would lose soundness, hence the coarse test.
+void Model::wake_sleepers(const Op& executed) {
+  const auto objects = [](const Op& o) {
+    std::vector<const void*> v;
+    if (o.obj != nullptr) v.push_back(o.obj);
+    if (o.obj2 != nullptr) v.push_back(o.obj2);
+    return v;
+  };
+  const auto ex_objs = objects(executed);
+  for (auto it = sleep_.begin(); it != sleep_.end();) {
+    const auto tit = threads_.find(*it);
+    if (tit == threads_.end() || tit->second.state == TState::kFinished) {
+      it = sleep_.erase(it);
+      continue;
+    }
+    const ThreadRec& s = tit->second;
+    const auto s_objs = objects(s.pending);
+    bool dep = false;
+    for (const void* a : ex_objs) {
+      for (const void* b : s_objs) {
+        if (a != b) continue;
+        const bool both_plain_reads =
+            executed.kind == OpKind::kAccess && !executed.atomic &&
+            !executed.write && s.pending.kind == OpKind::kAccess &&
+            !s.pending.atomic && !s.pending.write;
+        if (!both_plain_reads) dep = true;
+      }
+    }
+    if (dep) it = sleep_.erase(it); else ++it;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure / teardown
+// ---------------------------------------------------------------------------
+
+std::string Model::schedule_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < pos_ && i < trail_.size(); ++i) {
+    if (i != 0) os << ",";
+    const TrailEntry& e = trail_[i];
+    if (e.victim) os << "w";
+    os << e.candidates[static_cast<std::size_t>(e.chosen)];
+  }
+  return os.str();
+}
+
+void Model::fail(std::string kind, std::string detail) {
+  if (failed_) return;  // first failure wins; later ones are drain artifacts
+  failed_ = true;
+  fail_bound_ = bound_;
+  fail_kind_ = std::move(kind);
+  fail_detail_ = std::move(detail);
+  fail_schedule_ = schedule_string();
+  fail_trace_ = trace_;
+  draining_ = true;
+  cv_.notify_all();
+}
+
+std::string Model::deadlock_diagnosis(bool& cv_waiter) const {
+  cv_waiter = false;
+  std::ostringstream os;
+  os << "no thread is enabled; blocked threads:";
+  for (const auto& [id, t] : threads_) {
+    if (t.state == TState::kFinished) continue;
+    os << "\n  " << thread_label(id) << ": ";
+    switch (t.state) {
+      case TState::kBlockedCv:
+      case TState::kBlockedCvTimed:
+        cv_waiter = true;
+        os << "waiting on cv @" << t.pending.obj;
+        break;
+      case TState::kWokenCv:
+        os << "woken, blocked reacquiring mutex @" << t.pending.obj2;
+        break;
+      default: {
+        os << "blocked at " << op_name(t.pending.kind);
+        if (t.pending.what != nullptr && t.pending.what[0] != '\0')
+          os << " " << t.pending.what;
+        if (t.pending.kind == OpKind::kMutexLock) {
+          const auto it = mutexes_.find(t.pending.obj);
+          if (it != mutexes_.end() && it->second.owner == id)
+            os << " (relock of a mutex this thread already holds)";
+          else if (it != mutexes_.end() && it->second.owner >= 0)
+            os << " (held by " << thread_label(it->second.owner) << ")";
+        }
+        break;
+      }
+    }
+    if (!t.held.empty()) {
+      os << "; holds";
+      for (const auto& [m, what] : t.held) os << " " << what << "@" << m;
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+void Model::run_once(const std::function<void(Context&)>& body) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    threads_.clear();
+    mutexes_.clear();
+    cvs_.clear();
+    addrs_.clear();
+    lock_edges_.clear();
+    edge_set_.clear();
+    pos_ = 0;
+    sleep_.clear();
+    prev_ = 0;
+    preemptions_ = 0;
+    active_ = 0;
+    draining_ = false;
+    pruned_ = false;
+    prune_len_ = kNoPrune;
+    killed_.clear();
+    next_tid_ = 1;
+    announced_ = adopted_ = 0;
+    adoption_pending_ = false;
+    steps_run_ = 0;
+    trace_.clear();
+    ThreadRec main_rec;
+    main_rec.id = 0;
+    main_rec.name = "main";
+    main_rec.state = TState::kRunning;
+    main_rec.vc[0] = 1;
+    threads_.emplace(0, std::move(main_rec));
+    t_tid = 0;
+  }
+  Context ctx(*this);
+  try {
+    body(ctx);
+  } catch (const Aborted&) {
+  } catch (const std::exception& e) {
+    std::unique_lock<std::mutex> lk(mu_);
+    fail("exception", std::string("harness threw: ") + e.what());
+  }
+  {
+    // A body that returns with live model threads (forgot join_spawned, or
+    // leaked a pool) would leave them parked forever; kill them so the run
+    // unwinds, and report it loudly.
+    std::unique_lock<std::mutex> lk(mu_);
+    bool live = false;
+    for (const auto& [id, t] : threads_)
+      if (id != 0 && t.state != TState::kFinished) live = true;
+    if (live) {
+      fail("assert",
+           "harness body returned while model threads are still live "
+           "(missing join_spawned / pool not destroyed in the body)");
+      for (const auto& [id, t] : threads_)
+        if (id != 0 && t.state != TState::kFinished) killed_.insert(id);
+      cv_.notify_all();
+    }
+  }
+  // Real-thread teardown: everything spawned has unwound (normally or via
+  // Aborted); collect the std::threads. ThreadPool workers are joined by the
+  // pool's own destructor inside the body.
+  for (auto& th : spawned_real_) th.join();
+  spawned_real_.clear();
+}
+
+bool Model::advance_trail() {
+  while (!trail_.empty()) {
+    TrailEntry& e = trail_.back();
+    if (e.chosen + 1 < static_cast<int>(e.candidates.size())) {
+      ++e.chosen;
+      return true;
+    }
+    trail_.pop_back();
+  }
+  return false;
+}
+
+std::vector<std::pair<bool, int>> Model::parse_schedule(const std::string& s) {
+  std::vector<std::pair<bool, int>> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    bool victim = false;
+    std::size_t off = 0;
+    if (tok[0] == 'w') {
+      victim = true;
+      off = 1;
+    }
+    try {
+      out.emplace_back(victim, std::stoi(tok.substr(off)));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad schedule token: '" + tok + "'");
+    }
+  }
+  return out;
+}
+
+Result Model::explore_all(const Options& options,
+                          const std::function<void(Context&)>& body) {
+  opts_ = options;
+  Result res;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  util::dcheck::install_hooks(this);
+  util::dcheck::set_on_model_thread(true);
+  util::dcheck::set_mutation(
+      options.mutation.empty() ? nullptr : options.mutation.c_str());
+
+  const bool replay_only = !options.replay.empty();
+  bool out_of_budget = false;
+  if (replay_only) {
+    replaying_ = true;
+    replay_ = parse_schedule(options.replay);
+    bound_ = -1;  // unbounded while following the schedule
+    trail_.clear();
+    run_once(body);
+    ++res.schedules;
+  } else {
+    const int max_bound = options.max_preemptions;
+    const int first = max_bound < 0 ? -1 : 0;
+    const int last = max_bound < 0 ? -1 : max_bound;
+    for (int b = first; b <= last && !failed_ && !out_of_budget; ++b) {
+      bound_ = b;
+      trail_.clear();
+      for (;;) {
+        run_once(body);
+        ++res.schedules;
+        if (pruned_) {
+          // The run turned redundant at prune_len_ and was driven to
+          // completion unfiltered; backtracking resumes at the prune point.
+          ++res.pruned;
+          trail_.resize(prune_len_);
+        }
+        if (failed_) break;
+        if ((options.max_schedules != 0 &&
+             res.schedules >= options.max_schedules) ||
+            (options.max_seconds > 0 && elapsed() >= options.max_seconds)) {
+          out_of_budget = true;
+          break;
+        }
+        if (!advance_trail()) break;
+      }
+      if (max_bound < 0) break;  // single unbounded pass
+    }
+    res.truncated = out_of_budget && !failed_;
+
+    if (failed_ && fail_trace_.empty() && !fail_schedule_.empty()) {
+      // Regenerate the step trace by replaying the failing schedule — which
+      // also proves the printed schedule string reproduces the bug.
+      const std::string kind = fail_kind_, detail = fail_detail_,
+                        schedule = fail_schedule_;
+      const int bound_found = fail_bound_;
+      failed_ = false;
+      replaying_ = true;
+      replay_ = parse_schedule(schedule);
+      bound_ = -1;
+      trail_.clear();
+      run_once(body);
+      if (!failed_ || fail_kind_ != kind) {
+        // Should not happen; keep the original diagnosis, note the mismatch.
+        failed_ = true;
+        fail_kind_ = kind;
+        fail_detail_ = detail + "\n(replay verification diverged)";
+        fail_schedule_ = schedule;
+      }
+      fail_bound_ = bound_found;
+      replaying_ = false;
+    }
+  }
+
+  res.failed = failed_;
+  res.kind = fail_kind_;
+  res.detail = fail_detail_;
+  res.schedule = fail_schedule_;
+  res.trace = fail_trace_;
+  res.steps = steps_total_;
+  res.failing_bound = failed_ ? fail_bound_ : -1;
+  res.seconds = elapsed();
+
+  util::dcheck::set_mutation(nullptr);
+  util::dcheck::install_hooks(nullptr);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+Result explore(const Options& options,
+               const std::function<void(Context&)>& body) {
+  Model model;
+  return model.explore_all(options, body);
+}
+
+Result run_harness(const Harness& harness, const Options& options) {
+  return explore(options, [&](Context& ctx) { harness.fn(ctx); });
+}
+
+}  // namespace dinfomap::dcheck

@@ -1,0 +1,119 @@
+// dcheck — exhaustive interleaving model checker for the concurrency
+// substrate (DESIGN.md §16).
+//
+// The checker implements util::dcheck::SchedHooks: under a DINFOMAP_DCHECK
+// build, every synchronization point in util::Mutex / util::CondVar /
+// util::Atomic / the RelaxMap SpinLock / comm::Mailbox funnels into this
+// Model, which serializes the participating threads (real std::threads, but
+// exactly one runs at a time) and explores their interleavings with a
+// depth-first stateless search:
+//
+//   * iterative preemption bounding — bound 0 first (cooperative schedules
+//     only), then 1, 2, ... up to --bound; most real bugs need <= 2
+//     preemptions, so failures surface with short, readable schedules;
+//   * sleep-set pruning — a thread whose pending operation is independent of
+//     everything executed since a sibling branch explored it is not
+//     rescheduled, removing commutations of independent operations;
+//   * replay — every failure prints the schedule (the decision string); the
+//     same string via Options::replay re-executes exactly that interleaving
+//     with a per-step trace.
+//
+// Checked properties, all at scheduling-point granularity:
+//   * data-race freedom over DI_SCHED_STORE/LOAD tracked accesses, via
+//     FastTrack-style vector clocks (mutexes, condition variables and
+//     Atomic<> accesses all propagate happens-before);
+//   * deadlock freedom — no enabled thread while unfinished threads remain;
+//     diagnosed as a lost wakeup when condition-variable waiters are among
+//     the blocked;
+//   * lock-order: a per-run object-level lock-order graph (edges from every
+//     held lock to each newly acquired one) must stay acyclic, so an A→B /
+//     B→A inversion is reported even on interleavings where it happens not
+//     to deadlock;
+//   * harness invariants via Context::check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dinfomap::dcheck {
+
+class Model;
+
+/// Per-run handle harness bodies use to create checked threads and assert
+/// invariants. Spawned threads are adopted into the exploration exactly like
+/// ThreadPool workers.
+class Context {
+ public:
+  explicit Context(Model& model) : model_(model) {}
+  /// Launch a model thread running `fn`. All spawned threads must be joined
+  /// with join_spawned() before the body returns.
+  void spawn(std::string name, std::function<void()> fn);
+  /// Park until every spawned thread has finished (a scheduling point).
+  void join_spawned();
+  /// Invariant assertion: a false condition fails the exploration with the
+  /// current schedule attached.
+  void check(bool ok, const std::string& what);
+
+ private:
+  Model& model_;
+};
+
+using HarnessFn = void (*)(Context&);
+
+/// A model harness: a body driving real production code, plus the name of
+/// the seeded mutation that validates the harness can catch its target bug.
+struct Harness {
+  std::string name;
+  std::string description;
+  std::string mutation;  ///< empty: no seeded mutation
+  HarnessFn fn = nullptr;
+};
+
+/// Registry of the shipped harnesses (threadpool, mailbox, relaxmap-pair,
+/// worklist).
+const std::vector<Harness>& harnesses();
+const Harness* find_harness(const std::string& name);
+
+struct Options {
+  /// Maximum preemptions per schedule; explored iteratively 0..bound.
+  /// Negative: unbounded (full DFS — the ci `full` leg).
+  int max_preemptions = 3;
+  /// Stop after this many schedules (0 = unlimited).
+  std::uint64_t max_schedules = 0;
+  /// Wall-clock budget for the exploration (0 = none).
+  double max_seconds = 0;
+  /// Abort a single run after this many executed operations (livelock guard).
+  std::uint64_t max_steps_per_run = 50'000;
+  /// Seeded mutation to enable for the whole exploration (empty: none).
+  std::string mutation;
+  /// Non-empty: skip exploration and run exactly this schedule string.
+  std::string replay;
+};
+
+struct Result {
+  bool failed = false;
+  bool truncated = false;      ///< budget hit before the DFS completed
+  std::string kind;            ///< data-race | deadlock | lost-wakeup |
+                               ///< lock-order-cycle | assert | step-limit
+  std::string detail;
+  std::string schedule;        ///< decision string of the failing run
+  std::vector<std::string> trace;  ///< per-step log of the failing run
+  std::uint64_t schedules = 0;     ///< runs executed (including pruned)
+  std::uint64_t pruned = 0;        ///< runs cut by sleep-set blocking
+  std::uint64_t steps = 0;         ///< total operations executed
+  int failing_bound = -1;          ///< preemption bound that found the bug
+  double seconds = 0;
+};
+
+/// Explore all interleavings of `body` under `options`. The body runs once
+/// per schedule on the calling thread; it must be re-runnable (construct all
+/// state locally) and must join everything it spawned before returning.
+Result explore(const Options& options, const std::function<void(Context&)>& body);
+
+/// Convenience: explore a registered harness (applies its seeded mutation
+/// only if `options.mutation` asks for it).
+Result run_harness(const Harness& harness, const Options& options);
+
+}  // namespace dinfomap::dcheck

@@ -37,10 +37,23 @@
 //                     between the pair leaks the lock.
 //   float-accum-order `+=` inside a loop iterating an unordered container
 //                     (any dir) — the classic hash-order FP reduction.
+//   sleep-sync        sleep_for/sleep_until outside fault-injection stalls
+//                     and timer tests — a sleep standing in for
+//                     synchronization hides a race behind timing.
+//   lock-order        whole-scan pass: every scoped-guard / DI_ACQUIRE
+//                     acquisition feeds a global held->acquired graph; a
+//                     cycle (including an unsanctioned relock) fails the
+//                     scan naming every order-reversing site. Pair guards
+//                     that enforce an internal total order carry a
+//                     `dlint:ordered-pair(LockType)` marker on their class.
+//   unknown-rule      a dlint:allow() marker naming a rule that does not
+//                     exist — a typo'd allow would otherwise suppress
+//                     nothing and rot silently.
 //
-// Suppression: `// dlint:allow(<rule>): <why>` on the flagged line, or in a
-// comment block immediately above it. The "why" is mandatory by convention
-// (reviewed, not parsed).
+// Suppression: `// dlint:allow(<rule>[,<rule>...]): <why>` on the flagged
+// line, or in a comment block immediately above it (blank lines between the
+// block and the code do not break the attachment). The "why" is mandatory by
+// convention (reviewed, not parsed).
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 #include <algorithm>
@@ -49,9 +62,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fs = std::filesystem;
@@ -81,7 +97,21 @@ const char* kRuleCatalog[][2] = {
     {"wall-clock", "wall-clock time outside src/util/timer.hpp and src/obs"},
     {"raw-mutex-lock", "manual .lock()/.unlock() instead of a scoped guard"},
     {"float-accum-order", "`+=` accumulation inside an unordered-container loop"},
+    {"sleep-sync",
+     "sleep_for/sleep_until as a synchronization tool; real code waits on a "
+     "cv/future — sleeps belong only in fault-injection stalls and timing "
+     "tests"},
+    {"lock-order",
+     "global lock-order graph (scoped guards + DI_ACQUIRE sites) has a cycle "
+     "or an unsanctioned same-lock reacquisition"},
+    {"unknown-rule", "a dlint:allow() marker names a rule that does not exist"},
 };
+
+bool known_rule(const std::string& name) {
+  for (const auto& r : kRuleCatalog)
+    if (name == r[0]) return true;
+  return false;
+}
 
 std::string normalize(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
@@ -94,83 +124,120 @@ bool path_contains_dir(const std::string& path, const std::string& dir) {
   return path.rfind(needle, 0) == 0;  // relative path starting with the dir
 }
 
+/// Length of the raw-string introducer at `in[i]` — `R"`, `u8R"`, `uR"`,
+/// `UR"`, `LR"` — or 0 when `i` does not start one. The prefix must begin at
+/// an identifier boundary: `FooR"` is an identifier followed by a plain
+/// string, not a raw literal.
+std::size_t raw_intro_len(const std::string& in, std::size_t i) {
+  static const char* kPrefixes[] = {"u8R\"", "uR\"", "UR\"", "LR\"", "R\""};
+  if (i > 0 && (std::isalnum(static_cast<unsigned char>(in[i - 1])) ||
+                in[i - 1] == '_'))
+    return 0;
+  for (const char* p : kPrefixes) {
+    const std::size_t n = std::char_traits<char>::length(p);
+    if (in.compare(i, n, p) == 0) return n;
+  }
+  return 0;
+}
+
+/// Whether a physical line ends in a backslash splice (an odd run of
+/// trailing backslashes), which continues the current lexical element —
+/// line comment or string literal — onto the next line.
+bool ends_with_splice(const std::string& in) {
+  std::size_t n = 0;
+  for (auto it = in.rbegin(); it != in.rend() && *it == '\\'; ++it) ++n;
+  return (n % 2) == 1;
+}
+
 /// Blank out comments, string literals, and char literals, preserving line
 /// structure (every stripped char becomes a space). Rules then cannot fire on
 /// text inside comments or strings; allow-markers are read from raw lines.
 std::vector<std::string> strip_source(const std::vector<std::string>& lines) {
   std::vector<std::string> out(lines.size());
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  enum class State {
+    kCode, kLineComment, kBlockComment, kString, kChar, kRawString,
+  };
   State state = State::kCode;
   std::string raw_delim;  // for R"delim( ... )delim"
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const std::string& in = lines[li];
     std::string& res = out[li];
     res.assign(in.size(), ' ');
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      const char c = in[i];
-      switch (state) {
-        case State::kCode: {
-          if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
-            i = in.size();  // rest of line is a comment
-          } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == 'R' && i + 1 < in.size() && in[i + 1] == '"' &&
-                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                     in[i - 1])) &&
-                                 in[i - 1] != '_'))) {
-            const auto paren = in.find('(', i + 2);
-            if (paren != std::string::npos) {
-              raw_delim = ")" + in.substr(i + 2, paren - (i + 2)) + "\"";
-              state = State::kRawString;
-              res[i] = 'R';
-              i = paren;
+    // A `// comment \` splice carried this line into the comment.
+    if (state == State::kLineComment)
+      state = ends_with_splice(in) ? State::kLineComment : State::kCode;
+    else
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        switch (state) {
+          case State::kCode: {
+            const std::size_t raw_n = raw_intro_len(in, i);
+            if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+              if (ends_with_splice(in)) state = State::kLineComment;
+              i = in.size();  // rest of line is a comment
+            } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+              state = State::kBlockComment;
+              ++i;
+            } else if (raw_n != 0) {
+              const auto paren = in.find('(', i + raw_n);
+              if (paren != std::string::npos) {
+                raw_delim =
+                    ")" + in.substr(i + raw_n, paren - (i + raw_n)) + "\"";
+                state = State::kRawString;
+                res[i] = in[i];  // keep the prefix char so tokens stay intact
+                i = paren;
+              } else {
+                res[i] = c;  // malformed; treat as code
+              }
+            } else if (c == '"') {
+              state = State::kString;
+            } else if (c == '\'') {
+              state = State::kChar;
             } else {
-              res[i] = c;  // malformed; treat as code
+              res[i] = c;
             }
-          } else if (c == '"') {
-            state = State::kString;
-          } else if (c == '\'') {
-            state = State::kChar;
-          } else {
-            res[i] = c;
+            break;
           }
-          break;
-        }
-        case State::kBlockComment:
-          if (c == '*' && i + 1 < in.size() && in[i + 1] == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            state = State::kCode;
-          }
-          break;
-        case State::kRawString: {
-          const auto end = in.find(raw_delim, i);
-          if (end != std::string::npos) {
-            i = end + raw_delim.size() - 1;
-            state = State::kCode;
-          } else {
+          case State::kLineComment:
             i = in.size();
+            break;
+          case State::kBlockComment:
+            if (c == '*' && i + 1 < in.size() && in[i + 1] == '/') {
+              state = State::kCode;
+              ++i;
+            }
+            break;
+          case State::kString:
+            if (c == '\\') {
+              ++i;
+            } else if (c == '"') {
+              state = State::kCode;
+            }
+            break;
+          case State::kChar:
+            if (c == '\\') {
+              ++i;
+            } else if (c == '\'') {
+              state = State::kCode;
+            }
+            break;
+          case State::kRawString: {
+            const auto end = in.find(raw_delim, i);
+            if (end != std::string::npos) {
+              i = end + raw_delim.size() - 1;
+              state = State::kCode;
+            } else {
+              i = in.size();
+            }
+            break;
           }
-          break;
         }
       }
+    // Line-based states end at the newline unless a backslash splice
+    // continues them (`"abc \` is a multi-line string literal).
+    if (state == State::kString || state == State::kChar) {
+      if (!ends_with_splice(in)) state = State::kCode;
     }
-    // Line-based states that cannot span lines.
-    if (state == State::kString || state == State::kChar) state = State::kCode;
   }
   return out;
 }
@@ -180,19 +247,40 @@ bool is_blank(const std::string& s) {
                      [](unsigned char c) { return std::isspace(c); });
 }
 
-/// Per-line allowed rules: a `dlint:allow(rule)` marker suppresses findings on
-/// its own line; markers on pure-comment lines roll forward onto the next
-/// line that carries code.
+/// Per-line allowed rules: a `dlint:allow(rule[, rule...])` marker suppresses
+/// findings on its own line; markers on pure-comment lines roll forward onto
+/// the next line that carries code (blank lines in between do not break the
+/// attachment). A marker naming a rule dlint does not have is itself a
+/// finding — a typo'd allow would otherwise silently suppress nothing.
 std::vector<std::vector<std::string>> collect_allows(
-    const std::vector<std::string>& raw, const std::vector<std::string>& code) {
-  static const std::regex allow_re(R"(dlint:allow\(([a-z-]+)\))");
+    const std::string& file, const std::vector<std::string>& raw,
+    const std::vector<std::string>& code, std::vector<Finding>& findings) {
+  static const std::regex allow_re(
+      R"(dlint:allow\(([A-Za-z-]+(?:\s*,\s*[A-Za-z-]+)*)\))");
   std::vector<std::vector<std::string>> allows(raw.size());
   std::vector<std::string> pending;
   for (std::size_t i = 0; i < raw.size(); ++i) {
     std::vector<std::string> here;
     for (std::sregex_iterator it(raw[i].begin(), raw[i].end(), allow_re), end;
-         it != end; ++it)
-      here.push_back((*it)[1]);
+         it != end; ++it) {
+      std::stringstream list((*it)[1]);
+      for (std::string rule; std::getline(list, rule, ',');) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](unsigned char c) {
+                                    return std::isspace(c) != 0;
+                                  }),
+                   rule.end());
+        if (rule.empty()) continue;
+        if (!known_rule(rule)) {
+          findings.push_back(
+              {file, i + 1, "unknown-rule",
+               "dlint:allow(" + rule +
+                   ") names a rule dlint does not have; see --list-rules"});
+          continue;
+        }
+        here.push_back(rule);
+      }
+    }
     if (is_blank(code[i])) {
       // Comment-only (or empty) line: markers wait for the next code line.
       pending.insert(pending.end(), here.begin(), here.end());
@@ -403,21 +491,29 @@ std::vector<RangeFor> find_range_fors(const std::vector<std::string>& code) {
   return out;
 }
 
-void scan_file(const std::string& display_path, const Options& opt,
-               std::vector<Finding>& findings, std::size_t& io_errors) {
-  std::ifstream in(display_path, std::ios::binary);
-  if (!in) {
-    std::cerr << "dlint: cannot read " << display_path << "\n";
-    ++io_errors;
-    return;
-  }
-  std::vector<std::string> raw;
+/// Read a file as lines (CRLF-tolerant) and produce its stripped twin.
+bool load_source(const std::string& path, std::vector<std::string>& raw,
+                 std::vector<std::string>& code) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  raw.clear();
   for (std::string line; std::getline(in, line);) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     raw.push_back(line);
   }
-  const std::vector<std::string> code = strip_source(raw);
-  const auto allows = collect_allows(raw, code);
+  code = strip_source(raw);
+  return true;
+}
+
+void scan_file(const std::string& display_path, const Options& opt,
+               std::vector<Finding>& findings, std::size_t& io_errors) {
+  std::vector<std::string> raw, code;
+  if (!load_source(display_path, raw, code)) {
+    std::cerr << "dlint: cannot read " << display_path << "\n";
+    ++io_errors;
+    return;
+  }
+  const auto allows = collect_allows(display_path, raw, code, findings);
   const std::string npath = normalize(display_path);
 
   auto report = [&](std::size_t line_idx, const char* rule,
@@ -458,6 +554,23 @@ void scan_file(const std::string& display_path, const Options& opt,
                "manual lock()/unlock(); use a scoped guard "
                "(util::MutexLock / std::lock_guard) — a throw between the "
                "pair leaks the lock");
+  }
+
+  // ---- sleep-sync -------------------------------------------------------
+  // A sleep that stands in for synchronization hides a race behind timing:
+  // it works on the dev box and flakes under load. Real code waits on a
+  // condition variable, future, or poll-with-deadline; the only sanctioned
+  // sleeps are fault-injection stalls (deliberately wasting time IS the
+  // feature) and timer tests that need wall time to pass.
+  {
+    static const std::regex sleep_re(
+        R"(std::this_thread::sleep_(for|until)\b|\busleep\s*\(|\bnanosleep\s*\()");
+    for (std::size_t i = 0; i < code.size(); ++i)
+      if (std::regex_search(code[i], sleep_re))
+        report(i, "sleep-sync",
+               "sleep as a synchronization tool; wait on a cv/future or "
+               "poll with a deadline — if this is a fault-injection stall "
+               "or a timer test, justify with dlint:allow(sleep-sync)");
   }
 
   // ---- unordered-iter & float-accum-order -------------------------------
@@ -514,6 +627,341 @@ void scan_file(const std::string& display_path, const Options& opt,
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order pass (annotation-aware, whole-scan)
+// ---------------------------------------------------------------------------
+//
+// Builds one global held -> acquired graph from every scoped-guard
+// construction (util::MutexLock, std::lock_guard/unique_lock/scoped_lock,
+// plus any DI_SCOPED_CAPABILITY type or function carrying DI_ACQUIRE) and
+// fails on cycles — the static complement of dcheck's runtime lock-order
+// detector (DESIGN.md §16). Token-level, so the graph only sees lexical
+// nesting within one function plus one interprocedural hop through
+// DI_ACQUIRE-annotated methods; that is exactly the set of orderings a
+// reviewer can check locally, which is the point of the rule.
+//
+// Lock identity: members (trailing '_') are qualified by their class
+// (class-decl context in headers, `Class::method` definitions in .cpp
+// files); everything else is file-qualified, so same-named locals in
+// different files never merge into a false cycle.
+//
+// Sanctioned exception: a guard class whose declaration carries
+// `dlint:ordered-pair(LockType)` (e.g. core::ModulePairGuard) promises an
+// internal total order over same-type locks; its acquisitions are exempt.
+// A single site can also be excluded with dlint:allow(lock-order).
+
+struct LockOrderEdge {
+  std::string file;
+  std::size_t line = 0;
+  std::string held, acquired;
+};
+
+struct LockOrderGraph {
+  std::set<std::string> guard_types{"MutexLock", "lock_guard", "unique_lock",
+                                    "scoped_lock", "shared_lock"};
+  std::set<std::string> sanctioned;  ///< guard types with an ordered-pair marker
+  /// DI_ACQUIRE-annotated member functions: name -> fully qualified locks.
+  std::map<std::string, std::vector<std::string>> acquire_methods;
+  std::map<std::pair<std::string, std::string>, LockOrderEdge> edges;
+};
+
+std::string file_stem(const std::string& path) {
+  return fs::path(path).filename().string();
+}
+
+std::string canon_lock(std::string expr, const std::string& cls,
+                       const std::string& stem) {
+  std::string s;
+  int bracket = 0;
+  for (char c : expr) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '[') {
+      if (bracket++ == 0) s += "[]";
+      continue;
+    }
+    if (c == ']') {
+      if (bracket > 0) --bracket;
+      continue;
+    }
+    if (bracket == 0) s += c;
+  }
+  while (!s.empty() && (s.front() == '*' || s.front() == '&')) s.erase(0, 1);
+  if (s.rfind("this->", 0) == 0) s.erase(0, 6);
+  const bool bare = !s.empty() &&
+                    std::all_of(s.begin(), s.end(), [](unsigned char c) {
+                      return std::isalnum(c) || c == '_';
+                    });
+  if (bare && s.back() == '_' && !cls.empty()) return cls + "::" + s;
+  return stem + "::" + s;
+}
+
+/// First balanced `(...)` argument list starting at `line[open]`; empty when
+/// the parenthesis does not close on this line (multi-line guard headers are
+/// out of scope for a token-level pass).
+std::vector<std::string> ctor_args(const std::string& line, std::size_t open) {
+  std::vector<std::string> args;
+  if (open >= line.size() || (line[open] != '(' && line[open] != '{'))
+    return args;
+  const char close = line[open] == '(' ? ')' : '}';
+  int depth = 0;
+  std::string cur;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(' || c == '{' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '}' || c == '>' || c == ']') {
+      --depth;
+      if (depth == 0 && c == close) {
+        if (!is_blank(cur)) args.push_back(cur);
+        return args;
+      }
+    }
+    if (depth == 1 && c == ',') {
+      args.push_back(cur);
+      cur.clear();
+    } else if (depth >= 1 && !(depth == 1 && (c == '(' || c == '{'))) {
+      cur += c;
+    }
+  }
+  return {};
+}
+
+/// Pass 1: guard-type and annotation harvest for one file.
+void lock_order_collect(const std::string& file,
+                        const std::vector<std::string>& raw,
+                        const std::vector<std::string>& code,
+                        LockOrderGraph& g) {
+  static const std::regex pair_re(R"(dlint:ordered-pair\(([\w:]+)\))");
+  static const std::regex scoped_cap_re(
+      R"(\b(?:class|struct)\s+DI_SCOPED_CAPABILITY\s+(\w+))");
+  static const std::regex class_re(
+      R"(\b(?:class|struct)\s+(?:DI_\w+\s+)*(\w+))");
+  static const std::regex acquire_re(
+      R"(\b(\w+)\s*\(([^()]*)\)\s*(?:const\s*)?DI_ACQUIRE\s*\(\s*([\w]*)\s*\))");
+  std::string cls;  // innermost class decl seen so far (declaration order)
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code[i], m, class_re)) cls = m[1];
+    if (std::regex_search(code[i], m, scoped_cap_re)) g.guard_types.insert(m[1]);
+    if (std::regex_search(raw[i], m, pair_re)) {
+      // The marker sanctions the guard class it documents: the next
+      // class/struct declaration within a few lines.
+      for (std::size_t j = i; j < code.size() && j < i + 6; ++j) {
+        std::smatch cm;
+        if (std::regex_search(code[j], cm, class_re)) {
+          g.sanctioned.insert(cm[1]);
+          g.guard_types.insert(cm[1]);
+          break;
+        }
+      }
+    }
+    if (std::regex_search(code[i], m, acquire_re)) {
+      const std::string fn = m[1], params = m[2], lock = m[3];
+      if (lock.empty()) continue;  // DI_ACQUIRE() on a guard primitive
+      const std::regex param_word("\\b" + lock + "\\b");
+      if (std::regex_search(params, param_word)) {
+        // Acquires its own parameter: an RAII guard shape (e.g. MutexLock).
+        g.guard_types.insert(fn);
+      } else {
+        // Member function acquiring a member lock: one interprocedural hop.
+        g.acquire_methods[fn].push_back(
+            canon_lock(lock, cls, file_stem(file)));
+      }
+    }
+  }
+}
+
+/// Pass 2: edge construction for one file.
+void lock_order_edges(const std::string& file,
+                      const std::vector<std::string>& raw,
+                      const std::vector<std::string>& code, LockOrderGraph& g) {
+  // collect_allows also validates marker names; scan_file already reported
+  // those, so diagnostics from this second parse are dropped.
+  std::vector<Finding> ignored;
+  const auto allows = collect_allows(file, raw, code, ignored);
+  const std::string stem = file_stem(file);
+
+  std::string guard_alt;
+  for (const auto& t : g.guard_types)
+    guard_alt += (guard_alt.empty() ? "" : "|") + t;
+  const std::regex guard_re("\\b(" + guard_alt +
+                            ")(?:\\s*<[^;{}()]*>)?\\s+\\w+\\s*([({])");
+  static const std::regex class_re(
+      R"(\b(?:class|struct)\s+(?:DI_\w+\s+)*(\w+))");
+  static const std::regex impl_re(R"(\b([A-Z]\w*)::~?\w+\s*\()");
+
+  struct Acq {
+    std::string lock;
+    int depth;
+  };
+  struct ClassCtx {
+    std::string name;
+    int depth;
+  };
+  std::vector<Acq> held;
+  std::vector<ClassCtx> classes;
+  std::string pending_class, impl_class;
+  int depth = 0;
+
+  const auto context_class = [&]() -> std::string {
+    if (!classes.empty()) return classes.back().name;
+    return impl_class;
+  };
+  const auto add_acquisition = [&](const std::string& lock, std::size_t li) {
+    if (allowed(allows, li, "lock-order")) return;
+    for (const Acq& h : held) {
+      const auto key = std::make_pair(h.lock, lock);
+      if (g.edges.count(key) == 0)
+        g.edges[key] = {file, li + 1, h.lock, lock};
+    }
+    held.push_back({lock, depth});
+  };
+
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    const std::string& l = code[li];
+
+    // Gather positioned events, then replay them interleaved with braces.
+    struct Event {
+      std::size_t pos;
+      int kind;  // 0 class decl, 1 guard, 2 annotated call
+      std::string name;
+      std::size_t open = 0;  // guard: position of its '(' / '{'
+    };
+    std::vector<Event> events;
+    for (std::sregex_iterator it(l.begin(), l.end(), class_re), end; it != end;
+         ++it)
+      events.push_back({static_cast<std::size_t>(it->position(0)), 0,
+                        (*it)[1], 0});
+    for (std::sregex_iterator it(l.begin(), l.end(), guard_re), end; it != end;
+         ++it)
+      events.push_back({static_cast<std::size_t>(it->position(0)), 1,
+                        (*it)[1],
+                        static_cast<std::size_t>(it->position(2))});
+    if (!g.acquire_methods.empty()) {
+      static const std::regex call_re(R"(\b(\w+)\s*\()");
+      for (std::sregex_iterator it(l.begin(), l.end(), call_re), end;
+           it != end; ++it)
+        if (g.acquire_methods.count((*it)[1]) != 0)
+          events.push_back({static_cast<std::size_t>(it->position(0)), 2,
+                            (*it)[1], 0});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.pos < b.pos; });
+
+    std::smatch m;
+    if (depth <= 1 && std::regex_search(l, m, impl_re) && held.empty() &&
+        classes.empty()) {
+      // `Ret Class::method(...)` at namespace level: .cpp member context.
+      impl_class = m[1];
+    }
+
+    std::size_t next_event = 0;
+    for (std::size_t i = 0; i <= l.size(); ++i) {
+      while (next_event < events.size() && events[next_event].pos == i) {
+        const Event& e = events[next_event++];
+        if (e.kind == 0) {
+          pending_class = e.name;
+        } else if (e.kind == 1 && g.sanctioned.count(e.name) == 0) {
+          const std::string cls = context_class();
+          const auto args = ctor_args(l, e.open);
+          for (std::size_t a = 0; a < args.size(); ++a) {
+            // std:: tag arguments (adopt_lock, defer_lock...) are not locks,
+            // and std guards only take the lockable first.
+            if (a > 0 && (e.name != "scoped_lock" || args[a].find("std::") !=
+                                                         std::string::npos))
+              continue;
+            add_acquisition(canon_lock(args[a], cls, stem), li);
+          }
+        } else if (e.kind == 2) {
+          for (const std::string& lock : g.acquire_methods.at(e.name)) {
+            if (allowed(allows, li, "lock-order")) continue;
+            for (const Acq& h : held) {
+              const auto key = std::make_pair(h.lock, lock);
+              if (g.edges.count(key) == 0)
+                g.edges[key] = {file, li + 1, h.lock, lock};
+            }
+          }
+        }
+      }
+      if (i == l.size()) break;
+      const char c = l[i];
+      if (c == '{') {
+        ++depth;
+        if (!pending_class.empty()) {
+          classes.push_back({pending_class, depth});
+          pending_class.clear();
+        }
+      } else if (c == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        while (!classes.empty() && classes.back().depth > depth)
+          classes.pop_back();
+      } else if (c == ';' || c == ')' || c == '>') {
+        pending_class.clear();  // forward decl / template parameter
+      }
+    }
+  }
+}
+
+/// Cycle detection + reporting over the merged graph.
+void lock_order_report(const LockOrderGraph& g, std::vector<Finding>& findings) {
+  // adjacency
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, e] : g.edges) adj[key.first].push_back(key.second);
+
+  const auto reaches = [&](const std::string& from, const std::string& to) {
+    std::vector<std::string> stack{from};
+    std::set<std::string> seen{from};
+    while (!stack.empty()) {
+      const std::string cur = stack.back();
+      stack.pop_back();
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const auto& n : it->second) {
+        if (n == to) return true;
+        if (seen.insert(n).second) stack.push_back(n);
+      }
+    }
+    return false;
+  };
+
+  // An edge participates in a cycle iff its head reaches its tail. Group all
+  // cycle edges into one finding per weakly-connected cluster so the report
+  // names every acquisition site of the inversion at once.
+  std::vector<const LockOrderEdge*> cyclic;
+  for (const auto& [key, e] : g.edges)
+    if (key.first == key.second || reaches(key.second, key.first))
+      cyclic.push_back(&e);
+  if (cyclic.empty()) return;
+
+  std::ostringstream os;
+  os << "lock acquisition order is cyclic; every order-reversing site:";
+  for (const LockOrderEdge* e : cyclic)
+    os << "\n  " << e->file << ":" << e->line << ": acquired " << e->acquired
+       << " while holding " << e->held;
+  os << "\n  (a guard class enforcing an internal total order can be "
+        "sanctioned with dlint:ordered-pair(LockType))";
+  findings.push_back({cyclic.front()->file, cyclic.front()->line, "lock-order",
+                      os.str()});
+}
+
+void lock_order_pass(const std::vector<std::string>& files,
+                     std::vector<Finding>& findings) {
+  LockOrderGraph g;
+  std::vector<std::pair<std::string,
+                        std::pair<std::vector<std::string>,
+                                  std::vector<std::string>>>> sources;
+  for (const auto& f : files) {
+    std::vector<std::string> raw, code;
+    // Unreadable files were already reported (and counted) by scan_file.
+    if (!load_source(f, raw, code)) continue;
+    lock_order_collect(f, raw, code, g);
+    sources.push_back({f, {std::move(raw), std::move(code)}});
+  }
+  for (const auto& [f, rc] : sources)
+    lock_order_edges(f, rc.first, rc.second, g);
+  lock_order_report(g, findings);
 }
 
 void collect_paths(const fs::path& p, std::vector<std::string>& files,
@@ -611,6 +1059,7 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings;
   for (const auto& f : files) scan_file(f, opt, findings, io_errors);
+  lock_order_pass(files, findings);
 
   if (opt.json) {
     std::cout << "{\"version\":1,\"files_scanned\":" << files.size()

@@ -1,0 +1,10 @@
+// Must NOT fire: the allow marker sits in a comment block separated from
+// its code line by more prose and blank lines; the attachment must roll
+// forward until the next line that actually carries code.
+#include <cstdlib>
+
+// dlint:allow(raw-rng): blank-line roll-forward fixture
+//
+// More prose in the same comment block, then an entirely blank line:
+
+static int seeded = rand();

@@ -1,0 +1,5 @@
+// Must NOT fire: a backslash splice continues this line comment, so the \
+rand() and std::mt19937 on this physical line are still comment text.
+const char* spliced = "a string literal with a trailing splice \
+rand() inside the continued literal and time( too";
+int after_splices = 0;  // code resumes normally after both continuations

@@ -1,0 +1,9 @@
+// Must fire: raw-rng on the last line even though every line ends in CRLF;
+// the allowed sleep above it must stay silent (marker parsing and splice
+// detection both have to survive the \r).
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+// dlint:allow(sleep-sync): CRLF marker fixture
+void f() { std::this_thread::sleep_for(std::chrono::seconds(1)); }
+static int r = rand();

@@ -1,0 +1,26 @@
+// Must NOT fire: every path agrees on a-before-b, and the one deliberate
+// inversion carries the single-site escape.
+#include <mutex>
+
+std::mutex a;
+std::mutex b;
+
+void first_path() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+
+void second_path() {
+  std::lock_guard<std::mutex> la(a);
+  {
+    std::lock_guard<std::mutex> lb(b);
+  }
+  // Re-acquiring b after releasing it is still a-before-b, not a cycle.
+  std::lock_guard<std::mutex> lb2(b);
+}
+
+void inverted_but_escaped() {
+  std::lock_guard<std::mutex> lb(b);
+  // dlint:allow(lock-order): fixture for the single-site escape
+  std::lock_guard<std::mutex> la(a);
+}

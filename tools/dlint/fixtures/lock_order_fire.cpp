@@ -1,0 +1,17 @@
+// Must fire: lock-order — take_ab acquires a then b, take_ba acquires b
+// then a; the merged graph has the cycle a -> b -> a and the report must
+// name both reversing acquisition sites.
+#include <mutex>
+
+std::mutex a;
+std::mutex b;
+
+void take_ab() {
+  std::lock_guard<std::mutex> la(a);
+  std::lock_guard<std::mutex> lb(b);
+}
+
+void take_ba() {
+  std::lock_guard<std::mutex> lb(b);
+  std::lock_guard<std::mutex> la(a);
+}

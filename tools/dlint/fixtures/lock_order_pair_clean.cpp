@@ -1,0 +1,17 @@
+// Must NOT fire: PairGuard carries the ordered-pair marker promising an
+// internal total order (e.g. address order) over SpinLocks, so its callers
+// may pass the pair in either order — the RelaxMap module-pair shape.
+struct SpinLock {};
+
+// dlint:ordered-pair(SpinLock)
+class PairGuard {
+ public:
+  PairGuard(SpinLock& x, SpinLock& y);
+  ~PairGuard();
+};
+
+SpinLock pa;
+SpinLock pb;
+
+void merge_forward() { PairGuard guard(pa, pb); }
+void merge_backward() { PairGuard guard(pb, pa); }

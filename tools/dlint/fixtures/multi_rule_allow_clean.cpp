@@ -1,0 +1,16 @@
+// Must NOT fire: each line below trips two rules at once and a single
+// comma-separated allow marker suppresses both — once from a comment block
+// above, once from a same-line comment (with spaces around the comma).
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+
+void jittered_stall() {
+  // dlint:allow(sleep-sync,raw-rng): multi-rule marker, block-above form
+  std::this_thread::sleep_for(std::chrono::microseconds(rand() % 100));
+}
+
+void jittered_stall_again() {
+  usleep(rand() % 100);  // dlint:allow(raw-rng, sleep-sync): same-line form
+}

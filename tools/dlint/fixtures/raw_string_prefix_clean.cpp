@@ -1,0 +1,19 @@
+// Must NOT fire: every trigger pattern below sits inside a raw string
+// literal — plain, encoding-prefixed (u8R/uR/UR/LR), custom-delimiter, and
+// multi-line forms the stripper has to lex exactly. A naive `R"(`-only
+// matcher leaks the prefixed ones into code and fires raw-rng/sleep-sync.
+const char* plain = R"(rand() and std::mt19937 live here)";
+const char* delim = R"x(time( gettimeofday( and a fake close )" inside)x";
+const char* utf8 = u8R"(m.lock(); m.unlock();)";
+const char16_t* utf16 = uR"(std::this_thread::sleep_for(1s))";
+const char32_t* utf32 = UR"y(std::chrono::system_clock::now())y";
+const wchar_t* wide = LR"(usleep(10); nanosleep(&ts, nullptr);)";
+const char* multi = R"ml(
+  srand(42);
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+)ml";
+// An identifier merely ending in R must not start a raw string: the VECTOR
+// in `VECTOR"(text)"` is a macro, and the quoted part is an ordinary string.
+#define VECTOR
+const char* not_raw = VECTOR"(this is a normal string, not raw)";
+int after = 0;  // still code: stripping must resynchronize after each literal

@@ -1,0 +1,16 @@
+// Must NOT fire: sleep mentions live in comments and string literals, and
+// the one real sleep is a justified fault-injection stall.
+#include <chrono>
+#include <thread>
+
+// A comment saying std::this_thread::sleep_for(1s) or usleep(10) is fine.
+const char* kDoc = "docs may mention std::this_thread::sleep_for or usleep(";
+
+extern bool aborted();
+
+void stall_forever_fixture() {
+  while (!aborted())
+    // dlint:allow(sleep-sync): fault-injection stall — wasting time is the
+    // point of this fixture
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

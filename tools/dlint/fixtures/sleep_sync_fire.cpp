@@ -1,0 +1,15 @@
+// Must fire: sleep-sync on the sleep_for, the usleep, and the nanosleep —
+// each stands in for synchronization ("surely the worker is done by now").
+#include <chrono>
+#include <ctime>
+#include <thread>
+#include <unistd.h>
+
+extern bool worker_done;
+
+void wait_for_worker_badly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  while (!worker_done) usleep(1000);
+  timespec ts{0, 1000000};
+  nanosleep(&ts, nullptr);
+}

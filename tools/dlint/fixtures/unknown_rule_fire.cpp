@@ -1,0 +1,4 @@
+// Must fire: unknown-rule — the marker names a rule dlint does not have,
+// so it would silently suppress nothing (a typo'd allow is a bug).
+// dlint:allow(no-such-rule)
+int unsuppressed = 0;
